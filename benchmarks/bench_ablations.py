@@ -1,0 +1,123 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+Each bench removes one mechanism of MLP and checks the direction of the
+paper's corresponding claim.  These run at a reduced scale (the point
+is the *pairing*, both variants see identical data and schedule).
+"""
+
+import pytest
+
+from conftest import save_artifact
+
+from repro.core.params import MLPParams
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.evaluation.splits import single_holdout_split
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def ablation_world():
+    return generate_world(SyntheticWorldConfig(n_users=500, seed=17))
+
+
+@pytest.fixture(scope="module")
+def ablation_split(ablation_world):
+    return single_holdout_split(ablation_world, 0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ablation_params():
+    return MLPParams(
+        n_iterations=22, burn_in=9, seed=0, track_edge_assignments=False
+    )
+
+
+def test_ablation_noise_mixture(
+    benchmark, ablation_world, ablation_split, ablation_params, artifact_dir
+):
+    """Sec. 4.2: modeling noisy relationships should not hurt, and the
+    mixture must identify noise (checked in tests); accuracy with the
+    mixture stays within noise of -- or above -- the ablated variant."""
+    outcomes = benchmark.pedantic(
+        ablations.ablate_noise_mixture,
+        args=(ablation_world, ablation_split, ablation_params),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        artifact_dir,
+        "ablation_noise_mixture",
+        ablations.render_ablation("noise mixture (Sec 4.2)", outcomes),
+    )
+    with_noise, without_noise = outcomes
+    assert with_noise.accuracy >= without_noise.accuracy - 0.05
+
+
+def test_ablation_supervision(
+    benchmark, ablation_world, ablation_split, ablation_params, artifact_dir
+):
+    """Sec. 4.3: without the label boost the 'hidden clusters of near
+    locations would be floating' -- accuracy must drop sharply."""
+    outcomes = benchmark.pedantic(
+        ablations.ablate_supervision,
+        args=(ablation_world, ablation_split, ablation_params),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        artifact_dir,
+        "ablation_supervision",
+        ablations.render_ablation("partial supervision (Sec 4.3)", outcomes),
+    )
+    with_boost, without_boost = outcomes
+    assert with_boost.accuracy > without_boost.accuracy + 0.05
+
+
+def test_ablation_candidacy(benchmark, artifact_dir):
+    """Sec. 4.3: candidacy vectors 'greatly improve the efficiency' --
+    the full-gazetteer variant must be much slower and no better.
+
+    Runs at a reduced scale: the ablated variant scores every one of
+    the 517 gazetteer cities for every assignment, which is exactly the
+    blow-up the paper's candidacy vectors exist to avoid.
+    """
+    world = generate_world(SyntheticWorldConfig(n_users=250, seed=17))
+    split = single_holdout_split(world, 0.2, seed=0)
+    params = MLPParams(
+        n_iterations=10, burn_in=4, seed=0, track_edge_assignments=False
+    )
+    outcomes = benchmark.pedantic(
+        ablations.ablate_candidacy,
+        args=(world, split, params),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        artifact_dir,
+        "ablation_candidacy",
+        ablations.render_ablation("candidacy vectors (Sec 4.3)", outcomes),
+    )
+    with_cand, full_gaz = outcomes
+    assert full_gaz.seconds > with_cand.seconds * 2
+    assert with_cand.accuracy >= full_gaz.accuracy - 0.05
+
+
+def test_ablation_gibbs_em(
+    benchmark, ablation_world, ablation_split, ablation_params, artifact_dir
+):
+    """Sec. 4.5: Gibbs-EM refinement of (alpha, beta).  Refits must not
+    degrade accuracy, and refined laws stay decaying (alpha < 0)."""
+    outcomes = benchmark.pedantic(
+        ablations.ablate_gibbs_em,
+        args=(ablation_world, ablation_split, ablation_params),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        artifact_dir,
+        "ablation_gibbs_em",
+        ablations.render_ablation("Gibbs-EM rounds (Sec 4.5)", outcomes),
+    )
+    accs = [o.accuracy for o in outcomes]
+    assert max(accs[1:]) >= accs[0] - 0.05
+    assert all("alpha=-" in o.detail for o in outcomes)

@@ -1,0 +1,73 @@
+"""Component micro-benchmarks: honest multi-round timings of the
+building blocks (no paper artifact attached).
+
+These give pytest-benchmark real statistics and catch performance
+regressions in the hot paths: world generation, prior construction,
+one Gibbs sweep, distance-matrix construction, venue extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import GibbsSampler
+from repro.core.params import MLPParams
+from repro.core.priors import build_user_priors
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.geo.coords import pairwise_distance_matrix
+from repro.geo.us_cities import builtin_gazetteer
+from repro.text.venues import VenueExtractor
+
+
+@pytest.fixture(scope="module")
+def bench_world():
+    return generate_world(SyntheticWorldConfig(n_users=400, seed=3))
+
+
+def test_bench_world_generation(benchmark):
+    """Generate a 400-user world from scratch."""
+    ds = benchmark.pedantic(
+        lambda: generate_world(SyntheticWorldConfig(n_users=400, seed=3)),
+        rounds=3,
+        iterations=1,
+    )
+    assert ds.n_users == 400
+
+
+def test_bench_distance_matrix(benchmark):
+    """All-pairs haversine over the full gazetteer (~517 cities)."""
+    gaz = builtin_gazetteer()
+    lats, lons = gaz.lats, gaz.lons
+    mat = benchmark(pairwise_distance_matrix, lats, lons)
+    assert mat.shape[0] == len(gaz)
+
+
+def test_bench_build_priors(benchmark, bench_world):
+    """Candidacy vectors + gamma priors for every user."""
+    params = MLPParams()
+    priors = benchmark(build_user_priors, bench_world, params)
+    assert priors.n_users == bench_world.n_users
+
+
+def test_bench_gibbs_sweep(benchmark, bench_world):
+    """One full Gibbs sweep over all relationships (the inner loop)."""
+    params = MLPParams(n_iterations=2, burn_in=0, seed=1)
+    sampler = GibbsSampler(bench_world, params)
+    sampler.initialize()
+    sampler.sweep()  # warm the chain
+    benchmark.pedantic(sampler.sweep, rounds=3, iterations=1)
+
+
+def test_bench_venue_extraction(benchmark):
+    """Extract venues from 200 tweets against the full gazetteer."""
+    gaz = builtin_gazetteer()
+    extractor = VenueExtractor(gaz)
+    texts = [
+        f"heading from round rock to los angeles then {city.city.lower()}"
+        for city in list(gaz)[:200]
+    ]
+
+    def run():
+        return sum(len(extractor.extract(t)) for t in texts)
+
+    count = benchmark(run)
+    assert count >= 400

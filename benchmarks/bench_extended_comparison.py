@@ -1,0 +1,117 @@
+"""Extended comparisons beyond the paper's five methods.
+
+Two extra reference points sharpen the paper's argument:
+
+- **BaseUDI** (the authors' earlier unified single-location model,
+  citation [11]): on *home* prediction it is competitive with MLP
+  (unification carries that task), but it cannot discover multiple
+  locations or explain relationships -- the capabilities the paper's
+  other two tasks measure.
+- **NeighborVote** (Macskassy & Provost): the distance-blind collective
+  classifier Sec. 2 argues must fail.
+
+Plus the geo-grouping application (Sec. 5.3) made quantitative.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_artifact
+
+from repro.baselines import MajorityNeighborBaseline, UnifiedInfluenceBaseline
+from repro.evaluation.geo_groups import mean_grouping_score
+from repro.evaluation.metrics import accuracy_at
+from repro.evaluation.significance import paired_bootstrap
+
+
+def test_extended_home_prediction(benchmark, suite, artifact_dir):
+    """MLP vs BaseUDI vs NeighborVote on the shared holdout."""
+    split = suite.splits[0]
+    test = list(split.test_user_ids)
+    truth = list(split.test_truth)
+    gaz = suite.dataset.gazetteer
+
+    def run_extras():
+        udi = UnifiedInfluenceBaseline().predict(split.train_dataset)
+        vote = MajorityNeighborBaseline().predict(split.train_dataset)
+        return udi, vote
+
+    udi, vote = benchmark.pedantic(run_extras, rounds=1, iterations=1)
+
+    accs = {
+        name: result.accuracy_at(suite.dataset)
+        for name, result in suite.home_results.items()
+    }
+    accs["BaseUDI"] = accuracy_at(gaz, [udi.home_of(u) for u in test], truth)
+    accs["NeighborVote"] = accuracy_at(
+        gaz, [vote.home_of(u) for u in test], truth
+    )
+
+    lines = ["Extended Home Prediction Comparison (ACC@100)", "-" * 64]
+    for name in (
+        "NeighborVote", "BaseC", "BaseU", "BaseUDI", "MLP_U", "MLP_C", "MLP",
+    ):
+        lines.append(f"  {name:<14s} {accs[name]:6.1%}")
+    save_artifact(artifact_dir, "extended_table2", "\n".join(lines))
+
+    # Unified single-location is competitive on the home task; MLP must
+    # stay within statistical range of it here (its edge shows on the
+    # multi-location and explanation tasks BaseUDI cannot attempt).
+    assert accs["MLP"] > accs["BaseUDI"] - 0.05
+    # Sec. 2's claim: distance-aware BaseU beats distance-blind voting.
+    assert accs["BaseU"] >= accs["NeighborVote"] - 0.02
+
+
+def test_mlp_vs_baseu_significance(benchmark, suite, artifact_dir):
+    """Paired bootstrap of the MLP-vs-BaseU gap (Table 2's headline)."""
+    mlp = suite.home_results["MLP"]
+    baseu = suite.home_results["BaseU"]
+
+    cmp = benchmark(
+        paired_bootstrap,
+        suite.dataset.gazetteer,
+        mlp.predictions,
+        baseu.predictions,
+        mlp.truths,
+        name_a="MLP",
+        name_b="BaseU",
+        seed=0,
+    )
+    text = (
+        "Significance: MLP vs BaseU (paired bootstrap, ACC@100)\n"
+        + "-" * 64
+        + f"\n  MLP {cmp.accuracy_a:.1%} vs BaseU {cmp.accuracy_b:.1%}"
+        + f"\n  gap {cmp.mean_gap:+.1%}  95% CI [{cmp.ci_low:+.1%}, {cmp.ci_high:+.1%}]"
+        + f"\n  P(MLP beats BaseU) = {cmp.p_a_beats_b:.3f}"
+    )
+    save_artifact(artifact_dir, "significance_mlp_vs_baseu", text)
+    assert cmp.accuracy_a > cmp.accuracy_b
+    assert cmp.p_a_beats_b > 0.8
+
+
+def test_geo_grouping_quality(benchmark, suite, artifact_dir):
+    """Sec. 5.3 application: follower geo-groups vs ground truth."""
+    result = suite.mlp_full_prediction.detail
+    dataset = suite.dataset
+    top_users = sorted(
+        range(dataset.n_users),
+        key=lambda u: -len(dataset.followers_of[u]),
+    )[:30]
+
+    def compute():
+        predicted = {uid: result.geo_groups(uid) for uid in top_users}
+        return mean_grouping_score(dataset, predicted)
+
+    score = benchmark(compute)
+    text = (
+        "Geo-Group Quality (30 most-followed users)\n"
+        + "-" * 64
+        + f"\n  purity              {score.purity:6.1%}"
+        + f"\n  pairwise precision  {score.pairwise_precision:6.1%}"
+        + f"\n  pairwise recall     {score.pairwise_recall:6.1%}"
+        + f"\n  pairwise F1         {score.pairwise_f1:6.1%}"
+        + f"\n  followers compared  {score.n_followers}"
+    )
+    save_artifact(artifact_dir, "geo_grouping", text)
+    assert score.purity > 0.6
+    assert score.pairwise_f1 > 0.4

@@ -1,0 +1,30 @@
+"""Fig. 3(a)-(c): the observation studies of Sec. 4.1 / 4.2.
+
+These are cheap measurements over the corpus (no model fits), so they
+get honest multi-round timings.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import figures, report
+
+
+def test_fig3a_following_probability_curve(benchmark, suite, artifact_dir):
+    """Bucket labeled pairs by distance and fit the power law."""
+    result = benchmark(figures.fig3a, suite.dataset)
+    assert result.law.alpha < 0
+    save_artifact(artifact_dir, "fig3a", report.render_fig3a(result))
+
+
+def test_fig3b_tweeting_probabilities(benchmark, suite, artifact_dir):
+    """Per-city venue multinomials of labeled users."""
+    result = benchmark(figures.fig3b, suite.dataset)
+    assert result.top_venues[0] and result.top_venues[1]
+    save_artifact(artifact_dir, "fig3b", report.render_fig3b(result))
+
+
+def test_fig3c_mixture_case_study(benchmark, suite, artifact_dir):
+    """Split a two-location user's relationships by region."""
+    result = benchmark(figures.fig3c, suite.dataset)
+    assert len(result.true_locations) == 2
+    save_artifact(artifact_dir, "fig3c", report.render_fig3c(result))

@@ -1,0 +1,41 @@
+"""Fig. 4: accumulative accuracy at distance (AAD) curves.
+
+Reuses the Table 2 method fits (shared suite); the measured unit is the
+curve computation over the pooled predictions.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import figures, report
+
+
+def test_fig4_aad_curves(benchmark, suite, artifact_dir):
+    home_results = suite.home_results  # shared with Table 2
+    result = benchmark(figures.fig4, suite.dataset, home_results)
+
+    save_artifact(
+        artifact_dir,
+        "fig4",
+        "\n\n".join(
+            [
+                report.render_fig4(result, methods=("BaseU", "MLP_U"))
+                + "\n(Fig 4a: user-based performance)",
+                report.render_fig4(result, methods=("BaseC", "MLP_C"))
+                + "\n(Fig 4b: content-based performance)",
+                report.render_fig4(
+                    result, methods=("BaseU", "BaseC", "MLP_U", "MLP_C", "MLP")
+                )
+                + "\n(Fig 4c: overall performance)",
+            ]
+        ),
+    )
+
+    # Curves are monotone and MLP dominates at the 100-mile point.
+    idx_100 = list(result.mile_grid).index(100.0)
+    for curve in result.curves.values():
+        assert list(curve) == sorted(curve)
+    mlp_at_100 = result.curves["MLP"][idx_100]
+    assert all(
+        mlp_at_100 >= result.curves[m][idx_100]
+        for m in ("BaseU", "BaseC", "MLP_U", "MLP_C")
+    )

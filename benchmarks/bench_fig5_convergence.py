@@ -1,0 +1,27 @@
+"""Fig. 5: Gibbs convergence (accuracy change per iteration).
+
+The paper observes convergence in ~14 sweeps on its 160K-user corpus
+and credits the candidacy-vector initialization.  The measured unit is
+one full MLP fit with a per-sweep accuracy probe.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import report
+
+
+def test_fig5_convergence_trace(benchmark, suite, artifact_dir):
+    result = benchmark.pedantic(lambda: suite.fig5, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "fig5", report.render_fig5(result))
+
+    accuracies = result.accuracies
+    assert len(accuracies) == suite.config.mlp.n_iterations
+    # Late-chain accuracy must comfortably exceed the first sweep's.
+    early = accuracies[0]
+    late = sum(accuracies[-5:]) / 5
+    assert late > early
+    # Accuracy changes must shrink: the paper's Fig. 5 shape.
+    changes = result.accuracy_changes
+    first_half = sum(changes[: len(changes) // 2])
+    second_half = sum(changes[len(changes) // 2 :])
+    assert second_half <= first_half * 1.5

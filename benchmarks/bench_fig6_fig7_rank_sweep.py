@@ -1,0 +1,38 @@
+"""Figs. 6-7: DP@K and DR@K at ranks 1..3.
+
+Reuses the Table 3 method runs; the measured unit is the rank sweep
+itself.  The paper's observation: baseline recall barely grows with K
+(they rediscover one region's neighbours), MLP's recall keeps growing.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import figures, report
+
+
+def test_fig6_dp_at_ranks(benchmark, suite, artifact_dir):
+    multi = suite.multi_results  # shared with Table 3
+    result = benchmark(figures.fig6, suite.dataset, multi)
+    save_artifact(artifact_dir, "fig6", report.render_rank_sweep(result))
+    # MLP beats baselines at every K (the paper's first observation).
+    for idx in range(len(result.ranks)):
+        assert result.values["MLP"][idx] >= result.values["BaseC"][idx] - 0.02
+
+
+def test_fig7_dr_at_ranks(benchmark, suite, artifact_dir):
+    multi = suite.multi_results
+    result = benchmark(figures.fig7, suite.dataset, multi)
+    save_artifact(artifact_dir, "fig7", report.render_rank_sweep(result))
+
+    # DR grows with K for every method...
+    for values in result.values.values():
+        assert list(values) == sorted(values)
+    # ...but MLP gains more from K=1 to K=3 than the baselines gain
+    # (the paper's second observation: baselines are not good at
+    # discovering *multiple* locations).
+    def gain(name):
+        return result.values[name][-1] - result.values[name][0]
+
+    assert gain("MLP") > 0
+    assert result.values["MLP"][-1] > result.values["BaseU"][-1]
+    assert result.values["MLP"][-1] > result.values["BaseC"][-1]

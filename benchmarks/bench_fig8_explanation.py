@@ -1,0 +1,31 @@
+"""Fig. 8: relationship explanation ACC@m, MLP vs home-location Base.
+
+Paper (Sec 5.3): MLP 57% @100 vs Base 40%, and MLP's ACC@50 is nearly
+its ACC@100.  Our Base is *stronger* than the paper's (it gets true
+homes for every user, not just registered ones), so the margin is
+narrower -- the required shape is MLP >= Base with the same
+flat-beyond-50-miles curve.
+
+Heavy bench: one full-dataset MLP fit with per-edge assignment
+tracking.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import report
+
+
+def test_fig8_explanation_accuracy(benchmark, suite, artifact_dir):
+    result = benchmark.pedantic(lambda: suite.fig8, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "fig8", report.render_fig8(result))
+
+    idx_100 = list(result.mile_grid).index(100.0)
+    mlp = result.curves["MLP"]
+    base = result.curves["Base"]
+    # MLP explains edges at least as well as the true-home baseline.
+    assert mlp[idx_100] >= base[idx_100]
+    # Both accuracies are substantial (most edges are explainable).
+    assert mlp[idx_100] > 0.5
+    # The paper's flatness observation: ACC@50 is close to ACC@100.
+    idx_50 = list(result.mile_grid).index(50.0)
+    assert mlp[idx_100] - mlp[idx_50] < 0.08

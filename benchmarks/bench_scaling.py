@@ -1,0 +1,72 @@
+"""Scaling study: sampler cost and accuracy versus corpus size.
+
+The paper argues complexity "scales with the number of observed
+relationships rather than the number of user pairs" (Sec. 4.4).  This
+bench fits MLP at three corpus sizes and checks that per-relationship
+sweep cost stays flat (linear total cost) while accuracy holds.
+"""
+
+import time
+
+import pytest
+
+from conftest import save_artifact
+
+from repro.core.gibbs import GibbsSampler
+from repro.core.params import MLPParams
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.evaluation.metrics import accuracy_at
+from repro.evaluation.splits import single_holdout_split
+
+SIZES = (200, 400, 800)
+
+
+def _sweep_cost_and_accuracy(n_users: int) -> tuple[float, float, int]:
+    """(seconds per relationship-sweep, ACC@100, n relationships)."""
+    world = generate_world(SyntheticWorldConfig(n_users=n_users, seed=29))
+    split = single_holdout_split(world, 0.2, seed=0)
+    params = MLPParams(
+        n_iterations=10, burn_in=4, seed=0, track_edge_assignments=False
+    )
+    sampler = GibbsSampler(split.train_dataset, params)
+    sampler.initialize()
+    start = time.time()
+    for _ in range(3):
+        sampler.sweep()
+    per_sweep = (time.time() - start) / 3.0
+    n_rel = world.n_following + world.n_tweeting
+    # Finish the schedule to read an accuracy.
+    for _ in range(params.n_iterations - 3):
+        sampler.sweep()
+        sampler.state.accumulate_theta_snapshot()
+    homes = sampler.current_home_estimates()
+    acc = accuracy_at(
+        world.gazetteer,
+        [int(homes[u]) for u in split.test_user_ids],
+        list(split.test_truth),
+    )
+    return per_sweep / n_rel, acc, n_rel
+
+
+def test_scaling_linear_in_relationships(benchmark, artifact_dir):
+    rows = benchmark.pedantic(
+        lambda: [_sweep_cost_and_accuracy(n) for n in SIZES],
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Scaling: sweep cost vs corpus size", "-" * 64]
+    lines.append(f"{'users':>7s}  {'relations':>10s}  {'us/rel/sweep':>13s}  {'ACC@100':>8s}")
+    for n_users, (cost, acc, n_rel) in zip(SIZES, rows):
+        lines.append(
+            f"{n_users:7d}  {n_rel:10d}  {cost * 1e6:13.1f}  {acc:8.1%}"
+        )
+    save_artifact(artifact_dir, "scaling", "\n".join(lines))
+
+    costs = [cost for cost, _acc, _n in rows]
+    # Per-relationship cost must not blow up with corpus size: the
+    # 4x-larger corpus may cost at most ~2.5x more per relationship
+    # (candidate sets grow slowly with density, not with N).
+    assert costs[-1] < costs[0] * 2.5
+    # Accuracy does not degrade with scale.
+    accs = [acc for _c, acc, _n in rows]
+    assert accs[-1] >= accs[0] - 0.05

@@ -1,0 +1,23 @@
+"""Table 4: multi-location discovery case studies.
+
+Reuses the Table 3 runs; measures case selection + rendering.  The
+paper's point: MLP lists both true regions, the baseline lists one
+region and its neighbours.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import report, tables
+
+
+def test_table4_case_studies(benchmark, suite, artifact_dir):
+    multi = suite.multi_results
+    result = benchmark(
+        tables.table4, suite.dataset, multi["MLP"], multi["BaseU"]
+    )
+    save_artifact(artifact_dir, "table4", report.render_table4(result))
+
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert len(row.true_locations) >= 2
+        assert len(row.mlp_locations) == 2

@@ -1,0 +1,20 @@
+"""Table 5: per-edge assignments of one two-location user's followers.
+
+Reuses the Fig. 8 fit; measures case extraction + rendering.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import report, tables
+
+
+def test_table5_explanation_case_study(benchmark, suite, artifact_dir):
+    mlp_result = suite.mlp_full_prediction.detail  # shared with Fig. 8
+    result = benchmark(tables.table5, suite.dataset, mlp_result)
+    save_artifact(artifact_dir, "table5", report.render_table5(result))
+
+    assert result.rows, "the profiled user must have explained followers"
+    # Geo-group application: assignments must name real cities.
+    for row in result.rows:
+        assert "," in row.assigned_user_location
+        assert "," in row.assigned_follower_location

@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+One :class:`ExperimentSuite` is shared across all benchmark modules, so
+the five method fits behind Table 2 / Fig. 4, the multi-location runs
+behind Table 3 / Figs. 6-7 and the explanation fit behind Fig. 8 /
+Table 5 are each computed exactly once per session.  The *first* bench
+touching an artifact pays its cost (and that is the number to read);
+benches that reuse shared results measure only their incremental work
+and say so in their docstrings.
+
+Every bench writes its rendered artifact to ``benchmarks/results/`` so
+a bench run leaves the full set of paper tables/figures on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentSuite
+from repro.core.params import MLPParams
+from repro.data.generator import SyntheticWorldConfig
+
+#: Scale of the benchmark campaign.  Large enough that method ordering
+#: is stable, small enough that the full harness runs in minutes.
+BENCH_USERS = 900
+BENCH_SEED = 11
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        world=SyntheticWorldConfig(n_users=BENCH_USERS, seed=BENCH_SEED),
+        mlp=MLPParams(
+            n_iterations=28, burn_in=11, seed=0, track_edge_assignments=False
+        ),
+        n_folds=1,
+        max_multi_cohort=200,
+    )
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite(bench_config())
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(artifact_dir: Path, name: str, text: str) -> None:
+    """Write a rendered table/figure and echo it to the log."""
+    (artifact_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

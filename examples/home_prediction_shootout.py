@@ -1,0 +1,44 @@
+"""Five-method home-location shootout (the Table 2 protocol).
+
+Runs BaseU, BaseC, MLP_U, MLP_C and MLP on one 80/20 label holdout and
+prints ACC@100 plus the AAD curve -- the paper's Sec. 5.1 evaluation at
+example scale.
+
+Run:  python examples/home_prediction_shootout.py [n_users]
+"""
+
+import sys
+
+from repro import MLPParams, SyntheticWorldConfig, generate_world
+from repro.evaluation.methods import standard_methods
+from repro.evaluation.splits import single_holdout_split
+from repro.evaluation.tasks import run_home_prediction
+from repro.experiments import figures, report, tables
+
+
+def main(n_users: int = 600) -> None:
+    dataset = generate_world(SyntheticWorldConfig(n_users=n_users, seed=11))
+    print(f"world: {dataset}\n")
+
+    params = MLPParams(
+        n_iterations=24, burn_in=10, seed=0, track_edge_assignments=False
+    )
+    split = single_holdout_split(dataset, 0.2, seed=0)
+    print(
+        f"holdout: {len(split.test_user_ids)} test users "
+        f"(labels hidden), {len(split.train_dataset.labeled_user_ids)} "
+        "labeled users remain as supervision\n"
+    )
+
+    results = run_home_prediction(
+        dataset, standard_methods(params), splits=[split]
+    )
+
+    print(report.render_table2(tables.table2(dataset, results)))
+    print()
+    fig = figures.fig4(dataset, results)
+    print(report.render_fig4(fig, methods=("BaseU", "BaseC", "MLP_U", "MLP_C", "MLP")))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 600)

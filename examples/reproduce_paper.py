@@ -1,0 +1,48 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+This drives the full :class:`~repro.experiments.ExperimentSuite` and
+prints the text rendering of Tables 2-5 and Figures 3-8.  Expect a few
+minutes of compute at the default scale.
+
+Run:  python examples/reproduce_paper.py [n_users]
+"""
+
+import sys
+import time
+
+from repro.data.stats import compute_stats
+from repro.experiments import report
+from repro.experiments.config import default_config
+from repro.experiments.runner import ExperimentSuite
+
+
+def main(n_users: int = 900) -> None:
+    start = time.time()
+    suite = ExperimentSuite(default_config(n_users=n_users, seed=11))
+    print(f"corpus: {suite.dataset}")
+    print(f"stats : {compute_stats(suite.dataset).as_dict()}\n")
+
+    sections = [
+        report.render_fig3a(suite.fig3a),
+        report.render_fig3b(suite.fig3b),
+        report.render_fig3c(suite.fig3c),
+        report.render_table2(suite.table2),
+        report.render_fig4(
+            suite.fig4, methods=("BaseU", "BaseC", "MLP_U", "MLP_C", "MLP")
+        ),
+        report.render_fig5(suite.fig5),
+        report.render_table3(suite.table3),
+        report.render_rank_sweep(suite.fig6),
+        report.render_rank_sweep(suite.fig7),
+        report.render_table4(suite.table4),
+        report.render_fig8(suite.fig8),
+        report.render_table5(suite.table5),
+    ]
+    for text in sections:
+        print(text)
+        print()
+    print(f"total wall time: {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 900)

@@ -1,0 +1,59 @@
+"""repro: Multiple Location Profiling (MLP) for social-network users.
+
+A full reproduction of Li, Wang & Chang, *Multiple Location Profiling
+for Users and Relationships from Social Network and Content*, PVLDB
+5(11), 2012 -- the MLP generative model, its collapsed Gibbs sampler,
+the baselines it is evaluated against, a synthetic Twitter-world
+substrate with exact ground truth, and a harness regenerating every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import MLPModel, MLPParams, SyntheticWorldConfig, generate_world
+
+    dataset = generate_world(SyntheticWorldConfig(n_users=500, seed=7))
+    result = MLPModel(MLPParams(seed=0)).fit(dataset)
+    profile = result.profile_of(42)
+    print(profile.describe(dataset.gazetteer))
+
+Package map::
+
+    repro.geo          gazetteer, coordinates, spatial index
+    repro.text         tokenizer, profile parsing, venue extraction
+    repro.data         containers, synthetic generator, persistence
+    repro.mathx        power laws, bucketing, sampling helpers
+    repro.core         the MLP model (params, priors, Gibbs, facade)
+    repro.baselines    BaseU, BaseC, home-explainer, naive references
+    repro.evaluation   metrics, splits, task runners
+    repro.experiments  per-table/figure drivers and text reports
+"""
+
+from repro.core.model import MLPModel, MLPResult, mlp_c_params, mlp_u_params
+from repro.core.params import MLPParams
+from repro.core.results import EdgeExplanation, LocationProfile
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
+from repro.geo.gazetteer import Gazetteer, Location
+from repro.geo.us_cities import builtin_gazetteer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "EdgeExplanation",
+    "FollowingEdge",
+    "Gazetteer",
+    "Location",
+    "LocationProfile",
+    "MLPModel",
+    "MLPParams",
+    "MLPResult",
+    "SyntheticWorldConfig",
+    "TweetingEdge",
+    "User",
+    "builtin_gazetteer",
+    "generate_world",
+    "mlp_c_params",
+    "mlp_u_params",
+    "__version__",
+]

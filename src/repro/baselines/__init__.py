@@ -1,0 +1,32 @@
+"""Baseline methods the paper compares against (Sec. 5 "Methods").
+
+- :mod:`repro.baselines.backstrom` -- **BaseU**: Backstrom, Sun &
+  Marlow (WWW'10) "Find me if you can": friend-distance maximum
+  likelihood with iterative propagation over the social graph.
+- :mod:`repro.baselines.cheng` -- **BaseC**: Cheng, Caverlee & Lee
+  (CIKM'10) "You are where you tweet": per-city word distributions over
+  automatically selected *local words*, with neighbourhood smoothing.
+- :mod:`repro.baselines.home_explainer` -- **Base** of Sec. 5.3: explain
+  every following relationship with the two users' home locations.
+- :mod:`repro.baselines.udi` -- **BaseUDI**: the authors' earlier
+  unified single-location network+content model (citation [11]),
+  isolating the multiple-locations contribution from the unification
+  contribution.
+- :mod:`repro.baselines.naive` -- population-prior and neighbour-vote
+  references (the collective-classification strawmen of Sec. 2).
+"""
+
+from repro.baselines.backstrom import BackstromBaseline
+from repro.baselines.cheng import ChengBaseline
+from repro.baselines.home_explainer import HomeLocationExplainer
+from repro.baselines.naive import MajorityNeighborBaseline, PopulationPriorBaseline
+from repro.baselines.udi import UnifiedInfluenceBaseline
+
+__all__ = [
+    "BackstromBaseline",
+    "ChengBaseline",
+    "HomeLocationExplainer",
+    "MajorityNeighborBaseline",
+    "PopulationPriorBaseline",
+    "UnifiedInfluenceBaseline",
+]

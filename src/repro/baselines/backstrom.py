@@ -1,0 +1,128 @@
+"""BaseU: Backstrom, Sun & Marlow (WWW 2010), "Find me if you can".
+
+The method the paper compares against for network-based prediction:
+
+1. learn the probability of a friendship as a function of distance from
+   labeled pairs (a power-law curve, exactly our Fig. 3(a) pipeline);
+2. place each unlabeled user at the candidate location maximizing the
+   log-likelihood of their located neighbours' distances,
+   ``argmax_l  sum_v log p(d(l, loc_v))``;
+3. iterate: newly placed users join the located pool and can locate
+   their own neighbours in the next round (the WWW'10 paper's iterative
+   refinement).
+
+Candidate locations are the locations of the user's located neighbours
+-- the same observation that underlies MLP's candidacy vectors, and how
+the original method keeps the argmax tractable.
+
+This baseline, like the original, assumes a *single* home location per
+user; its ranked output (used by the multi-location task's top-K
+evaluation) is simply the per-candidate likelihood ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import MLPParams
+from repro.data.model import Dataset
+from repro.evaluation.methods import MethodPrediction
+from repro.mathx.powerlaw import PowerLaw
+
+
+@dataclass(frozen=True, slots=True)
+class BackstromConfig:
+    """Knobs of the BaseU reproduction."""
+
+    #: Rounds of iterative propagation (1 = only direct neighbours).
+    n_rounds: int = 3
+    #: Power-law fitting fallback (alpha, beta) when labels are scarce.
+    fallback_alpha: float = -0.55
+    fallback_beta: float = 0.0045
+    min_distance_miles: float = 1.0
+    #: Cap on labeled users used for the curve fit.
+    fit_max_users: int = 2000
+    seed: int = 0
+
+
+class BackstromBaseline:
+    """BaseU -- friend-distance maximum likelihood (network only)."""
+
+    name = "BaseU"
+
+    def __init__(self, config: BackstromConfig | None = None):
+        self.config = config or BackstromConfig()
+
+    def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Locate every user; labeled users keep their registered home."""
+        cfg = self.config
+        law = self._fit_law(dataset)
+        dmat = dataset.gazetteer.distance_matrix
+
+        # located[u] = current best location, or -1.
+        located = np.full(dataset.n_users, -1, dtype=np.int64)
+        for uid, loc in dataset.observed_locations.items():
+            located[uid] = loc
+
+        ranked: list[list[int]] = [[] for _ in range(dataset.n_users)]
+        for uid, loc in dataset.observed_locations.items():
+            ranked[uid] = [loc]
+
+        for _round in range(cfg.n_rounds):
+            updates: dict[int, tuple[int, list[int]]] = {}
+            for uid in range(dataset.n_users):
+                if dataset.users[uid].is_labeled:
+                    continue
+                neighbour_locs = [
+                    int(located[nb])
+                    for nb in dataset.neighbors_of[uid]
+                    if located[nb] >= 0
+                ]
+                if not neighbour_locs:
+                    continue
+                candidates = sorted(set(neighbour_locs))
+                loc_array = np.array(neighbour_locs, dtype=np.int64)
+                scores = np.empty(len(candidates))
+                for c_idx, cand in enumerate(candidates):
+                    d = dmat[cand, loc_array]
+                    scores[c_idx] = float(np.sum(law.log_prob(d)))
+                order = np.lexsort((np.array(candidates), -scores))
+                ranking = [candidates[i] for i in order]
+                updates[uid] = (ranking[0], ranking)
+            if not updates:
+                break
+            for uid, (best, ranking) in updates.items():
+                located[uid] = best
+                ranked[uid] = ranking
+
+        # Users never reached by propagation: fall back to the global
+        # most common observed location (population prior of the data).
+        fallback = self._fallback_location(dataset)
+        for uid in range(dataset.n_users):
+            if not ranked[uid]:
+                ranked[uid] = [fallback]
+        return MethodPrediction(method_name=self.name, ranked_locations=ranked)
+
+    def _fit_law(self, dataset: Dataset) -> PowerLaw:
+        """Fit the friendship-vs-distance curve from labeled pairs."""
+        from repro.core.gibbs_em import fit_initial_power_law
+
+        params = MLPParams(
+            alpha=self.config.fallback_alpha,
+            beta=self.config.fallback_beta,
+            min_distance_miles=self.config.min_distance_miles,
+            seed=self.config.seed,
+        )
+        return fit_initial_power_law(
+            dataset, params, max_users=self.config.fit_max_users
+        )
+
+    @staticmethod
+    def _fallback_location(dataset: Dataset) -> int:
+        observed = list(dataset.observed_locations.values())
+        if observed:
+            counts = np.bincount(observed)
+            return int(np.argmax(counts))
+        return int(np.argmax(dataset.gazetteer.populations))

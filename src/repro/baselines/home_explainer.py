@@ -1,0 +1,47 @@
+"""Base of Sec. 5.3: explain every edge with the users' home locations.
+
+"For a following relationship, it directly assigns users' home
+locations as their location assignments in the relationship.  It is a
+strong baseline, as users are likely to follow others based on their
+home locations" -- but it cannot explain edges grounded in a user's
+*other* locations, which is exactly where MLP wins.
+
+The homes can come from any source: ground truth (the strongest
+variant, used in the Fig. 8 experiment), registered labels, or another
+method's predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.data.model import Dataset
+
+
+class HomeLocationExplainer:
+    """Assign ``(home(follower), home(friend))`` to every edge."""
+
+    name = "Base"
+
+    def __init__(self, homes: Mapping[int, int] | Sequence[int]):
+        """``homes`` maps user id -> home location id (dict or array)."""
+        self._homes = homes
+
+    def _home_of(self, user_id: int) -> int:
+        if isinstance(self._homes, Mapping):
+            return self._homes[user_id]
+        return int(self._homes[user_id])
+
+    def edge_assignments(self, dataset: Dataset) -> list[tuple[int, int]]:
+        """Assignments parallel to ``dataset.following``."""
+        return [
+            (self._home_of(e.follower), self._home_of(e.friend))
+            for e in dataset.following
+        ]
+
+    @classmethod
+    def from_ground_truth(cls, dataset: Dataset) -> "HomeLocationExplainer":
+        """The strongest variant: true homes for every user."""
+        if not dataset.has_ground_truth:
+            raise ValueError("ground-truth homes unavailable")
+        return cls([dataset.true_home_of(u) for u in range(dataset.n_users)])

@@ -1,0 +1,81 @@
+"""Naive references: population prior and neighbour majority vote.
+
+Sec. 2 argues that vanilla collective classification (neighbour
+voting) fails here because it ignores distances between location
+labels and assumes one label per node.  These two tiny baselines make
+that argument measurable: the benches show them trailing BaseU, which
+in turn trails MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.model import Dataset
+from repro.evaluation.methods import MethodPrediction
+
+
+class PopulationPriorBaseline:
+    """Predict the most frequently observed location for everyone."""
+
+    name = "PopPrior"
+
+    def predict(self, dataset: Dataset) -> MethodPrediction:
+        observed = list(dataset.observed_locations.values())
+        if observed:
+            counts = np.bincount(observed, minlength=len(dataset.gazetteer))
+        else:
+            counts = dataset.gazetteer.populations
+        order = np.lexsort((np.arange(len(counts)), -counts))
+        global_ranking = [int(c) for c in order if counts[c] > 0] or [
+            int(order[0])
+        ]
+        ranked = []
+        for uid in range(dataset.n_users):
+            own = dataset.observed_locations.get(uid)
+            ranked.append([own] if own is not None else list(global_ranking[:10]))
+        return MethodPrediction(method_name=self.name, ranked_locations=ranked)
+
+
+class MajorityNeighborBaseline:
+    """The voting-based relational classifier of Macskassy & Provost.
+
+    A user's location is the most common observed location among their
+    neighbours, ignoring distances entirely -- the Sec. 2 example of
+    what goes wrong (a friend in Los Angeles and one in Santa Monica
+    do not reinforce each other).
+    """
+
+    name = "NeighborVote"
+
+    def __init__(self, n_rounds: int = 3):
+        self.n_rounds = n_rounds
+
+    def predict(self, dataset: Dataset) -> MethodPrediction:
+        located: dict[int, int] = dict(dataset.observed_locations)
+        ranked: list[list[int]] = [[] for _ in range(dataset.n_users)]
+        for uid, loc in located.items():
+            ranked[uid] = [loc]
+        for _round in range(self.n_rounds):
+            updates: dict[int, list[int]] = {}
+            for uid in range(dataset.n_users):
+                if dataset.users[uid].is_labeled:
+                    continue
+                votes: dict[int, int] = {}
+                for nb in dataset.neighbors_of[uid]:
+                    loc = located.get(nb)
+                    if loc is not None:
+                        votes[loc] = votes.get(loc, 0) + 1
+                if votes:
+                    ordering = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
+                    updates[uid] = [loc for loc, _ in ordering]
+            if not updates:
+                break
+            for uid, ordering in updates.items():
+                located[uid] = ordering[0]
+                ranked[uid] = ordering
+        fallback = PopulationPriorBaseline().predict(dataset)
+        for uid in range(dataset.n_users):
+            if not ranked[uid]:
+                ranked[uid] = fallback.ranked_locations[uid]
+        return MethodPrediction(method_name=self.name, ranked_locations=ranked)

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate``  -- build a synthetic world and save it as JSON;
+- ``stats``     -- print corpus statistics of a saved dataset;
+- ``fit``       -- fit MLP on a saved dataset, print profile summaries;
+- ``evaluate``  -- run the five-method Table 2 protocol on a dataset;
+- ``reproduce`` -- regenerate every paper table/figure.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate a synthetic world")
+    p.add_argument("output", type=Path, help="output JSON path")
+    p.add_argument("--users", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--labeled-fraction", type=float, default=0.8)
+    p.add_argument("--mean-friends", type=float, default=10.0)
+    p.add_argument("--mean-venues", type=float, default=14.0)
+    p.add_argument(
+        "--render-tweets", action="store_true", help="emit raw tweet text"
+    )
+
+
+def _add_stats(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("stats", help="print dataset statistics")
+    p.add_argument("dataset", type=Path)
+
+
+def _add_fit(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("fit", help="fit MLP and print profiles")
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--burn-in", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--users", type=int, nargs="*", default=None,
+        help="user ids to print (default: first 5 multi-location users)",
+    )
+    p.add_argument("--top-k", type=int, default=3)
+
+
+def _add_evaluate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "evaluate", help="five-method home-prediction comparison (Table 2)"
+    )
+    p.add_argument("dataset", type=Path)
+    p.add_argument("--iterations", type=int, default=24)
+    p.add_argument("--burn-in", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--holdout", type=float, default=0.2)
+
+
+def _add_reproduce(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "reproduce", help="regenerate every paper table and figure"
+    )
+    p.add_argument("--users", type=int, default=900)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="also write each artifact to this directory",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiple Location Profiling (VLDB 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_stats(sub)
+    _add_fit(sub)
+    _add_evaluate(sub)
+    _add_reproduce(sub)
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.generator import SyntheticWorldConfig, generate_world
+    from repro.data.io import save_dataset
+
+    config = SyntheticWorldConfig(
+        n_users=args.users,
+        seed=args.seed,
+        labeled_fraction=args.labeled_fraction,
+        mean_friends=args.mean_friends,
+        mean_venues=args.mean_venues,
+        render_tweets=args.render_tweets,
+    )
+    dataset = generate_world(config)
+    save_dataset(dataset, args.output)
+    print(f"wrote {dataset} -> {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.data.io import load_dataset
+    from repro.data.stats import compute_stats
+
+    dataset = load_dataset(args.dataset)
+    print(json.dumps(compute_stats(dataset).as_dict(), indent=2))
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    from repro.core.model import MLPModel
+    from repro.core.params import MLPParams
+    from repro.data.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    params = MLPParams(
+        n_iterations=args.iterations, burn_in=args.burn_in, seed=args.seed
+    )
+    result = MLPModel(params).fit(dataset)
+    law = result.fitted_law
+    print(f"fitted law: alpha={law.alpha:.3f} beta={law.beta:.5f}")
+
+    if args.users is not None:
+        user_ids = args.users
+    else:
+        user_ids = list(dataset.multi_location_user_ids()[:5])
+    gaz = dataset.gazetteer
+    for uid in user_ids:
+        if not 0 <= uid < dataset.n_users:
+            print(f"user {uid}: not in dataset", file=sys.stderr)
+            continue
+        profile = result.profile_of(uid)
+        print(f"user {uid}: {profile.describe(gaz, k=args.top_k)}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.params import MLPParams
+    from repro.data.io import load_dataset
+    from repro.evaluation.methods import standard_methods
+    from repro.evaluation.splits import single_holdout_split
+    from repro.evaluation.tasks import run_home_prediction
+    from repro.experiments import report, tables
+
+    dataset = load_dataset(args.dataset)
+    params = MLPParams(
+        n_iterations=args.iterations,
+        burn_in=args.burn_in,
+        seed=args.seed,
+        track_edge_assignments=False,
+    )
+    split = single_holdout_split(dataset, args.holdout, seed=args.seed)
+    results = run_home_prediction(
+        dataset, standard_methods(params), splits=[split]
+    )
+    print(report.render_table2(tables.table2(dataset, results)))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import report
+    from repro.experiments.config import default_config
+    from repro.experiments.runner import ExperimentSuite
+
+    suite = ExperimentSuite(default_config(n_users=args.users, seed=args.seed))
+    artifacts = {
+        "fig3a": report.render_fig3a(suite.fig3a),
+        "fig3b": report.render_fig3b(suite.fig3b),
+        "fig3c": report.render_fig3c(suite.fig3c),
+        "table2": report.render_table2(suite.table2),
+        "fig4": report.render_fig4(suite.fig4),
+        "fig5": report.render_fig5(suite.fig5),
+        "table3": report.render_table3(suite.table3),
+        "fig6": report.render_rank_sweep(suite.fig6),
+        "fig7": report.render_rank_sweep(suite.fig7),
+        "table4": report.render_table4(suite.table4),
+        "fig8": report.render_fig8(suite.fig8),
+        "table5": report.render_table5(suite.table5),
+    }
+    for name, text in artifacts.items():
+        print(text)
+        print()
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "stats": cmd_stats,
+    "fit": cmd_fit,
+    "evaluate": cmd_evaluate,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

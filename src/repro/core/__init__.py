@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the MLP model and its inference.
+
+Module map (paper section in parentheses):
+
+- :mod:`repro.core.params` -- the model parameters Omega (Table 1).
+- :mod:`repro.core.priors` -- observation/candidacy vectors, boosting
+  matrix and per-user Dirichlet priors gamma_i (Sec. 4.3, Eq. 3).
+- :mod:`repro.core.following` -- location-based following model FL
+  (Eq. 1) and random model FR (Sec. 4.2).
+- :mod:`repro.core.tweeting` -- location-based tweeting model TL
+  (Eq. 2) and random model TR (Sec. 4.2).
+- :mod:`repro.core.state` -- collapsed sampler state (counts phi).
+- :mod:`repro.core.gibbs` -- the Gibbs sampler (Eq. 5-9, Sec. 4.5).
+- :mod:`repro.core.gibbs_em` -- the outer Gibbs-EM loop refining
+  (alpha, beta) (end of Sec. 4.5).
+- :mod:`repro.core.model` -- the :class:`MLPModel` facade plus the
+  MLP_U / MLP_C ablation variants used in the evaluation.
+- :mod:`repro.core.results` -- location profiles, edge explanations.
+"""
+
+from repro.core.model import MLPModel, MLPResult, mlp_c_params, mlp_u_params
+from repro.core.params import MLPParams
+from repro.core.priors import UserPriors, build_user_priors
+from repro.core.results import EdgeExplanation, LocationProfile
+from repro.core.convergence import ConvergenceTrace, IterationStats
+
+__all__ = [
+    "ConvergenceTrace",
+    "EdgeExplanation",
+    "IterationStats",
+    "LocationProfile",
+    "MLPModel",
+    "MLPParams",
+    "MLPResult",
+    "UserPriors",
+    "build_user_priors",
+    "mlp_c_params",
+    "mlp_u_params",
+]

@@ -1,0 +1,71 @@
+"""Following models: location-based FL (Eq. 1) and random FR.
+
+FL: ``P(f<i,j> | alpha, beta, x_i, y_j) = beta * d(x_i, y_j)**alpha``
+with the distance clamped at ``min_distance_miles`` (see DESIGN.md).
+
+FR: the empirical random model of Sec. 4.2,
+``p(f<i,j>=1 | FR) = S / N**2`` -- the global density of following
+relationships over ordered user pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import Dataset
+from repro.geo.gazetteer import Gazetteer
+from repro.mathx.powerlaw import PowerLaw
+
+
+@dataclass(frozen=True, slots=True)
+class LocationFollowingModel:
+    """FL -- the power-law following probability over location pairs.
+
+    Wraps a :class:`PowerLaw` together with the gazetteer distance
+    matrix, exposing the two query shapes the sampler needs: a single
+    location pair, and "one fixed endpoint vs an array of candidates".
+    """
+
+    law: PowerLaw
+    distance_matrix: np.ndarray
+
+    @classmethod
+    def from_gazetteer(
+        cls, gazetteer: Gazetteer, alpha: float, beta: float, min_distance: float
+    ) -> "LocationFollowingModel":
+        return cls(
+            law=PowerLaw(alpha=alpha, beta=beta, min_x=min_distance),
+            distance_matrix=gazetteer.distance_matrix,
+        )
+
+    def probability(self, x: int, y: int) -> float:
+        """``P(f | x, y)`` for one location pair (Eq. 1)."""
+        return float(self.law(self.distance_matrix[x, y]))
+
+    def kernel(self, x: int, y: int) -> float:
+        """``d(x, y)**alpha`` -- the beta-free factor of Eq. 7-8."""
+        return float(self.law.distance_kernel(self.distance_matrix[x, y]))
+
+    def kernel_against(self, candidates: np.ndarray, other: int) -> np.ndarray:
+        """``d(l, other)**alpha`` for every candidate ``l`` at once."""
+        return self.law.distance_kernel(self.distance_matrix[candidates, other])
+
+
+@dataclass(frozen=True, slots=True)
+class RandomFollowingModel:
+    """FR -- the empirical probability of a random following edge."""
+
+    edge_probability: float
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "RandomFollowingModel":
+        n = dataset.n_users
+        if n == 0:
+            raise ValueError("empty dataset")
+        return cls(edge_probability=dataset.n_following / float(n * n))
+
+    def probability(self) -> float:
+        """``p(f<i,j>=1 | FR)`` -- constant per dataset."""
+        return self.edge_probability

@@ -1,0 +1,396 @@
+"""The collapsed Gibbs sampler for MLP (Sec. 4.5, Eq. 5-9).
+
+theta and psi are integrated out; the sampler sweeps over the model
+selectors and location assignments of every relationship:
+
+- following edge ``s`` from ``i`` to ``j``: selector ``mu_s`` (Eq. 5)
+  and the assignment pair ``(x_s, y_s)`` (Eq. 7-8);
+- tweeting edge ``k`` from ``i`` to venue ``v``: selector ``nu_k``
+  (Eq. 6) and the assignment ``z_k`` (Eq. 9).
+
+**Blocked sampling.**  The paper's generative process draws location
+assignments *only* for location-based relationships (Sec. 4.4), yet
+Eq. 5 as printed conditions the selector on fixed current assignments,
+which under-weights the location branch (one sampled pair versus the
+whole assignment space) and systematically over-selects noise.  We
+therefore sample ``(mu, x, y)`` as a block, marginalizing the
+assignments out of the selector decision::
+
+    P(mu=1 | rest) ∝ rho_f * P(f | FR)
+    P(mu=0 | rest) ∝ (1-rho_f) * sum_{l1, l2}
+        prof_i(l1) * prof_j(l2) * beta * d(l1, l2)**alpha
+
+with ``prof_i(l) = (phi_il + gamma_il) / (phi_i + sum gamma_i)`` -- the
+collapsed profile of Eq. 7 -- and then, when the location branch wins,
+draws ``(x, y)`` from the same joint table.  Tweeting relationships get
+the analogous ``(nu, z)`` block using the collapsed TL term of Eq. 9.
+The sum runs over the candidate sets (Sec. 4.3), which keeps each block
+a small dense table.
+
+Consequences, faithful to the generative semantics:
+
+- noise-selected relationships carry **no** assignments (stored as -1)
+  and contribute nothing to the user-side counts ``phi_{i,l}``;
+- only nu=0 tweets count into the venue-side counts ``phi_{l,v}``;
+- the "-1" in the paper's equations (exclude the current relationship's
+  own contribution) is realized as decrement -> sample -> increment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace, IterationStats
+from repro.core.following import LocationFollowingModel, RandomFollowingModel
+from repro.core.params import MLPParams
+from repro.core.priors import UserPriors, build_user_priors
+from repro.core.state import GibbsState
+from repro.core.tweeting import CollapsedTweetingModel, RandomTweetingModel
+from repro.data.model import Dataset
+
+#: Sentinel for "no assignment" (noise-selected relationship).
+NO_ASSIGNMENT = -1
+
+
+def _draw_index(rng: np.random.Generator, weights: np.ndarray) -> int:
+    """Fast unchecked categorical draw used by the hot loop."""
+    cumulative = np.cumsum(weights)
+    total = cumulative[-1]
+    if total <= 0.0 or not np.isfinite(total):
+        # All-zero weights can only arise from a prior/counting bug;
+        # failing loudly beats sampling garbage.
+        raise RuntimeError("degenerate sampling weights in Gibbs sweep")
+    u = rng.random() * total
+    idx = int(np.searchsorted(cumulative, u, side="right"))
+    return min(idx, len(weights) - 1)
+
+
+class GibbsSampler:
+    """One fit's sampler: owns the state and performs sweeps.
+
+    Parameters
+    ----------
+    dataset:
+        The profiling problem.
+    params:
+        Hyper-parameters; ``use_following`` / ``use_tweeting`` implement
+        the MLP_U / MLP_C ablations by excluding a relationship type
+        from both the sweeps and the candidacy construction.
+    priors:
+        Optional precomputed :class:`UserPriors` (rebuilt otherwise).
+    alpha, beta:
+        Power-law parameters; default to ``params``.  The Gibbs-EM
+        driver passes refined values between rounds.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        params: MLPParams,
+        priors: UserPriors | None = None,
+        alpha: float | None = None,
+        beta: float | None = None,
+    ):
+        self.dataset = dataset
+        self.params = params
+        self.priors = (
+            priors if priors is not None else build_user_priors(dataset, params)
+        )
+        self.rng = np.random.default_rng(params.seed)
+
+        if alpha is None and beta is None and params.fit_alpha_beta:
+            # Self-calibrate: the built-in (alpha, beta) defaults are
+            # the paper's Twitter-scale values; edge *density* differs
+            # by orders of magnitude across datasets, so beta must be
+            # learned from this dataset's labeled pairs (Sec. 4.1).
+            from repro.core.calibration import fit_initial_power_law
+
+            law = fit_initial_power_law(dataset, params)
+            alpha, beta = law.alpha, law.beta
+        self.following_model = LocationFollowingModel.from_gazetteer(
+            dataset.gazetteer,
+            alpha=alpha if alpha is not None else params.alpha,
+            beta=beta if beta is not None else params.beta,
+            min_distance=params.min_distance_miles,
+        )
+        self.random_following = RandomFollowingModel.from_dataset(dataset)
+        self.random_tweeting = RandomTweetingModel.from_dataset(dataset)
+        self.tweeting_model = CollapsedTweetingModel(
+            n_locations=len(dataset.gazetteer),
+            n_venues=len(dataset.gazetteer.venue_vocabulary),
+            delta=params.delta,
+        )
+
+        # Edge arrays (empty when the ablation disables a type).
+        if params.use_following:
+            self._followers = np.array(
+                [e.follower for e in dataset.following], dtype=np.int64
+            )
+            self._friends = np.array(
+                [e.friend for e in dataset.following], dtype=np.int64
+            )
+        else:
+            self._followers = np.empty(0, dtype=np.int64)
+            self._friends = np.empty(0, dtype=np.int64)
+        if params.use_tweeting:
+            self._tw_users = np.array(
+                [t.user for t in dataset.tweeting], dtype=np.int64
+            )
+            self._tw_venues = np.array(
+                [t.venue_id for t in dataset.tweeting], dtype=np.int64
+            )
+        else:
+            self._tw_users = np.empty(0, dtype=np.int64)
+            self._tw_venues = np.empty(0, dtype=np.int64)
+
+        self.state = GibbsState(
+            n_users=dataset.n_users,
+            n_locations=len(dataset.gazetteer),
+            n_following=len(self._followers),
+            n_tweeting=len(self._tw_users),
+            track_edges=params.track_edge_assignments,
+        )
+        self._initialized = False
+
+    # -- setup -----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Draw initial selectors/assignments from priors; fill counts."""
+        rng = self.rng
+        state = self.state
+        priors = self.priors
+        counts = state.user_counts
+        params = self.params
+
+        for s in range(len(self._followers)):
+            i = int(self._followers[s])
+            j = int(self._friends[s])
+            if rng.random() < params.rho_f:
+                state.mu[s] = 1
+                state.x[s] = NO_ASSIGNMENT
+                state.y[s] = NO_ASSIGNMENT
+            else:
+                state.mu[s] = 0
+                xi = int(priors.candidates[i][_draw_index(rng, priors.gamma[i])])
+                yj = int(priors.candidates[j][_draw_index(rng, priors.gamma[j])])
+                state.x[s] = xi
+                state.y[s] = yj
+                counts.increment(i, xi)
+                counts.increment(j, yj)
+
+        for k in range(len(self._tw_users)):
+            i = int(self._tw_users[k])
+            v = int(self._tw_venues[k])
+            if rng.random() < params.rho_t:
+                state.nu[k] = 1
+                state.z[k] = NO_ASSIGNMENT
+            else:
+                state.nu[k] = 0
+                zk = int(priors.candidates[i][_draw_index(rng, priors.gamma[i])])
+                state.z[k] = zk
+                counts.increment(i, zk)
+                self.tweeting_model.increment(zk, v)
+        self._initialized = True
+
+    # -- one sweep --------------------------------------------------------
+
+    def sweep(self) -> float:
+        """One full Gibbs sweep; returns the fraction of changed values."""
+        if not self._initialized:
+            raise RuntimeError("call initialize() before sweep()")
+        changed = 0
+        total = 0
+        changed += self._sweep_following()
+        total += 3 * len(self._followers)
+        changed += self._sweep_tweeting()
+        total += 2 * len(self._tw_users)
+        return changed / total if total else 0.0
+
+    def _sweep_following(self) -> int:
+        params = self.params
+        rng = self.rng
+        state = self.state
+        priors = self.priors
+        law = self.following_model.law
+        dmat = self.following_model.distance_matrix
+        phi = state.user_counts.phi
+        totals = state.user_counts.totals
+        gamma_sum = priors.gamma_sum
+        candidates = priors.candidates
+        gammas = priors.gamma
+        p_noise = params.rho_f * self.random_following.probability()
+        one_minus_rho = 1.0 - params.rho_f
+        changed = 0
+
+        for s in range(len(self._followers)):
+            i = int(self._followers[s])
+            j = int(self._friends[s])
+            old_mu = int(state.mu[s])
+            old_x = int(state.x[s])
+            old_y = int(state.y[s])
+
+            # Exclude the current relationship's contribution ("-1").
+            if old_mu == 0:
+                phi[i, old_x] -= 1.0
+                totals[i] -= 1.0
+                phi[j, old_y] -= 1.0
+                totals[j] -= 1.0
+
+            cand_i = candidates[i]
+            cand_j = candidates[j]
+
+            # Joint table over candidate pairs: the Eq. 7 x Eq. 8 terms
+            # times the Eq. 1 kernel.
+            w_i = phi[i, cand_i] + gammas[i]
+            w_j = phi[j, cand_j] + gammas[j]
+            kernel = law(dmat[cand_i[:, None], cand_j[None, :]])
+            joint = w_i[:, None] * (w_j[None, :] * kernel)
+            joint_sum = float(joint.sum())
+
+            # Blocked selector (Eq. 5, assignments marginalized out).
+            denom = (totals[i] + gamma_sum[i]) * (totals[j] + gamma_sum[j])
+            p_location = one_minus_rho * joint_sum / denom
+
+            if rng.random() * (p_noise + p_location) < p_noise:
+                mu, new_x, new_y = 1, NO_ASSIGNMENT, NO_ASSIGNMENT
+            else:
+                mu = 0
+                flat = _draw_index(rng, joint.ravel())
+                xi_idx, yj_idx = divmod(flat, cand_j.size)
+                new_x = int(cand_i[xi_idx])
+                new_y = int(cand_j[yj_idx])
+                phi[i, new_x] += 1.0
+                totals[i] += 1.0
+                phi[j, new_y] += 1.0
+                totals[j] += 1.0
+
+            state.mu[s] = mu
+            state.x[s] = new_x
+            state.y[s] = new_y
+            changed += (mu != old_mu) + (new_x != old_x) + (new_y != old_y)
+        return changed
+
+    def _sweep_tweeting(self) -> int:
+        params = self.params
+        rng = self.rng
+        state = self.state
+        priors = self.priors
+        tl = self.tweeting_model
+        tr = self.random_tweeting
+        phi = state.user_counts.phi
+        totals = state.user_counts.totals
+        gamma_sum = priors.gamma_sum
+        candidates = priors.candidates
+        gammas = priors.gamma
+        rho_t = params.rho_t
+        one_minus_rho = 1.0 - rho_t
+        changed = 0
+
+        for k in range(len(self._tw_users)):
+            i = int(self._tw_users[k])
+            v = int(self._tw_venues[k])
+            old_nu = int(state.nu[k])
+            old_z = int(state.z[k])
+
+            if old_nu == 0:
+                phi[i, old_z] -= 1.0
+                totals[i] -= 1.0
+                tl.decrement(old_z, v)
+
+            cand_i = candidates[i]
+            # Eq. 9 weights: collapsed profile times collapsed TL.
+            weights = (phi[i, cand_i] + gammas[i]) * tl.probability_over(
+                cand_i, v
+            )
+            weight_sum = float(weights.sum())
+
+            # Blocked selector (Eq. 6, assignment marginalized out).
+            p_noise = rho_t * tr.probability(v)
+            p_location = (
+                one_minus_rho * weight_sum / (totals[i] + gamma_sum[i])
+            )
+
+            if rng.random() * (p_noise + p_location) < p_noise:
+                nu, new_z = 1, NO_ASSIGNMENT
+            else:
+                nu = 0
+                new_z = int(cand_i[_draw_index(rng, weights)])
+                phi[i, new_z] += 1.0
+                totals[i] += 1.0
+                tl.increment(new_z, v)
+
+            state.nu[k] = nu
+            state.z[k] = new_z
+            changed += (nu != old_nu) + (new_z != old_z)
+        return changed
+
+    # -- full runs -----------------------------------------------------------
+
+    def run(
+        self,
+        metric_callback: Callable[["GibbsSampler", int], float] | None = None,
+    ) -> ConvergenceTrace:
+        """Run the configured schedule; returns the convergence trace.
+
+        ``metric_callback(sampler, iteration)`` -- when given -- is
+        evaluated after every sweep (the Fig. 5 experiment passes a
+        home-prediction-accuracy probe).  The Gibbs-EM refits of
+        (alpha, beta) live in :func:`repro.core.gibbs_em.run_inference`;
+        this plain runner keeps the initial law throughout.
+        """
+        params = self.params
+        if not self._initialized:
+            self.initialize()
+        trace = ConvergenceTrace()
+        for it in range(params.n_iterations):
+            changed = self.sweep()
+            if it >= params.burn_in:
+                self.state.accumulate_theta_snapshot()
+                self.state.record_edge_snapshot()
+            metric = (
+                metric_callback(self, it) if metric_callback is not None else None
+            )
+            trace.append(
+                IterationStats(
+                    iteration=it,
+                    changed_fraction=changed,
+                    noise_following_fraction=(
+                        float(self.state.mu.mean()) if len(self.state.mu) else 0.0
+                    ),
+                    noise_tweeting_fraction=(
+                        float(self.state.nu.mean()) if len(self.state.nu) else 0.0
+                    ),
+                    metric=metric,
+                )
+            )
+        return trace
+
+    def set_following_law(self, law) -> None:
+        """Swap in refined (alpha, beta) between Gibbs-EM rounds."""
+        self.following_model = LocationFollowingModel(
+            law=law, distance_matrix=self.dataset.gazetteer.distance_matrix
+        )
+
+    # -- estimates -------------------------------------------------------------
+
+    def theta_for(self, user_id: int, counts_row: np.ndarray) -> np.ndarray:
+        """Eq. 10 over a counts row, restricted to the user's candidates."""
+        cand = self.priors.candidates[user_id]
+        gamma = self.priors.gamma[user_id]
+        weights = counts_row[cand] + gamma
+        return weights / weights.sum()
+
+    def current_home_estimates(self) -> np.ndarray:
+        """Provisional argmax-theta home per user from *current* counts.
+
+        Cheap enough to run every sweep; used by convergence probes.
+        """
+        phi = self.state.user_counts.phi
+        homes = np.empty(self.dataset.n_users, dtype=np.int64)
+        for uid in range(self.dataset.n_users):
+            cand = self.priors.candidates[uid]
+            weights = phi[uid, cand] + self.priors.gamma[uid]
+            homes[uid] = cand[int(np.argmax(weights))]
+        return homes

@@ -1,0 +1,97 @@
+"""Inference driver: burn-in, Gibbs-EM refits, accumulation.
+
+The outer Gibbs-EM loop of Sec. 4.5: the E-step is the Gibbs chain
+itself (:class:`~repro.core.gibbs.GibbsSampler`), the M-step refits
+(alpha, beta) from the sampled assignments
+(:func:`repro.core.calibration.refit_power_law`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import fit_initial_power_law, refit_power_law
+from repro.core.convergence import ConvergenceTrace, IterationStats
+from repro.core.gibbs import GibbsSampler
+from repro.core.params import MLPParams
+from repro.core.priors import UserPriors, build_user_priors
+from repro.data.model import Dataset
+from repro.mathx.powerlaw import PowerLaw
+
+
+@dataclass
+class InferenceRun:
+    """Everything a finished inference produced."""
+
+    sampler: GibbsSampler
+    trace: ConvergenceTrace
+    law_history: list[PowerLaw] = field(default_factory=list)
+
+    @property
+    def final_law(self) -> PowerLaw:
+        return self.law_history[-1]
+
+
+def run_inference(
+    dataset: Dataset,
+    params: MLPParams,
+    priors: UserPriors | None = None,
+    metric_callback=None,
+) -> InferenceRun:
+    """Full inference schedule: initial fit, burn-in, EM refits, sampling.
+
+    Sweep budget is exactly ``params.n_iterations``:
+    ``burn_in`` sweeps of pure burn-in, then ``em_rounds`` refits of
+    (alpha, beta) spread immediately after burn-in, then accumulation
+    sweeps that feed theta estimation and edge tallies.
+    """
+    priors = priors if priors is not None else build_user_priors(dataset, params)
+    if params.fit_alpha_beta and params.use_following:
+        law = fit_initial_power_law(dataset, params)
+    else:
+        law = PowerLaw(
+            alpha=params.alpha, beta=params.beta, min_x=params.min_distance_miles
+        )
+    laws = [law]
+    sampler = GibbsSampler(
+        dataset, params, priors=priors, alpha=law.alpha, beta=law.beta
+    )
+    sampler.initialize()
+    trace = ConvergenceTrace()
+    it = 0
+
+    def record(changed: float) -> None:
+        nonlocal it
+        metric = metric_callback(sampler, it) if metric_callback else None
+        trace.append(
+            IterationStats(
+                iteration=it,
+                changed_fraction=changed,
+                noise_following_fraction=(
+                    float(sampler.state.mu.mean()) if len(sampler.state.mu) else 0.0
+                ),
+                noise_tweeting_fraction=(
+                    float(sampler.state.nu.mean()) if len(sampler.state.nu) else 0.0
+                ),
+                metric=metric,
+            )
+        )
+        it += 1
+
+    for _ in range(params.burn_in):
+        record(sampler.sweep())
+
+    if params.fit_alpha_beta and params.use_following:
+        for _ in range(params.em_rounds):
+            law = refit_power_law(dataset, sampler, params)
+            laws.append(law)
+            sampler.set_following_law(law)
+
+    for _ in range(params.n_iterations - params.burn_in):
+        record(sampler.sweep())
+        sampler.state.accumulate_theta_snapshot()
+        sampler.state.record_edge_snapshot()
+
+    return InferenceRun(sampler=sampler, trace=trace, law_history=laws)

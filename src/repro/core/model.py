@@ -1,0 +1,219 @@
+"""The MLP facade: fit a dataset, get profiles and explanations.
+
+This is the public entry point of the core library::
+
+    from repro.core import MLPModel, MLPParams
+    result = MLPModel(MLPParams(seed=1)).fit(dataset)
+    result.profile_of(42).top_k(2)       # multiple location discovery
+    result.predicted_home(42)            # home location prediction
+    result.explanations[0]               # relationship explanation
+
+The evaluation's ablations (Sec. 5 "Methods") are parameter presets:
+:func:`mlp_u_params` (following network only) and :func:`mlp_c_params`
+(tweets only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace
+from repro.core.gibbs import GibbsSampler
+from repro.core.gibbs_em import InferenceRun, run_inference
+from repro.core.params import MLPParams
+from repro.core.priors import UserPriors, build_user_priors
+from repro.core.results import EdgeExplanation, LocationProfile, TweetExplanation
+from repro.data.model import Dataset
+from repro.mathx.powerlaw import PowerLaw
+
+
+@dataclass
+class MLPResult:
+    """Everything :meth:`MLPModel.fit` produces."""
+
+    dataset: Dataset
+    params: MLPParams
+    profiles: tuple[LocationProfile, ...]
+    explanations: tuple[EdgeExplanation, ...]
+    tweet_explanations: tuple[TweetExplanation, ...]
+    trace: ConvergenceTrace
+    law_history: tuple[PowerLaw, ...]
+
+    @property
+    def fitted_law(self) -> PowerLaw:
+        """The final (alpha, beta) power law used by the sampler."""
+        return self.law_history[-1]
+
+    def profile_of(self, user_id: int) -> LocationProfile:
+        return self.profiles[user_id]
+
+    def predicted_home(self, user_id: int) -> int:
+        """The user's predicted home: argmax of theta (Sec. 4.5)."""
+        home = self.profiles[user_id].home
+        if home is None:
+            raise ValueError(f"user {user_id} has an empty profile")
+        return home
+
+    def predicted_homes(self) -> np.ndarray:
+        """Predicted home per user id, as one array."""
+        return np.array(
+            [self.predicted_home(u) for u in range(len(self.profiles))],
+            dtype=np.int64,
+        )
+
+    def predicted_locations(self, user_id: int, k: int = 2) -> list[int]:
+        """Top-k location set L-hat_ui (multi-location discovery)."""
+        return self.profiles[user_id].top_k(k)
+
+    def explanation_of(self, edge_index: int) -> EdgeExplanation:
+        return self.explanations[edge_index]
+
+    def geo_groups(self, user_id: int, radius_miles: float = 100.0) -> dict[int, list[int]]:
+        """Group a user's followers by the *user-side* assignment of the
+        follow edge -- the "geo groups" application of Sec. 5.3.
+
+        Returns {location id -> follower ids}; a follower lands in the
+        group of the profiled user's own assignment (y for incoming
+        edges), with nearby assignment locations merged into the first
+        group seen within ``radius_miles``.
+        """
+        gaz = self.dataset.gazetteer
+        groups: dict[int, list[int]] = {}
+        for expl in self.explanations:
+            if expl.friend != user_id:
+                continue
+            assigned = expl.y
+            target = None
+            for existing in groups:
+                if gaz.distance(existing, assigned) <= radius_miles:
+                    target = existing
+                    break
+            if target is None:
+                target = assigned
+                groups[target] = []
+            groups[target].append(expl.follower)
+        return groups
+
+
+class MLPModel:
+    """Multiple Location Profiling model (the paper's contribution).
+
+    Stateless between fits: construct with params, call
+    :meth:`fit` on a dataset, receive an :class:`MLPResult`.
+    """
+
+    def __init__(self, params: MLPParams | None = None):
+        self.params = params or MLPParams()
+
+    def fit(
+        self,
+        dataset: Dataset,
+        metric_callback=None,
+    ) -> MLPResult:
+        """Run full inference on a dataset.
+
+        ``metric_callback(sampler, iteration) -> float`` is recorded in
+        the convergence trace each sweep (used by the Fig. 5 driver).
+        """
+        priors = build_user_priors(dataset, self.params)
+        run = run_inference(
+            dataset, self.params, priors=priors, metric_callback=metric_callback
+        )
+        profiles = self._build_profiles(run, priors)
+        explanations, tweet_explanations = self._build_explanations(run)
+        return MLPResult(
+            dataset=dataset,
+            params=self.params,
+            profiles=profiles,
+            explanations=explanations,
+            tweet_explanations=tweet_explanations,
+            trace=run.trace,
+            law_history=tuple(run.law_history),
+        )
+
+    def _build_profiles(
+        self, run: InferenceRun, priors: UserPriors
+    ) -> tuple[LocationProfile, ...]:
+        """Eq. 10 over averaged post-burn-in counts, per user."""
+        sampler = run.sampler
+        mean_counts = sampler.state.mean_theta_counts()
+        profiles = []
+        for uid in range(sampler.dataset.n_users):
+            cand = priors.candidates[uid]
+            weights = mean_counts[uid, cand] + priors.gamma[uid]
+            probs = weights / weights.sum()
+            order = np.lexsort((cand, -probs))
+            entries = tuple(
+                (int(cand[i]), float(probs[i])) for i in order
+            )
+            profiles.append(LocationProfile(user_id=uid, entries=entries))
+        return tuple(profiles)
+
+    def _build_explanations(
+        self, run: InferenceRun
+    ) -> tuple[tuple[EdgeExplanation, ...], tuple[TweetExplanation, ...]]:
+        sampler = run.sampler
+        tally = sampler.state.edge_tally
+        if tally is None or tally.n_samples == 0:
+            return (), ()
+        dataset = sampler.dataset
+        # Fallback for always-noise relationships: the involved users'
+        # current modal locations (the best available explanation when
+        # the sampler judged the edge random in every sample).
+        provisional_homes = sampler.current_home_estimates()
+        explanations = []
+        if self.params.use_following:
+            for s, edge in enumerate(dataset.following):
+                modal = tally.modal_following(s)
+                if modal is None:
+                    x, y, support = (
+                        int(provisional_homes[edge.follower]),
+                        int(provisional_homes[edge.friend]),
+                        0.0,
+                    )
+                else:
+                    x, y, support = modal
+                explanations.append(
+                    EdgeExplanation(
+                        edge_index=s,
+                        follower=edge.follower,
+                        friend=edge.friend,
+                        x=x,
+                        y=y,
+                        support=support,
+                        noise_probability=tally.noise_probability_following(s),
+                    )
+                )
+        tweet_explanations = []
+        if self.params.use_tweeting:
+            for k, tw in enumerate(dataset.tweeting):
+                modal_z = tally.modal_tweeting(k)
+                if modal_z is None:
+                    z, support = int(provisional_homes[tw.user]), 0.0
+                else:
+                    z, support = modal_z
+                tweet_explanations.append(
+                    TweetExplanation(
+                        edge_index=k,
+                        user=tw.user,
+                        venue_id=tw.venue_id,
+                        z=z,
+                        support=support,
+                        noise_probability=tally.noise_probability_tweeting(k),
+                    )
+                )
+        return tuple(explanations), tuple(tweet_explanations)
+
+
+def mlp_u_params(base: MLPParams | None = None) -> MLPParams:
+    """MLP_U: the model restricted to following relationships (Sec. 5)."""
+    base = base or MLPParams()
+    return base.with_overrides(use_following=True, use_tweeting=False)
+
+
+def mlp_c_params(base: MLPParams | None = None) -> MLPParams:
+    """MLP_C: the model restricted to tweeting relationships (Sec. 5)."""
+    base = base or MLPParams()
+    return base.with_overrides(use_following=False, use_tweeting=True)

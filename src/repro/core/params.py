@@ -1,0 +1,99 @@
+"""Model parameters Omega (Table 1 of the paper) plus inference knobs.
+
+The paper's given parameters are ``rho_f``, ``rho_t``, ``alpha``,
+``beta``, FR, TR, ``gamma_i`` and ``delta``; FR/TR are learned
+empirically from the data (Sec. 4.2) and ``gamma_i`` is derived per
+user (Eq. 3), so what remains configurable here is the scalar prior
+machinery and the sampler schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class MLPParams:
+    """Hyper-parameters and inference schedule for :class:`MLPModel`.
+
+    Attributes mirror the paper's notation where one exists:
+
+    - ``alpha``, ``beta``: the power-law following model (Sec. 4.1;
+      fitted to -0.55 / 0.0045 on Twitter).  When ``fit_alpha_beta`` is
+      true these are re-learned from the labeled users before sampling
+      and refined by Gibbs-EM rounds.
+    - ``rho_f``, ``rho_t``: Bernoulli priors of selecting the random
+      (noise) model for a following / tweeting relationship.
+    - ``tau``: prior value of each candidate location (0.1 in the
+      paper: "values of hyper parameter below 1 prefer sparse
+      distributions").
+    - ``boost``: the diagonal of the boosting matrix Lambda times the
+      base prior -- the pseudo-count added to a labeled user's observed
+      home location.
+    - ``delta``: symmetric Dirichlet prior of each per-location venue
+      multinomial psi_l.
+    """
+
+    alpha: float = -0.55
+    beta: float = 0.0045
+    min_distance_miles: float = 1.0
+    rho_f: float = 0.15
+    rho_t: float = 0.20
+    tau: float = 0.1
+    boost: float = 50.0
+    delta: float = 0.05
+    #: Sampler schedule.  The paper's corpus converges in ~14 sweeps
+    #: (Fig. 5); the smaller synthetic worlds need longer chains for
+    #: the same mixing, so the default is more conservative.
+    n_iterations: int = 40
+    burn_in: int = 15
+    seed: int = 0
+    #: Re-learn (alpha, beta) from labeled users before sampling, and
+    #: refine with this many Gibbs-EM outer rounds (0 = fixed values).
+    fit_alpha_beta: bool = True
+    em_rounds: int = 1
+    #: Number of user pairs sampled to estimate the non-edge denominator
+    #: in the (alpha, beta) fit (the paper uses all ~2.5e10 pairs; a
+    #: uniform sample is unbiased and tractable).
+    em_pair_sample: int = 200_000
+    #: Ablation switches: MLP_U uses only following relationships,
+    #: MLP_C only tweeting relationships (Sec. 5 "Methods").
+    use_following: bool = True
+    use_tweeting: bool = True
+    #: Candidacy vectors (Sec. 4.3).  False gives every user the full
+    #: gazetteer as candidates -- the ablation quantifying the paper's
+    #: "candidacy vectors greatly improve the efficiency" claim.
+    use_candidacy: bool = True
+    #: Keep per-edge assignment tallies after burn-in (needed for the
+    #: relationship-explanation task; costs memory on huge datasets).
+    track_edge_assignments: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha >= 0:
+            raise ValueError("alpha must be negative (distance decay)")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.min_distance_miles <= 0:
+            raise ValueError("min_distance_miles must be positive")
+        if not 0.0 <= self.rho_f < 1.0:
+            raise ValueError("rho_f must be in [0, 1)")
+        if not 0.0 <= self.rho_t < 1.0:
+            raise ValueError("rho_t must be in [0, 1)")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.boost < 0:
+            raise ValueError("boost must be non-negative")
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        if not 0 <= self.burn_in < self.n_iterations:
+            raise ValueError("burn_in must be in [0, n_iterations)")
+        if self.em_rounds < 0:
+            raise ValueError("em_rounds must be >= 0")
+        if not (self.use_following or self.use_tweeting):
+            raise ValueError("at least one relationship type must be used")
+
+    def with_overrides(self, **kwargs) -> "MLPParams":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **kwargs)

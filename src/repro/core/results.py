@@ -1,0 +1,100 @@
+"""Result types: location profiles and relationship explanations.
+
+These are the model's two outputs (Sec. 3's problem statement): a set
+of locations per user (with probabilities, so the home is the argmax
+and the profile is the top-K) and, per following relationship, the
+location assignments that explain it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.gazetteer import Gazetteer
+
+
+@dataclass(frozen=True, slots=True)
+class LocationProfile:
+    """A user's estimated location distribution theta_i, sparsely.
+
+    ``entries`` holds ``(location_id, probability)`` sorted by
+    descending probability (ties broken by location id, so results are
+    deterministic).  Only candidate locations appear; everything else
+    has probability zero.
+    """
+
+    user_id: int
+    entries: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        probs = [p for _, p in self.entries]
+        if any(p < 0 for p in probs):
+            raise ValueError("profile probabilities must be non-negative")
+        if probs and abs(sum(probs) - 1.0) > 1e-6:
+            raise ValueError(f"profile must sum to 1, got {sum(probs)!r}")
+
+    @property
+    def home(self) -> int | None:
+        """Predicted home location: the most probable location."""
+        return self.entries[0][0] if self.entries else None
+
+    def top_k(self, k: int) -> list[int]:
+        """The ``k`` most probable locations (the paper's L-hat_ui)."""
+        return [loc for loc, _ in self.entries[:k]]
+
+    def above_threshold(self, threshold: float) -> list[int]:
+        """Locations with probability above ``threshold``."""
+        return [loc for loc, p in self.entries if p > threshold]
+
+    def probability_of(self, location_id: int) -> float:
+        """Probability mass of a specific location (0 if absent)."""
+        for loc, p in self.entries:
+            if loc == location_id:
+                return p
+        return 0.0
+
+    def describe(self, gazetteer: Gazetteer, k: int = 3) -> str:
+        """Human-readable top-k summary like "Los Angeles, CA (0.62); ..."."""
+        parts = [
+            f"{gazetteer.by_id(loc).name} ({p:.2f})"
+            for loc, p in self.entries[:k]
+        ]
+        return "; ".join(parts) if parts else "(empty profile)"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeExplanation:
+    """Explanation of one following relationship f<i,j>.
+
+    ``x`` / ``y`` are the modal sampled location assignments of the
+    follower and the friend; ``support`` is the fraction of post-burn-in
+    samples agreeing with the mode; ``noise_probability`` is the
+    posterior fraction of samples that selected the random model FR.
+    """
+
+    edge_index: int
+    follower: int
+    friend: int
+    x: int
+    y: int
+    support: float
+    noise_probability: float
+
+    def describe(self, gazetteer: Gazetteer) -> str:
+        return (
+            f"u{self.follower} -> u{self.friend}: "
+            f"{gazetteer.by_id(self.x).name} ; {gazetteer.by_id(self.y).name}"
+            f" (support {self.support:.2f}, noise {self.noise_probability:.2f})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TweetExplanation:
+    """Explanation of one tweeting relationship t<i,j>."""
+
+    edge_index: int
+    user: int
+    venue_id: int
+    z: int
+    support: float
+    noise_probability: float

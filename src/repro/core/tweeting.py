@@ -1,0 +1,101 @@
+"""Tweeting models: location-based TL (Eq. 2, collapsed) and random TR.
+
+TL is a per-location multinomial ``psi_l`` over venue names with a
+symmetric Dirichlet(delta) prior.  In the collapsed Gibbs sampler
+``psi`` is integrated out, so TL lives as count matrices
+``phi_{l,v}`` updated incrementally; this module owns those counts and
+the smoothed probability reads of Eq. 6/9.
+
+TR is the empirical random tweeting model of Sec. 4.2:
+``p(t<i,j> | TR) = (# mentions of v_j) / K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import Dataset
+
+
+class CollapsedTweetingModel:
+    """TL with psi integrated out: venue-per-location count matrix.
+
+    ``phi[l, v]`` counts location-based (nu=0) tweeting relationships
+    currently assigned ``z = l`` with venue ``v``; ``totals[l]`` is the
+    row sum.  Reads apply Dirichlet smoothing with the symmetric prior
+    ``delta``.
+    """
+
+    def __init__(self, n_locations: int, n_venues: int, delta: float):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self._phi = np.zeros((n_locations, n_venues), dtype=np.float64)
+        self._totals = np.zeros(n_locations, dtype=np.float64)
+        self._delta = delta
+        self._delta_sum = delta * n_venues
+        self._n_venues = n_venues
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    def increment(self, location: int, venue: int) -> None:
+        self._phi[location, venue] += 1.0
+        self._totals[location] += 1.0
+
+    def decrement(self, location: int, venue: int) -> None:
+        self._phi[location, venue] -= 1.0
+        self._totals[location] -= 1.0
+        if self._phi[location, venue] < -1e-9 or self._totals[location] < -1e-9:
+            raise RuntimeError(
+                "tweeting count went negative -- increment/decrement mismatch"
+            )
+
+    def probability(self, location: int, venue: int) -> float:
+        """Smoothed ``P(v | psi_l)`` -- the TL factor of Eq. 6."""
+        return (self._phi[location, venue] + self._delta) / (
+            self._totals[location] + self._delta_sum
+        )
+
+    def probability_over(self, candidates: np.ndarray, venue: int) -> np.ndarray:
+        """``P(v | psi_l)`` for an array of candidate locations (Eq. 9)."""
+        return (self._phi[candidates, venue] + self._delta) / (
+            self._totals[candidates] + self._delta_sum
+        )
+
+    def venue_distribution(self, location: int) -> np.ndarray:
+        """The full smoothed multinomial psi_l (used in reports/Fig 3b)."""
+        return (self._phi[location] + self._delta) / (
+            self._totals[location] + self._delta_sum
+        )
+
+    def counts_copy(self) -> np.ndarray:
+        """Snapshot of the raw count matrix (tests, diagnostics)."""
+        return self._phi.copy()
+
+
+@dataclass(frozen=True, slots=True)
+class RandomTweetingModel:
+    """TR -- global venue popularity, learned empirically (Sec. 4.2)."""
+
+    venue_probabilities: np.ndarray
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "RandomTweetingModel":
+        counts = dataset.venue_mention_counts
+        total = counts.sum()
+        if total == 0:
+            # No tweets at all: fall back to uniform so probability()
+            # stays well-defined (the tweeting side is then inert).
+            probs = np.full_like(counts, 1.0 / max(1, counts.size))
+        else:
+            # Laplace-smooth so unseen venues keep nonzero random-model
+            # mass (a zero here would make nu=1 impossible for them).
+            probs = (counts + 1.0) / (total + counts.size)
+        return cls(venue_probabilities=probs)
+
+    def probability(self, venue: int) -> float:
+        """``p(t<i,j> | TR)`` for venue ``v_j``."""
+        return float(self.venue_probabilities[venue])

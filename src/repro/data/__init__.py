@@ -1,0 +1,33 @@
+"""Data substrate: containers, synthetic world generation, persistence.
+
+The paper's evaluation data is a 2011 Twitter crawl we cannot obtain;
+:mod:`repro.data.generator` builds a synthetic equivalent whose
+generative process matches the paper's model family and measured
+statistics (see DESIGN.md section 2), with exact ground truth for all
+three evaluation tasks.
+"""
+
+from repro.data.model import (
+    Dataset,
+    FollowingEdge,
+    Tweet,
+    TweetingEdge,
+    User,
+)
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.data.io import load_dataset, save_dataset
+from repro.data.stats import DatasetStats, compute_stats
+
+__all__ = [
+    "Dataset",
+    "DatasetStats",
+    "FollowingEdge",
+    "SyntheticWorldConfig",
+    "Tweet",
+    "TweetingEdge",
+    "User",
+    "compute_stats",
+    "generate_world",
+    "load_dataset",
+    "save_dataset",
+]

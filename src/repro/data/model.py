@@ -1,0 +1,303 @@
+"""Core data containers: users, relationships, datasets.
+
+Terminology follows Sec. 3 of the paper exactly:
+
+- a **following relationship** ``f<i,j>`` goes from follower ``u_i`` to
+  friend ``u_j``;
+- a **tweeting relationship** ``t<i,j>`` goes from user ``u_i`` to venue
+  ``v_j`` (one relationship per mention, so a user tweeting "austin"
+  five times produces five relationships);
+- **labeled users** ``U*`` have an observed city-level home location,
+  the rest are **unlabeled** ``U^N``.
+
+Ground-truth fields (``true_*``) are populated by the synthetic
+generator and are ``None`` on real/imported data; evaluation code reads
+them only through :class:`Dataset` accessors that check availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.gazetteer import Gazetteer
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """One Twitter user.
+
+    ``registered_location`` is the observed home location id when the
+    user is labeled (``None`` otherwise).  The ``true_*`` fields are
+    generator ground truth: the home location, the full multi-location
+    set (home first), and the latent profile weights over that set.
+    """
+
+    user_id: int
+    registered_location: int | None = None
+    true_home: int | None = None
+    true_locations: tuple[int, ...] = ()
+    true_profile_weights: tuple[float, ...] = ()
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.registered_location is not None
+
+    @property
+    def has_ground_truth(self) -> bool:
+        return self.true_home is not None
+
+    @property
+    def is_multi_location(self) -> bool:
+        """True when ground truth says the user has 2+ locations."""
+        return len(self.true_locations) > 1
+
+
+@dataclass(frozen=True, slots=True)
+class FollowingEdge:
+    """A following relationship ``f<i,j>`` from follower to friend.
+
+    ``true_x`` / ``true_y`` are the generator's latent location
+    assignments for follower and friend; ``is_noise`` marks edges drawn
+    from the random model FR (for which assignments are undefined).
+    """
+
+    follower: int
+    friend: int
+    true_x: int | None = None
+    true_y: int | None = None
+    is_noise: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.follower == self.friend:
+            raise ValueError("self-follow edges are not allowed")
+
+
+@dataclass(frozen=True, slots=True)
+class TweetingEdge:
+    """A tweeting relationship ``t<i,j>`` from a user to a venue id.
+
+    ``true_z`` is the latent location assignment that generated the
+    mention; ``is_noise`` marks mentions drawn from the random model TR.
+    """
+
+    user: int
+    venue_id: int
+    true_z: int | None = None
+    is_noise: bool | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Tweet:
+    """Raw tweet text, used by the text-extraction integration path."""
+
+    user: int
+    text: str
+
+
+class Dataset:
+    """A complete profiling problem instance.
+
+    Owns the gazetteer (candidate locations ``L`` + venues ``V``), the
+    users ``U`` and both relationship multisets ``f_1:S`` and ``t_1:K``.
+    All derived structures (adjacency, labeled ids, observed-location
+    lookup) are cached lazily; the dataset itself is treated as
+    immutable -- "modification" methods return new instances.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer,
+        users: Sequence[User],
+        following: Sequence[FollowingEdge],
+        tweeting: Sequence[TweetingEdge],
+        tweets: Sequence[Tweet] = (),
+    ):
+        ids = [u.user_id for u in users]
+        if sorted(ids) != list(range(len(users))):
+            raise ValueError("user ids must be a dense 0..n-1 range")
+        n = len(users)
+        n_loc = len(gazetteer)
+        for e in following:
+            if not (0 <= e.follower < n and 0 <= e.friend < n):
+                raise ValueError(f"edge references unknown user: {e}")
+        n_venues = len(gazetteer.venue_vocabulary)
+        for t in tweeting:
+            if not 0 <= t.user < n:
+                raise ValueError(f"tweeting edge references unknown user: {t}")
+            if not 0 <= t.venue_id < n_venues:
+                raise ValueError(f"tweeting edge references unknown venue: {t}")
+        for u in users:
+            for loc in (u.registered_location, u.true_home):
+                if loc is not None and not 0 <= loc < n_loc:
+                    raise ValueError(
+                        f"user {u.user_id} references unknown location {loc}"
+                    )
+        self.gazetteer = gazetteer
+        self.users: tuple[User, ...] = tuple(
+            sorted(users, key=lambda u: u.user_id)
+        )
+        self.following: tuple[FollowingEdge, ...] = tuple(following)
+        self.tweeting: tuple[TweetingEdge, ...] = tuple(tweeting)
+        self.tweets: tuple[Tweet, ...] = tuple(tweets)
+
+    # -- sizes ---------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_following(self) -> int:
+        """``S`` -- total number of following relationships."""
+        return len(self.following)
+
+    @property
+    def n_tweeting(self) -> int:
+        """``K`` -- total number of tweeting relationships."""
+        return len(self.tweeting)
+
+    # -- label structure -------------------------------------------------
+
+    @cached_property
+    def labeled_user_ids(self) -> tuple[int, ...]:
+        """``U*``: ids of users with an observed home location."""
+        return tuple(u.user_id for u in self.users if u.is_labeled)
+
+    @cached_property
+    def unlabeled_user_ids(self) -> tuple[int, ...]:
+        """``U^N``: ids of users without an observed home location."""
+        return tuple(u.user_id for u in self.users if not u.is_labeled)
+
+    @cached_property
+    def observed_locations(self) -> dict[int, int]:
+        """user id -> observed home location id, labeled users only."""
+        return {
+            u.user_id: u.registered_location
+            for u in self.users
+            if u.registered_location is not None
+        }
+
+    # -- adjacency ---------------------------------------------------------
+
+    @cached_property
+    def friends_of(self) -> tuple[tuple[int, ...], ...]:
+        """``friends_of[i]``: users that ``i`` follows."""
+        out: list[list[int]] = [[] for _ in range(self.n_users)]
+        for e in self.following:
+            out[e.follower].append(e.friend)
+        return tuple(tuple(f) for f in out)
+
+    @cached_property
+    def followers_of(self) -> tuple[tuple[int, ...], ...]:
+        """``followers_of[j]``: users that follow ``j``."""
+        out: list[list[int]] = [[] for _ in range(self.n_users)]
+        for e in self.following:
+            out[e.friend].append(e.follower)
+        return tuple(tuple(f) for f in out)
+
+    @cached_property
+    def neighbors_of(self) -> tuple[tuple[int, ...], ...]:
+        """Undirected neighbourhood: friends plus followers, deduplicated."""
+        return tuple(
+            tuple(sorted(set(self.friends_of[i]) | set(self.followers_of[i])))
+            for i in range(self.n_users)
+        )
+
+    @cached_property
+    def venues_of(self) -> tuple[tuple[int, ...], ...]:
+        """``venues_of[i]``: venue ids user ``i`` tweeted (with repeats)."""
+        out: list[list[int]] = [[] for _ in range(self.n_users)]
+        for t in self.tweeting:
+            out[t.user].append(t.venue_id)
+        return tuple(tuple(v) for v in out)
+
+    @cached_property
+    def venue_mention_counts(self) -> np.ndarray:
+        """Global mention count per venue id (the TR empirical model)."""
+        counts = np.zeros(len(self.gazetteer.venue_vocabulary), dtype=np.float64)
+        for t in self.tweeting:
+            counts[t.venue_id] += 1.0
+        return counts
+
+    # -- ground truth accessors -------------------------------------------
+
+    @property
+    def has_ground_truth(self) -> bool:
+        """True when every user carries generator ground truth."""
+        return all(u.has_ground_truth for u in self.users)
+
+    def true_home_of(self, user_id: int) -> int:
+        home = self.users[user_id].true_home
+        if home is None:
+            raise ValueError(f"user {user_id} has no ground-truth home")
+        return home
+
+    def multi_location_user_ids(self) -> tuple[int, ...]:
+        """Users whose ground truth has 2+ locations (Sec. 5.2 cohort)."""
+        return tuple(
+            u.user_id for u in self.users if u.has_ground_truth and u.is_multi_location
+        )
+
+    # -- label manipulation (returns new datasets) ---------------------------
+
+    def with_labels_hidden(self, user_ids: Iterable[int]) -> "Dataset":
+        """A copy with the given users' registered locations removed.
+
+        This is how cross-validation folds are realized: ground truth
+        stays intact, only the *observed* label disappears.
+        """
+        hide = set(user_ids)
+        users = [
+            replace(u, registered_location=None) if u.user_id in hide else u
+            for u in self.users
+        ]
+        return Dataset(
+            self.gazetteer, users, self.following, self.tweeting, self.tweets
+        )
+
+    def with_labels_from_truth(self, user_ids: Iterable[int]) -> "Dataset":
+        """A copy where the given users are labeled with their true home."""
+        show = set(user_ids)
+        users = [
+            replace(u, registered_location=u.true_home)
+            if u.user_id in show and u.true_home is not None
+            else u
+            for u in self.users
+        ]
+        return Dataset(
+            self.gazetteer, users, self.following, self.tweeting, self.tweets
+        )
+
+    def subset_users(self, user_ids: Iterable[int]) -> "Dataset":
+        """Induced sub-dataset over a user subset (ids re-densified)."""
+        chosen = sorted(set(user_ids))
+        remap = {old: new for new, old in enumerate(chosen)}
+        users = [
+            replace(self.users[old], user_id=new)
+            for old, new in ((old, remap[old]) for old in chosen)
+        ]
+        following = [
+            replace(e, follower=remap[e.follower], friend=remap[e.friend])
+            for e in self.following
+            if e.follower in remap and e.friend in remap
+        ]
+        tweeting = [
+            replace(t, user=remap[t.user])
+            for t in self.tweeting
+            if t.user in remap
+        ]
+        tweets = [
+            replace(t, user=remap[t.user]) for t in self.tweets if t.user in remap
+        ]
+        return Dataset(self.gazetteer, users, following, tweeting, tweets)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(users={self.n_users}, following={self.n_following}, "
+            f"tweeting={self.n_tweeting}, labeled={len(self.labeled_user_ids)}, "
+            f"locations={len(self.gazetteer)})"
+        )

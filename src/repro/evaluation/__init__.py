@@ -1,0 +1,51 @@
+"""Evaluation harness: metrics, splits, method adapters, task runners.
+
+Implements the paper's three tasks (Sec. 5):
+
+1. **home location prediction** -- ACC@m and accumulative-accuracy-at-
+   distance curves (Table 2, Fig. 4);
+2. **multiple location discovery** -- distance-based precision/recall
+   DP@K / DR@K over multi-location users (Table 3, Fig. 6-7);
+3. **relationship explanation** -- per-edge assignment accuracy at
+   distance thresholds (Fig. 8, Table 5).
+"""
+
+from repro.evaluation.metrics import (
+    aad_curve,
+    accuracy_at,
+    dp_at_k,
+    dr_at_k,
+    explanation_accuracy,
+)
+from repro.evaluation.methods import (
+    LocationMethod,
+    MethodPrediction,
+    MLPMethod,
+)
+from repro.evaluation.splits import k_fold_label_splits
+from repro.evaluation.tasks import (
+    ExplanationTaskResult,
+    HomePredictionResult,
+    MultiLocationResult,
+    run_explanation_task,
+    run_home_prediction,
+    run_multi_location_discovery,
+)
+
+__all__ = [
+    "ExplanationTaskResult",
+    "HomePredictionResult",
+    "LocationMethod",
+    "MLPMethod",
+    "MethodPrediction",
+    "MultiLocationResult",
+    "aad_curve",
+    "accuracy_at",
+    "dp_at_k",
+    "dr_at_k",
+    "explanation_accuracy",
+    "k_fold_label_splits",
+    "run_explanation_task",
+    "run_home_prediction",
+    "run_multi_location_discovery",
+]

@@ -1,0 +1,146 @@
+"""Quality metrics for geo-grouping followers (Sec. 5.3 application).
+
+The paper motivates relationship explanation with the ability to group
+a user's followers into geo groups ("Carol is in Lucy's Austin
+group").  On generator worlds the true grouping is known: each
+location-based incoming edge carries the profiled user's true
+assignment ``y``.  This module scores a predicted grouping against it
+with purity and pairwise F1 (the standard clustering-agreement pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.data.model import Dataset
+from repro.geo.gazetteer import Gazetteer
+
+
+def true_geo_groups(
+    dataset: Dataset, user_id: int, radius_miles: float = 100.0
+) -> dict[int, list[int]]:
+    """Ground-truth follower grouping by the true edge assignment.
+
+    Followers whose edge is noise (no assignment) are omitted -- the
+    paper's labeling did the same ("we only kept the following
+    relationships in which users' location assignments could be clearly
+    identified").  Assignment locations within ``radius_miles`` of an
+    existing group merge into it.
+    """
+    gaz = dataset.gazetteer
+    groups: dict[int, list[int]] = {}
+    for edge in dataset.following:
+        if edge.friend != user_id or edge.true_y is None:
+            continue
+        target = _merge_target(gaz, groups, edge.true_y, radius_miles)
+        groups.setdefault(target, []).append(edge.follower)
+    return groups
+
+
+def _merge_target(
+    gaz: Gazetteer,
+    groups: dict[int, list[int]],
+    location: int,
+    radius_miles: float,
+) -> int:
+    for existing in groups:
+        if gaz.distance(existing, location) <= radius_miles:
+            return existing
+    return location
+
+
+@dataclass(frozen=True, slots=True)
+class GroupingScore:
+    """Agreement between predicted and true follower groupings."""
+
+    purity: float
+    pairwise_precision: float
+    pairwise_recall: float
+    n_followers: int
+
+    @property
+    def pairwise_f1(self) -> float:
+        p, r = self.pairwise_precision, self.pairwise_recall
+        return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+
+def score_grouping(
+    predicted: dict[int, list[int]], truth: dict[int, list[int]]
+) -> GroupingScore:
+    """Score a predicted grouping against the true one.
+
+    Only followers present in *both* groupings are compared (predicted
+    groupings may include noise-edge followers the truth omits).
+    """
+    true_of = {f: g for g, members in truth.items() for f in members}
+    pred_of = {f: g for g, members in predicted.items() for f in members}
+    shared = sorted(set(true_of) & set(pred_of))
+    if not shared:
+        raise ValueError("no followers shared between groupings")
+
+    # Purity: for each predicted group, the fraction in its majority
+    # true group, weighted by group size.
+    total_majority = 0
+    for members in predicted.values():
+        kept = [f for f in members if f in true_of]
+        if not kept:
+            continue
+        counts: dict[int, int] = {}
+        for f in kept:
+            counts[true_of[f]] = counts.get(true_of[f], 0) + 1
+        total_majority += max(counts.values())
+    purity = total_majority / len(shared)
+
+    # Pairwise precision/recall over follower pairs.
+    same_pred = same_true = both = 0
+    for a, b in combinations(shared, 2):
+        p_same = pred_of[a] == pred_of[b]
+        t_same = true_of[a] == true_of[b]
+        same_pred += p_same
+        same_true += t_same
+        both += p_same and t_same
+    precision = both / same_pred if same_pred else 1.0
+    recall = both / same_true if same_true else 1.0
+    return GroupingScore(
+        purity=purity,
+        pairwise_precision=precision,
+        pairwise_recall=recall,
+        n_followers=len(shared),
+    )
+
+
+def mean_grouping_score(
+    dataset: Dataset,
+    predicted_groups: dict[int, dict[int, list[int]]],
+    radius_miles: float = 100.0,
+    min_followers: int = 3,
+) -> GroupingScore:
+    """Average grouping quality over a set of profiled users.
+
+    ``predicted_groups`` maps user id -> that user's predicted grouping
+    (e.g. from :meth:`MLPResult.geo_groups`).  Users with fewer than
+    ``min_followers`` comparable followers are skipped.
+    """
+    purities, precisions, recalls, total = [], [], [], 0
+    for uid, predicted in predicted_groups.items():
+        truth = true_geo_groups(dataset, uid, radius_miles)
+        shared = set(
+            f for members in truth.values() for f in members
+        ) & set(f for members in predicted.values() for f in members)
+        if len(shared) < min_followers:
+            continue
+        score = score_grouping(predicted, truth)
+        purities.append(score.purity)
+        precisions.append(score.pairwise_precision)
+        recalls.append(score.pairwise_recall)
+        total += score.n_followers
+    if not purities:
+        raise ValueError("no users with enough comparable followers")
+    n = len(purities)
+    return GroupingScore(
+        purity=sum(purities) / n,
+        pairwise_precision=sum(precisions) / n,
+        pairwise_recall=sum(recalls) / n,
+        n_followers=total,
+    )

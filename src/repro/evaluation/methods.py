@@ -1,0 +1,106 @@
+"""The method interface shared by MLP and the baselines.
+
+Every method consumes a :class:`~repro.data.model.Dataset` (whose
+*visible* labels define the training supervision) and returns a
+:class:`MethodPrediction`: per user, a ranked list of location ids
+(best first).  Task runners slice that ranking: rank 1 for home
+prediction, top-K for multi-location discovery.
+
+Methods that also explain following relationships (MLP, and the
+home-location Base of Sec. 5.3) attach per-edge ``(x, y)`` assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.model import MLPModel, MLPResult
+from repro.core.params import MLPParams
+from repro.data.model import Dataset
+
+
+@dataclass
+class MethodPrediction:
+    """Output of one method on one dataset."""
+
+    method_name: str
+    #: Per user id: candidate locations ranked best-first (never empty).
+    ranked_locations: list[list[int]]
+    #: Optional per-following-edge assignments (x, y); parallel to
+    #: ``dataset.following`` when present.
+    edge_assignments: list[tuple[int, int]] | None = None
+    #: Optional extra payload for reporting (e.g. the MLPResult).
+    detail: object = None
+
+    def home_of(self, user_id: int) -> int:
+        """The rank-1 prediction (home location)."""
+        ranking = self.ranked_locations[user_id]
+        if not ranking:
+            raise ValueError(f"user {user_id} has an empty ranking")
+        return ranking[0]
+
+    def top_k_of(self, user_id: int, k: int) -> list[int]:
+        """The top-``k`` predictions (multi-location profile)."""
+        return self.ranked_locations[user_id][:k]
+
+
+@runtime_checkable
+class LocationMethod(Protocol):
+    """Anything that can profile a dataset's users."""
+
+    name: str
+
+    def predict(self, dataset: Dataset) -> MethodPrediction: ...
+
+
+class MLPMethod:
+    """Adapter: run :class:`MLPModel` under the method interface.
+
+    ``name`` defaults to "MLP"; the MLP_U / MLP_C presets pass their
+    own names so reports match the paper's method labels.
+    """
+
+    def __init__(self, params: MLPParams | None = None, name: str = "MLP"):
+        self.params = params or MLPParams()
+        self.name = name
+
+    def predict(self, dataset: Dataset) -> MethodPrediction:
+        result = MLPModel(self.params).fit(dataset)
+        ranked = [
+            [loc for loc, _ in result.profiles[uid].entries]
+            for uid in range(dataset.n_users)
+        ]
+        edge_assignments = (
+            [(e.x, e.y) for e in result.explanations]
+            if result.explanations
+            else None
+        )
+        return MethodPrediction(
+            method_name=self.name,
+            ranked_locations=ranked,
+            edge_assignments=edge_assignments,
+            detail=result,
+        )
+
+
+def standard_methods(
+    mlp_params: MLPParams | None = None,
+) -> list[LocationMethod]:
+    """The evaluation's five methods in the paper's order (Sec. 5).
+
+    BaseU, BaseC, MLP_U, MLP_C, MLP -- all sharing the MLP scheduling
+    parameters where applicable, so comparisons are apples-to-apples.
+    """
+    from repro.baselines.backstrom import BackstromBaseline
+    from repro.baselines.cheng import ChengBaseline
+    from repro.core.model import mlp_c_params, mlp_u_params
+
+    base = mlp_params or MLPParams()
+    return [
+        BackstromBaseline(),
+        ChengBaseline(),
+        MLPMethod(mlp_u_params(base), name="MLP_U"),
+        MLPMethod(mlp_c_params(base), name="MLP_C"),
+        MLPMethod(base, name="MLP"),
+    ]

@@ -1,0 +1,171 @@
+"""Evaluation metrics (Sec. 5 of the paper).
+
+- ``accuracy_at`` / ``aad_curve``: Accuracy within m miles, ACC@m, and
+  the accumulative-accuracy-at-distance curves of Fig. 4.
+- ``dp_at_k`` / ``dr_at_k``: distance-based precision and recall of
+  Sec. 5.2 -- a predicted location counts when it is within m miles of
+  *some* true location, and vice versa.
+- ``explanation_accuracy``: Sec. 5.3 -- a following relationship is
+  accurately explained iff *both* endpoints' assignments are within m
+  miles of the true assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.gazetteer import Gazetteer
+
+#: The paper's default threshold: "By default, we set m to 100."
+DEFAULT_MILES = 100.0
+
+
+def accuracy_at(
+    gazetteer: Gazetteer,
+    predicted: Sequence[int],
+    truth: Sequence[int],
+    miles: float = DEFAULT_MILES,
+) -> float:
+    """ACC@m: fraction of users placed within ``miles`` of their home.
+
+    ``predicted`` and ``truth`` are parallel location-id sequences over
+    the evaluated users.
+    """
+    pred = np.asarray(predicted, dtype=np.int64)
+    true = np.asarray(truth, dtype=np.int64)
+    if pred.shape != true.shape:
+        raise ValueError("predicted and truth must be parallel")
+    if pred.size == 0:
+        return 0.0
+    dmat = gazetteer.distance_matrix
+    return float(np.mean(dmat[pred, true] <= miles))
+
+
+def aad_curve(
+    gazetteer: Gazetteer,
+    predicted: Sequence[int],
+    truth: Sequence[int],
+    mile_grid: Iterable[float] = tuple(range(0, 150, 10)),
+) -> list[tuple[float, float]]:
+    """Accumulative accuracy at distance: the Fig. 4 curves.
+
+    Returns ``[(miles, ACC@miles), ...]`` over ``mile_grid``.
+    """
+    dmat = gazetteer.distance_matrix
+    pred = np.asarray(predicted, dtype=np.int64)
+    true = np.asarray(truth, dtype=np.int64)
+    if pred.shape != true.shape:
+        raise ValueError("predicted and truth must be parallel")
+    if pred.size == 0:
+        return [(float(m), 0.0) for m in mile_grid]
+    distances = dmat[pred, true]
+    return [(float(m), float(np.mean(distances <= m))) for m in mile_grid]
+
+
+def _close_enough(
+    gazetteer: Gazetteer, location: int, others: Sequence[int], miles: float
+) -> bool:
+    """The paper's c(l, L): exists l' in L with D(l, l') < m."""
+    dmat = gazetteer.distance_matrix
+    return bool(others) and bool(
+        np.any(dmat[location, np.asarray(others, dtype=np.int64)] <= miles)
+    )
+
+
+def dp_of_user(
+    gazetteer: Gazetteer,
+    predicted: Sequence[int],
+    truth: Sequence[int],
+    miles: float = DEFAULT_MILES,
+) -> float:
+    """DP(u): fraction of predicted locations close to some true one."""
+    if not predicted:
+        return 0.0
+    hits = sum(
+        1 for loc in predicted if _close_enough(gazetteer, loc, truth, miles)
+    )
+    return hits / len(predicted)
+
+
+def dr_of_user(
+    gazetteer: Gazetteer,
+    predicted: Sequence[int],
+    truth: Sequence[int],
+    miles: float = DEFAULT_MILES,
+) -> float:
+    """DR(u): fraction of true locations close to some predicted one."""
+    if not truth:
+        return 0.0
+    hits = sum(
+        1 for loc in truth if _close_enough(gazetteer, loc, predicted, miles)
+    )
+    return hits / len(truth)
+
+
+def dp_at_k(
+    gazetteer: Gazetteer,
+    predicted_rankings: Sequence[Sequence[int]],
+    truths: Sequence[Sequence[int]],
+    k: int = 2,
+    miles: float = DEFAULT_MILES,
+) -> float:
+    """Mean DP@K over users (Sec. 5.2; K=2 by default, as in Table 3)."""
+    if len(predicted_rankings) != len(truths):
+        raise ValueError("rankings and truths must be parallel")
+    if not truths:
+        return 0.0
+    return float(
+        np.mean(
+            [
+                dp_of_user(gazetteer, list(ranking[:k]), list(truth), miles)
+                for ranking, truth in zip(predicted_rankings, truths)
+            ]
+        )
+    )
+
+
+def dr_at_k(
+    gazetteer: Gazetteer,
+    predicted_rankings: Sequence[Sequence[int]],
+    truths: Sequence[Sequence[int]],
+    k: int = 2,
+    miles: float = DEFAULT_MILES,
+) -> float:
+    """Mean DR@K over users (Sec. 5.2)."""
+    if len(predicted_rankings) != len(truths):
+        raise ValueError("rankings and truths must be parallel")
+    if not truths:
+        return 0.0
+    return float(
+        np.mean(
+            [
+                dr_of_user(gazetteer, list(ranking[:k]), list(truth), miles)
+                for ranking, truth in zip(predicted_rankings, truths)
+            ]
+        )
+    )
+
+
+def explanation_accuracy(
+    gazetteer: Gazetteer,
+    predicted_assignments: Sequence[tuple[int, int]],
+    true_assignments: Sequence[tuple[int, int]],
+    miles: float = DEFAULT_MILES,
+) -> float:
+    """Sec. 5.3 ACC@m over relationship explanations.
+
+    A relationship is accurately explained iff *both* the follower's
+    and the friend's assignments are within ``miles`` of the truth.
+    """
+    if len(predicted_assignments) != len(true_assignments):
+        raise ValueError("assignment sequences must be parallel")
+    if not true_assignments:
+        return 0.0
+    dmat = gazetteer.distance_matrix
+    correct = 0
+    for (px, py), (tx, ty) in zip(predicted_assignments, true_assignments):
+        if dmat[px, tx] <= miles and dmat[py, ty] <= miles:
+            correct += 1
+    return correct / len(true_assignments)

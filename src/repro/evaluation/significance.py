@@ -1,0 +1,134 @@
+"""Statistical significance of method comparisons.
+
+The paper reports point estimates; a reproduction should also say
+whether "A beats B" survives resampling.  Two standard tools over
+paired per-user outcomes:
+
+- :func:`paired_bootstrap` -- bootstrap the user set, report the
+  probability that method A's ACC@m exceeds method B's and a
+  confidence interval of the gap;
+- :func:`mcnemar_test` -- the exact-ish McNemar test over the
+  discordant pairs (A right / B wrong vs A wrong / B right).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.gazetteer import Gazetteer
+
+
+def _hits(
+    gazetteer: Gazetteer,
+    predictions: np.ndarray,
+    truths: np.ndarray,
+    miles: float,
+) -> np.ndarray:
+    return gazetteer.distance_matrix[predictions, truths] <= miles
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapComparison:
+    """Result of a paired bootstrap over users."""
+
+    method_a: str
+    method_b: str
+    accuracy_a: float
+    accuracy_b: float
+    mean_gap: float
+    ci_low: float
+    ci_high: float
+    #: Fraction of bootstrap resamples where A strictly beats B.
+    p_a_beats_b: float
+    n_resamples: int
+
+    @property
+    def significant_at_95(self) -> bool:
+        """True when the 95% CI of the gap excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def paired_bootstrap(
+    gazetteer: Gazetteer,
+    predictions_a,
+    predictions_b,
+    truths,
+    name_a: str = "A",
+    name_b: str = "B",
+    miles: float = 100.0,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapComparison:
+    """Paired bootstrap of ACC@m over the shared evaluation users."""
+    pred_a = np.asarray(predictions_a, dtype=np.int64)
+    pred_b = np.asarray(predictions_b, dtype=np.int64)
+    truth = np.asarray(truths, dtype=np.int64)
+    if not (pred_a.shape == pred_b.shape == truth.shape) or truth.ndim != 1:
+        raise ValueError("predictions and truths must be parallel 1-D arrays")
+    if truth.size == 0:
+        raise ValueError("empty evaluation set")
+    hits_a = _hits(gazetteer, pred_a, truth, miles).astype(np.float64)
+    hits_b = _hits(gazetteer, pred_b, truth, miles).astype(np.float64)
+    n = truth.size
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, size=(n_resamples, n))
+    gaps = hits_a[idx].mean(axis=1) - hits_b[idx].mean(axis=1)
+    return BootstrapComparison(
+        method_a=name_a,
+        method_b=name_b,
+        accuracy_a=float(hits_a.mean()),
+        accuracy_b=float(hits_b.mean()),
+        mean_gap=float(gaps.mean()),
+        ci_low=float(np.quantile(gaps, 0.025)),
+        ci_high=float(np.quantile(gaps, 0.975)),
+        p_a_beats_b=float((gaps > 0).mean()),
+        n_resamples=n_resamples,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class McNemarResult:
+    """Discordant-pair test over paired correctness outcomes."""
+
+    a_right_b_wrong: int
+    a_wrong_b_right: int
+    statistic: float
+    p_value: float
+
+
+def mcnemar_test(
+    gazetteer: Gazetteer,
+    predictions_a,
+    predictions_b,
+    truths,
+    miles: float = 100.0,
+) -> McNemarResult:
+    """McNemar test (with continuity correction; exact binomial for
+    small discordant counts) of "A and B have equal error rates"."""
+    pred_a = np.asarray(predictions_a, dtype=np.int64)
+    pred_b = np.asarray(predictions_b, dtype=np.int64)
+    truth = np.asarray(truths, dtype=np.int64)
+    if not (pred_a.shape == pred_b.shape == truth.shape) or truth.ndim != 1:
+        raise ValueError("predictions and truths must be parallel 1-D arrays")
+    hits_a = _hits(gazetteer, pred_a, truth, miles)
+    hits_b = _hits(gazetteer, pred_b, truth, miles)
+    n10 = int(np.sum(hits_a & ~hits_b))
+    n01 = int(np.sum(~hits_a & hits_b))
+    n_disc = n10 + n01
+    if n_disc == 0:
+        return McNemarResult(0, 0, statistic=0.0, p_value=1.0)
+    if n_disc < 25:
+        # Exact binomial two-sided p-value.
+        k = min(n10, n01)
+        p = sum(
+            math.comb(n_disc, i) for i in range(0, k + 1)
+        ) * 0.5**n_disc * 2.0
+        p = min(1.0, p)
+        return McNemarResult(n10, n01, statistic=float("nan"), p_value=p)
+    stat = (abs(n10 - n01) - 1.0) ** 2 / n_disc
+    # Chi-square with 1 dof survival function via erfc.
+    p = math.erfc(math.sqrt(stat / 2.0))
+    return McNemarResult(n10, n01, statistic=stat, p_value=p)

@@ -1,0 +1,82 @@
+"""Cross-validation label splits (Sec. 5.1's five-fold protocol).
+
+The paper's folds hide *labels*, not users: 80% of the labeled users
+keep their registered locations as supervision, the remaining 20%
+become the test users (their labels are hidden from every method and
+their registered/true location is the ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import Dataset
+
+
+@dataclass(frozen=True, slots=True)
+class LabelSplit:
+    """One fold: the dataset with test labels hidden, and who is tested."""
+
+    fold: int
+    train_dataset: Dataset
+    test_user_ids: tuple[int, ...]
+    #: Ground-truth home of each test user (their hidden label).
+    test_truth: tuple[int, ...]
+
+
+def k_fold_label_splits(
+    dataset: Dataset, n_folds: int = 5, seed: int = 0
+) -> list[LabelSplit]:
+    """Partition labeled users into ``n_folds`` test folds.
+
+    Every labeled user lands in exactly one test fold; within a fold,
+    those users' labels are hidden from the training dataset.  Ground
+    truth is the (hidden) registered location.
+    """
+    if n_folds < 2:
+        raise ValueError("need at least two folds")
+    labeled = np.array(dataset.labeled_user_ids, dtype=np.int64)
+    if labeled.size < n_folds:
+        raise ValueError(
+            f"cannot build {n_folds} folds from {labeled.size} labeled users"
+        )
+    rng = np.random.default_rng(seed)
+    permuted = rng.permutation(labeled)
+    folds = np.array_split(permuted, n_folds)
+    observed = dataset.observed_locations
+    splits = []
+    for fold_idx, test_ids in enumerate(folds):
+        test_list = [int(u) for u in np.sort(test_ids)]
+        splits.append(
+            LabelSplit(
+                fold=fold_idx,
+                train_dataset=dataset.with_labels_hidden(test_list),
+                test_user_ids=tuple(test_list),
+                test_truth=tuple(observed[u] for u in test_list),
+            )
+        )
+    return splits
+
+
+def single_holdout_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int = 0
+) -> LabelSplit:
+    """One 80/20 split -- the cheap variant used by quick benchmarks."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    labeled = np.array(dataset.labeled_user_ids, dtype=np.int64)
+    if labeled.size < 2:
+        raise ValueError("need at least two labeled users")
+    rng = np.random.default_rng(seed)
+    permuted = rng.permutation(labeled)
+    n_test = max(1, int(round(test_fraction * labeled.size)))
+    test_ids = sorted(int(u) for u in permuted[:n_test])
+    observed = dataset.observed_locations
+    return LabelSplit(
+        fold=0,
+        train_dataset=dataset.with_labels_hidden(test_ids),
+        test_user_ids=tuple(test_ids),
+        test_truth=tuple(observed[u] for u in test_ids),
+    )

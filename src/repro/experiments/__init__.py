@@ -1,0 +1,27 @@
+"""Experiment drivers: one per table and figure of the paper.
+
+The :class:`~repro.experiments.runner.ExperimentSuite` owns a synthetic
+world and lazily computes each artifact exactly once, so the benchmark
+harness and the ``reproduce_paper`` example share work:
+
+=========  ==========================================================
+Artifact    Paper reference
+=========  ==========================================================
+fig3a       following probability vs distance (power law, Sec. 4.1)
+fig3b       tweeting probabilities of venues at two cities
+fig3c       one user's relationships split across two regions
+table2      home-prediction ACC@100 for the five methods (Sec. 5.1)
+fig4        accumulative accuracy at distance curves
+fig5        Gibbs convergence (accuracy change per iteration)
+table3      multi-location discovery DP@2 / DR@2 (Sec. 5.2)
+fig6,fig7   DP@K and DR@K at ranks 1..3
+table4      multi-location case studies
+fig8        relationship-explanation ACC@m (Sec. 5.3)
+table5      relationship-explanation case study
+=========  ==========================================================
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentSuite
+
+__all__ = ["ExperimentConfig", "ExperimentSuite"]

@@ -1,0 +1,188 @@
+"""Text renderers: print tables and figures the way the paper shows them.
+
+Everything returns a string (and never prints directly) so benchmark
+logs, example scripts and EXPERIMENTS.md generation share one renderer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures, tables
+from repro.experiments.textplot import multi_scatter, scatter
+
+
+def _rule(width: int = 64) -> str:
+    return "-" * width
+
+
+def render_table2(result: tables.Table2Result) -> str:
+    lines = [
+        f"Table 2: Home Location Prediction (ACC@{result.miles:.0f})",
+        _rule(),
+    ]
+    header = "  ".join(f"{name:>7s}" for name, _ in result.ordered_rows())
+    values = "  ".join(f"{acc:6.1%}" for _, acc in result.ordered_rows())
+    lines.append(header)
+    lines.append(values)
+    return "\n".join(lines)
+
+
+def render_table3(result: tables.Table3Result) -> str:
+    lines = [
+        f"Table 3: Multiple Location Discovery (K={result.k}, m={result.miles:.0f})",
+        _rule(),
+        f"{'Method':>8s}  {'DP@'+str(result.k):>7s}  {'DR@'+str(result.k):>7s}",
+    ]
+    for name, dp, dr in result.ordered_rows():
+        lines.append(f"{name:>8s}  {dp:7.1%}  {dr:7.1%}")
+    return "\n".join(lines)
+
+
+def render_table4(result: tables.Table4Result) -> str:
+    lines = ["Table 4: Case Studies on Multiple Location Discovery", _rule()]
+    for row in result.rows:
+        lines.append(f"user {row.user_id}:")
+        lines.append(f"  true : {' | '.join(row.true_locations)}")
+        lines.append(f"  MLP  : {' | '.join(row.mlp_locations)}")
+        lines.append(f"  BaseU: {' | '.join(row.baseline_locations)}")
+    return "\n".join(lines)
+
+
+def render_table5(result: tables.Table5Result) -> str:
+    lines = [
+        "Table 5: Case Studies on Relationship Explanation",
+        _rule(),
+        f"profiled user {result.user_id} (home: {result.user_home})",
+        f"{'follower':>9s}  {'follower home':>18s}  {'user@':>18s}  {'follower@':>18s}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.follower_id:>9d}  {row.follower_home:>18s}  "
+            f"{row.assigned_user_location:>18s}  {row.assigned_follower_location:>18s}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig3a(result: figures.Fig3aResult) -> str:
+    lines = [
+        "Fig 3(a): Following Probabilities versus Distances",
+        _rule(),
+        f"fitted power law: alpha={result.law.alpha:.3f} "
+        f"beta={result.law.beta:.5f}  (log-log R^2={result.r_squared:.3f})",
+        f"{'miles':>9s}  {'P(follow)':>10s}  {'pairs':>9s}",
+    ]
+    for d, p, n in zip(
+        result.distances, result.probabilities, result.pair_counts
+    ):
+        lines.append(f"{d:9.1f}  {p:10.5f}  {int(n):9d}")
+    lines.append("")
+    lines.append(
+        scatter(
+            list(result.distances),
+            list(result.probabilities),
+            log_x=True,
+            log_y=True,
+            x_label="distance (miles)",
+            y_label="P(follow)",
+            title="(log-log: a power law is a straight line)",
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_fig3b(result: figures.Fig3bResult) -> str:
+    lines = ["Fig 3(b): Tweeting Probabilities of Top Venues", _rule()]
+    for city, venues in zip(result.city_names, result.top_venues):
+        lines.append(f"at {city}:")
+        for venue, p in venues:
+            lines.append(f"  {venue:<20s} {p:6.1%}")
+    return "\n".join(lines)
+
+
+def render_fig3c(result: figures.Fig3cResult) -> str:
+    lines = [
+        "Fig 3(c): Relationships as a Mixture of a User's Locations",
+        _rule(),
+        f"user {result.user_id}, true locations: "
+        + " | ".join(result.true_locations),
+    ]
+    for region, friends, venues in zip(
+        result.true_locations, result.friends_by_region, result.venues_by_region
+    ):
+        lines.append(
+            f"  region {region}: {len(friends)} friends, "
+            f"{len(venues)} venue mentions"
+        )
+    lines.append(f"  outside both regions: {len(result.unassigned_friends)} friends")
+    return "\n".join(lines)
+
+
+def render_fig4(result: figures.Fig4Result, methods: tuple[str, ...] | None = None) -> str:
+    names = list(methods) if methods else sorted(result.curves)
+    lines = [
+        "Fig 4: Accumulative Accuracy at Various Distance",
+        _rule(),
+        f"{'miles':>6s}  " + "  ".join(f"{n:>7s}" for n in names),
+    ]
+    for idx, m in enumerate(result.mile_grid):
+        row = "  ".join(f"{result.curves[n][idx]:7.1%}" for n in names)
+        lines.append(f"{m:6.0f}  {row}")
+    lines.append("")
+    lines.append(
+        multi_scatter(
+            {
+                n: (list(result.mile_grid), list(result.curves[n]))
+                for n in names
+            },
+            x_label="miles",
+            y_label="accuracy",
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_fig5(result: figures.Fig5Result) -> str:
+    lines = [
+        "Fig 5: Accuracy Change over Iterations",
+        _rule(),
+        f"{'iter':>5s}  {'accuracy':>9s}  {'|change|':>9s}",
+    ]
+    for i, acc in enumerate(result.accuracies):
+        change = (
+            f"{result.accuracy_changes[i - 1]:9.4f}" if i > 0 else " " * 9
+        )
+        lines.append(f"{i:5d}  {acc:9.3f}  {change}")
+    lines.append(
+        f"converged at iteration: {result.converged_at}"
+        if result.converged_at is not None
+        else "did not converge within the run"
+    )
+    return "\n".join(lines)
+
+
+def render_rank_sweep(result: figures.RankSweepResult) -> str:
+    fig_no = "6" if result.metric == "DP" else "7"
+    names = [n for n in tables.METHOD_ORDER if n in result.values] + sorted(
+        n for n in result.values if n not in tables.METHOD_ORDER
+    )
+    lines = [
+        f"Fig {fig_no}: {result.metric} at Different Ranks",
+        _rule(),
+        f"{'rank':>5s}  " + "  ".join(f"{n:>7s}" for n in names),
+    ]
+    for idx, k in enumerate(result.ranks):
+        row = "  ".join(f"{result.values[n][idx]:7.1%}" for n in names)
+        lines.append(f"{k:5d}  {row}")
+    return "\n".join(lines)
+
+
+def render_fig8(result: figures.Fig8Result) -> str:
+    names = sorted(result.curves)
+    lines = [
+        "Fig 8: Relationship Explanation Accuracy at Different Miles",
+        _rule(),
+        f"{'miles':>6s}  " + "  ".join(f"{n:>7s}" for n in names),
+    ]
+    for idx, m in enumerate(result.mile_grid):
+        row = "  ".join(f"{result.curves[n][idx]:7.1%}" for n in names)
+        lines.append(f"{m:6.0f}  {row}")
+    return "\n".join(lines)

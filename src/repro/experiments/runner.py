@@ -1,0 +1,167 @@
+"""The experiment suite: build the world once, share results across
+all tables and figures.
+
+Heavy artifacts are computed lazily and cached on the instance, so a
+benchmark session that regenerates Table 2, Fig. 4 and Fig. 5 pays for
+the five method fits exactly once.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.baselines import BackstromBaseline, HomeLocationExplainer
+from repro.data.generator import generate_world
+from repro.data.model import Dataset
+from repro.data.stats import DatasetStats, compute_stats
+from repro.evaluation.methods import (
+    MethodPrediction,
+    MLPMethod,
+    standard_methods,
+)
+from repro.evaluation.splits import (
+    LabelSplit,
+    k_fold_label_splits,
+    single_holdout_split,
+)
+from repro.evaluation.tasks import (
+    ExplanationTaskResult,
+    HomePredictionResult,
+    MultiLocationResult,
+    run_explanation_task,
+    run_home_prediction,
+    run_multi_location_discovery,
+)
+from repro.experiments import figures, tables
+from repro.experiments.config import ExperimentConfig
+
+
+class ExperimentSuite:
+    """Lazily-evaluated bundle of every paper artifact for one config."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+
+    # -- shared inputs -----------------------------------------------------
+
+    @cached_property
+    def dataset(self) -> Dataset:
+        return generate_world(self.config.world)
+
+    @cached_property
+    def stats(self) -> DatasetStats:
+        return compute_stats(self.dataset)
+
+    @cached_property
+    def splits(self) -> list[LabelSplit]:
+        if self.config.n_folds <= 1:
+            return [
+                single_holdout_split(
+                    self.dataset,
+                    self.config.holdout_fraction,
+                    seed=self.config.split_seed,
+                )
+            ]
+        return k_fold_label_splits(
+            self.dataset, self.config.n_folds, seed=self.config.split_seed
+        )
+
+    @cached_property
+    def methods(self):
+        return standard_methods(self.config.mlp)
+
+    # -- task results (shared by tables and figures) -------------------------
+
+    @cached_property
+    def home_results(self) -> dict[str, HomePredictionResult]:
+        return run_home_prediction(self.dataset, self.methods, splits=self.splits)
+
+    @cached_property
+    def multi_results(self) -> dict[str, MultiLocationResult]:
+        return run_multi_location_discovery(
+            self.dataset,
+            self.methods,
+            max_cohort=self.config.max_multi_cohort,
+            seed=self.config.split_seed,
+        )
+
+    @cached_property
+    def mlp_full_prediction(self) -> MethodPrediction:
+        """MLP fit on the full dataset with edge tracking (Sec. 5.3)."""
+        params = self.config.mlp.with_overrides(track_edge_assignments=True)
+        return MLPMethod(params).predict(self.dataset)
+
+    @cached_property
+    def explanation_results(self) -> dict[str, ExplanationTaskResult]:
+        base = HomeLocationExplainer.from_ground_truth(self.dataset)
+        return run_explanation_task(
+            self.dataset,
+            [
+                ("MLP", self.mlp_full_prediction.edge_assignments),
+                ("Base", base.edge_assignments(self.dataset)),
+            ],
+        )
+
+    # -- figures ---------------------------------------------------------------
+
+    @cached_property
+    def fig3a(self) -> figures.Fig3aResult:
+        return figures.fig3a(self.dataset, seed=self.config.split_seed)
+
+    @cached_property
+    def fig3b(self) -> figures.Fig3bResult:
+        return figures.fig3b(self.dataset)
+
+    @cached_property
+    def fig3c(self) -> figures.Fig3cResult:
+        return figures.fig3c(self.dataset)
+
+    @cached_property
+    def fig4(self) -> figures.Fig4Result:
+        return figures.fig4(self.dataset, self.home_results)
+
+    @cached_property
+    def fig5(self) -> figures.Fig5Result:
+        split = self.splits[0]
+        return figures.fig5(
+            self.dataset.with_labels_hidden(split.test_user_ids),
+            self.config.mlp,
+            np.array(split.test_user_ids, dtype=np.int64),
+            np.array(split.test_truth, dtype=np.int64),
+        )
+
+    @cached_property
+    def fig6(self) -> figures.RankSweepResult:
+        return figures.fig6(self.dataset, self.multi_results)
+
+    @cached_property
+    def fig7(self) -> figures.RankSweepResult:
+        return figures.fig7(self.dataset, self.multi_results)
+
+    @cached_property
+    def fig8(self) -> figures.Fig8Result:
+        return figures.fig8(self.dataset, self.explanation_results)
+
+    # -- tables -----------------------------------------------------------------
+
+    @cached_property
+    def table2(self) -> tables.Table2Result:
+        return tables.table2(self.dataset, self.home_results)
+
+    @cached_property
+    def table3(self) -> tables.Table3Result:
+        return tables.table3(self.dataset, self.multi_results)
+
+    @cached_property
+    def table4(self) -> tables.Table4Result:
+        return tables.table4(
+            self.dataset,
+            self.multi_results["MLP"],
+            self.multi_results["BaseU"],
+        )
+
+    @cached_property
+    def table5(self) -> tables.Table5Result:
+        return tables.table5(self.dataset, self.mlp_full_prediction.detail)

@@ -1,0 +1,224 @@
+"""Table drivers: the rows behind the paper's Tables 2-5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import MLPResult
+from repro.data.model import Dataset
+from repro.evaluation.methods import MethodPrediction
+from repro.evaluation.tasks import (
+    ExplanationTaskResult,
+    HomePredictionResult,
+    MultiLocationResult,
+)
+
+#: Method column order used throughout the paper's tables.
+METHOD_ORDER = ("BaseU", "BaseC", "MLP_U", "MLP_C", "MLP")
+
+
+# ---------------------------------------------------------------------------
+# Table 2: home location prediction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Result:
+    """ACC@m per method -- the paper's headline comparison."""
+
+    miles: float
+    accuracies: dict[str, float]
+
+    def ordered_rows(self) -> list[tuple[str, float]]:
+        ordered = [
+            (name, self.accuracies[name])
+            for name in METHOD_ORDER
+            if name in self.accuracies
+        ]
+        extras = sorted(
+            (n, a) for n, a in self.accuracies.items() if n not in METHOD_ORDER
+        )
+        return ordered + extras
+
+
+def table2(
+    dataset: Dataset,
+    home_results: dict[str, HomePredictionResult],
+    miles: float = 100.0,
+) -> Table2Result:
+    return Table2Result(
+        miles=miles,
+        accuracies={
+            name: result.accuracy_at(dataset, miles)
+            for name, result in home_results.items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3: multiple location discovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Table3Result:
+    """DP@K and DR@K per method."""
+
+    k: int
+    miles: float
+    dp: dict[str, float]
+    dr: dict[str, float]
+
+    def ordered_rows(self) -> list[tuple[str, float, float]]:
+        names = [n for n in METHOD_ORDER if n in self.dp] + sorted(
+            n for n in self.dp if n not in METHOD_ORDER
+        )
+        return [(n, self.dp[n], self.dr[n]) for n in names]
+
+
+def table3(
+    dataset: Dataset,
+    multi_results: dict[str, MultiLocationResult],
+    k: int = 2,
+    miles: float = 100.0,
+) -> Table3Result:
+    return Table3Result(
+        k=k,
+        miles=miles,
+        dp={
+            name: result.dp(dataset, k, miles)
+            for name, result in multi_results.items()
+        },
+        dr={
+            name: result.dr(dataset, k, miles)
+            for name, result in multi_results.items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4: multi-location case studies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyRow:
+    """One Table 4 row: a user's true vs discovered locations."""
+
+    user_id: int
+    true_locations: tuple[str, ...]
+    mlp_locations: tuple[str, ...]
+    baseline_locations: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Result:
+    rows: tuple[CaseStudyRow, ...]
+
+
+def table4(
+    dataset: Dataset,
+    mlp_result: MultiLocationResult,
+    baseline_result: MultiLocationResult,
+    n_cases: int = 3,
+    k: int = 2,
+) -> Table4Result:
+    """Pick the clearest multi-location wins for the case-study table.
+
+    Cases are cohort users ranked by (MLP DR@k - baseline DR@k), i.e.
+    where modeling multiple locations mattered most -- mirroring the
+    paper's hand-picked examples.
+    """
+    from repro.evaluation.metrics import dr_of_user
+
+    gaz = dataset.gazetteer
+    if mlp_result.cohort != baseline_result.cohort:
+        raise ValueError("case studies need results over the same cohort")
+    gains = []
+    for idx, uid in enumerate(mlp_result.cohort):
+        truth = mlp_result.truths[idx]
+        mlp_dr = dr_of_user(gaz, mlp_result.rankings[idx][:k], truth)
+        base_dr = dr_of_user(gaz, baseline_result.rankings[idx][:k], truth)
+        gains.append((mlp_dr - base_dr, mlp_dr, idx, uid))
+    gains.sort(key=lambda g: (-g[0], -g[1], g[3]))
+    rows = []
+    for _gain, _dr, idx, uid in gains[:n_cases]:
+        rows.append(
+            CaseStudyRow(
+                user_id=uid,
+                true_locations=tuple(
+                    gaz.by_id(l).name for l in mlp_result.truths[idx]
+                ),
+                mlp_locations=tuple(
+                    gaz.by_id(l).name for l in mlp_result.rankings[idx][:k]
+                ),
+                baseline_locations=tuple(
+                    gaz.by_id(l).name for l in baseline_result.rankings[idx][:k]
+                ),
+            )
+        )
+    return Table4Result(rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Table 5: relationship-explanation case study
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ExplanationCaseRow:
+    """One Table 5 row: a follower edge and its location assignments."""
+
+    follower_id: int
+    follower_home: str
+    assigned_user_location: str
+    assigned_follower_location: str
+
+
+@dataclass(frozen=True, slots=True)
+class Table5Result:
+    user_id: int
+    user_home: str
+    rows: tuple[ExplanationCaseRow, ...]
+
+
+def table5(
+    dataset: Dataset,
+    mlp_result: MLPResult,
+    user_id: int | None = None,
+    max_rows: int = 8,
+) -> Table5Result:
+    """Show the per-edge assignments of one two-location user's followers."""
+    from repro.experiments.figures import _pick_two_location_user
+
+    if user_id is None:
+        user_id = _pick_two_location_user(dataset)
+    gaz = dataset.gazetteer
+    user = dataset.users[user_id]
+    rows = []
+    for expl in mlp_result.explanations:
+        if expl.friend != user_id:
+            continue
+        follower_home = dataset.users[expl.follower].true_home
+        rows.append(
+            ExplanationCaseRow(
+                follower_id=expl.follower,
+                follower_home=(
+                    gaz.by_id(follower_home).name
+                    if follower_home is not None
+                    else "(unknown)"
+                ),
+                assigned_user_location=gaz.by_id(expl.y).name,
+                assigned_follower_location=gaz.by_id(expl.x).name,
+            )
+        )
+        if len(rows) >= max_rows:
+            break
+    home = user.true_home if user.true_home is not None else user.registered_location
+    return Table5Result(
+        user_id=user_id,
+        user_home=gaz.by_id(home).name if home is not None else "(unknown)",
+        rows=tuple(rows),
+    )

@@ -1,0 +1,44 @@
+"""Geographic substrate: coordinates, gazetteer, and spatial indexing.
+
+The paper profiles *city-level* locations drawn from a U.S. gazetteer
+(Census 2000 in the original).  This package provides:
+
+- :mod:`repro.geo.coords` -- great-circle distance in miles, the unit the
+  paper reports every threshold in (ACC@100, 1-mile buckets, ...).
+- :mod:`repro.geo.us_cities` -- an embedded gazetteer of real U.S. cities
+  (name, state, coordinates, population) including deliberately ambiguous
+  names such as Princeton and Springfield.
+- :mod:`repro.geo.gazetteer` -- the :class:`Gazetteer` lookup structure
+  mapping names to candidate locations and ids to records.
+- :mod:`repro.geo.index` -- a uniform lat/lon grid index for radius and
+  nearest-neighbour queries used by evaluation metrics and baselines.
+"""
+
+from repro.geo.coords import (
+    EARTH_RADIUS_MILES,
+    GeoPoint,
+    equirectangular_miles,
+    haversine_miles,
+    pairwise_distance_matrix,
+)
+from repro.geo.gazetteer import Gazetteer, Location
+from repro.geo.index import SpatialGridIndex
+from repro.geo.us_cities import (
+    US_CITIES,
+    builtin_gazetteer,
+    synthetic_gazetteer,
+)
+
+__all__ = [
+    "EARTH_RADIUS_MILES",
+    "GeoPoint",
+    "Gazetteer",
+    "Location",
+    "SpatialGridIndex",
+    "US_CITIES",
+    "builtin_gazetteer",
+    "equirectangular_miles",
+    "haversine_miles",
+    "pairwise_distance_matrix",
+    "synthetic_gazetteer",
+]

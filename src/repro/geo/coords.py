@@ -1,0 +1,113 @@
+"""Coordinate primitives and great-circle distances in miles.
+
+Every distance in the paper (the power-law fit of Fig. 3(a), ACC@m,
+DP/DR closeness, the 1-mile histogram buckets) is expressed in miles, so
+miles are the native unit throughout this code base.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Mean Earth radius in miles (IUGG mean radius 6371.0088 km).
+EARTH_RADIUS_MILES = 3958.7613
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A latitude/longitude pair in decimal degrees.
+
+    Latitude must lie in [-90, 90] and longitude in [-180, 180].
+    Instances are immutable and hashable so they can key caches.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat!r}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon!r}")
+
+    def distance_to(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in miles."""
+        return haversine_miles(self.lat, self.lon, other.lat, other.lon)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(lat, lon)``."""
+        return (self.lat, self.lon)
+
+
+def haversine_miles(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two points, in miles.
+
+    Uses the haversine formula, which is numerically stable for the
+    small distances that dominate this workload (same-metro pairs).
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_MILES * math.asin(min(1.0, math.sqrt(a)))
+
+
+def equirectangular_miles(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Fast approximate distance in miles (equirectangular projection).
+
+    Within-CONUS error is well under 1% for pairs closer than ~500 miles,
+    which makes it a good candidate-pruning distance.  Exact metrics use
+    :func:`haversine_miles`.
+    """
+    x = math.radians(lon2 - lon1) * math.cos(math.radians((lat1 + lat2) / 2.0))
+    y = math.radians(lat2 - lat1)
+    return EARTH_RADIUS_MILES * math.hypot(x, y)
+
+
+def haversine_miles_vec(
+    lat1: np.ndarray | float,
+    lon1: np.ndarray | float,
+    lat2: np.ndarray | float,
+    lon2: np.ndarray | float,
+) -> np.ndarray:
+    """Vectorized haversine distance in miles over numpy arrays."""
+    phi1 = np.radians(np.asarray(lat1, dtype=np.float64))
+    phi2 = np.radians(np.asarray(lat2, dtype=np.float64))
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lon2, dtype=np.float64)) - np.radians(
+        np.asarray(lon1, dtype=np.float64)
+    )
+    a = (
+        np.sin(dphi / 2.0) ** 2
+        + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    )
+    a = np.clip(a, 0.0, 1.0)
+    return 2.0 * EARTH_RADIUS_MILES * np.arcsin(np.sqrt(a))
+
+
+def pairwise_distance_matrix(
+    lats: np.ndarray, lons: np.ndarray
+) -> np.ndarray:
+    """All-pairs haversine distance matrix in miles.
+
+    ``lats`` and ``lons`` are parallel 1-D arrays of length ``n``; the
+    result is an ``(n, n)`` symmetric matrix with a zero diagonal.  The
+    core sampler caches this matrix over the *candidate locations* (a few
+    hundred cities), never over users, so memory stays modest.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    if lats.shape != lons.shape or lats.ndim != 1:
+        raise ValueError("lats and lons must be parallel 1-D arrays")
+    return haversine_miles_vec(
+        lats[:, None], lons[:, None], lats[None, :], lons[None, :]
+    )

@@ -1,0 +1,228 @@
+"""Gazetteer: the candidate-location universe ``L`` and venue names ``V``.
+
+The paper's model consumes two artifacts that a gazetteer provides:
+
+- the candidate locations ``L`` (city-level, each with coordinates so
+  distances between locations are defined), and
+- the venue vocabulary ``V`` (venue *names*, which may be ambiguous:
+  one name can refer to many locations -- "Princeton" names 19 towns).
+
+:class:`Gazetteer` owns both and offers the lookups every other
+subsystem needs: id -> record, normalized name -> candidate records,
+``(city, state)`` -> record, pairwise distances over ``L`` (cached as a
+dense matrix, since |L| is a few hundred to a few thousand), and
+nearest-location queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geo.coords import haversine_miles, pairwise_distance_matrix
+
+
+def normalize_place_name(name: str) -> str:
+    """Canonical form for venue/city names: casefold, collapse spaces.
+
+    Punctuation commonly found in city names (periods in "St. Louis",
+    hyphens in "Winston-Salem") is stripped so that tweet text tokens
+    match gazetteer entries.
+    """
+    cleaned = name.casefold().replace(".", "").replace("-", " ")
+    return " ".join(cleaned.split())
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """A candidate city-level location (one row of the gazetteer)."""
+
+    location_id: int
+    city: str
+    state: str
+    lat: float
+    lon: float
+    population: int = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable ``"City, ST"`` label used in reports."""
+        return f"{self.city}, {self.state}"
+
+    @property
+    def venue_name(self) -> str:
+        """The (possibly ambiguous) venue name this city contributes."""
+        return normalize_place_name(self.city)
+
+    def distance_to(self, other: "Location") -> float:
+        """Great-circle distance to another location, in miles."""
+        return haversine_miles(self.lat, self.lon, other.lat, other.lon)
+
+
+class Gazetteer:
+    """Candidate locations ``L`` plus the venue vocabulary ``V``.
+
+    The gazetteer is immutable after construction.  Location ids must be
+    the dense range ``0..len-1`` (the samplers index arrays by them).
+    """
+
+    def __init__(self, locations: Sequence[Location]):
+        if not locations:
+            raise ValueError("a gazetteer needs at least one location")
+        ids = [loc.location_id for loc in locations]
+        if sorted(ids) != list(range(len(locations))):
+            raise ValueError(
+                "location ids must be a dense 0..n-1 range "
+                f"(got {min(ids)}..{max(ids)} over {len(ids)} entries)"
+            )
+        self._locations: tuple[Location, ...] = tuple(
+            sorted(locations, key=lambda loc: loc.location_id)
+        )
+        self._by_name: dict[str, tuple[Location, ...]] = {}
+        by_name_acc: dict[str, list[Location]] = {}
+        self._by_city_state: dict[tuple[str, str], Location] = {}
+        for loc in self._locations:
+            by_name_acc.setdefault(loc.venue_name, []).append(loc)
+            key = (loc.venue_name, loc.state.upper())
+            if key in self._by_city_state:
+                raise ValueError(f"duplicate gazetteer entry: {loc.name}")
+            self._by_city_state[key] = loc
+        self._by_name = {
+            name: tuple(sorted(locs, key=lambda l: -l.population))
+            for name, locs in by_name_acc.items()
+        }
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __iter__(self) -> Iterator[Location]:
+        return iter(self._locations)
+
+    def __getitem__(self, location_id: int) -> Location:
+        return self._locations[location_id]
+
+    # -- lookups -------------------------------------------------------
+
+    @property
+    def locations(self) -> tuple[Location, ...]:
+        """All locations ordered by id."""
+        return self._locations
+
+    def by_id(self, location_id: int) -> Location:
+        """Return the location with the given id (raises IndexError)."""
+        if not 0 <= location_id < len(self._locations):
+            raise IndexError(f"no location with id {location_id}")
+        return self._locations[location_id]
+
+    def lookup_name(self, name: str) -> tuple[Location, ...]:
+        """All locations whose city name matches ``name``.
+
+        The result is ordered by descending population (most salient
+        referent first) and is empty when the name is unknown.  This is
+        where venue-name ambiguity lives: ``lookup_name("princeton")``
+        returns several towns.
+        """
+        return self._by_name.get(normalize_place_name(name), ())
+
+    def lookup_city_state(self, city: str, state: str) -> Location | None:
+        """Resolve an unambiguous ``(city, state)`` pair, or ``None``."""
+        return self._by_city_state.get(
+            (normalize_place_name(city), state.upper())
+        )
+
+    def is_ambiguous(self, name: str) -> bool:
+        """True when ``name`` refers to more than one location."""
+        return len(self.lookup_name(name)) > 1
+
+    # -- venue vocabulary ----------------------------------------------
+
+    @cached_property
+    def venue_vocabulary(self) -> tuple[str, ...]:
+        """The venue names ``V``, sorted, deduplicated.
+
+        Distinct cities sharing a name contribute a *single* venue: the
+        model treats venue names as categorical labels precisely because
+        they are ambiguous (Sec. 3 of the paper).
+        """
+        return tuple(sorted(self._by_name))
+
+    @cached_property
+    def venue_index(self) -> dict[str, int]:
+        """Map venue name -> dense venue id (inverse of the vocabulary)."""
+        return {name: i for i, name in enumerate(self.venue_vocabulary)}
+
+    def venue_id_of_location(self, location_id: int) -> int:
+        """The venue id of a location's own city name."""
+        return self.venue_index[self.by_id(location_id).venue_name]
+
+    # -- geometry --------------------------------------------------------
+
+    @cached_property
+    def lats(self) -> np.ndarray:
+        """Latitudes of all locations, indexed by location id."""
+        return np.array([loc.lat for loc in self._locations])
+
+    @cached_property
+    def lons(self) -> np.ndarray:
+        """Longitudes of all locations, indexed by location id."""
+        return np.array([loc.lon for loc in self._locations])
+
+    @cached_property
+    def populations(self) -> np.ndarray:
+        """Populations of all locations, indexed by location id."""
+        return np.array(
+            [loc.population for loc in self._locations], dtype=np.float64
+        )
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        """Dense ``(|L|, |L|)`` matrix of pairwise distances in miles.
+
+        Computed lazily once; every model component (FL sampling, DP/DR
+        metrics, candidate expansion) reads distances from here.
+        """
+        return pairwise_distance_matrix(self.lats, self.lons)
+
+    def distance(self, id_a: int, id_b: int) -> float:
+        """Distance in miles between two locations by id."""
+        return float(self.distance_matrix[id_a, id_b])
+
+    def nearest(self, lat: float, lon: float) -> Location:
+        """The location closest to an arbitrary coordinate."""
+        from repro.geo.coords import haversine_miles_vec
+
+        dists = haversine_miles_vec(lat, lon, self.lats, self.lons)
+        return self._locations[int(np.argmin(dists))]
+
+    def within_radius(self, location_id: int, radius_miles: float) -> list[int]:
+        """Ids of locations within ``radius_miles`` of ``location_id``.
+
+        Includes ``location_id`` itself (distance zero).
+        """
+        row = self.distance_matrix[location_id]
+        return [int(i) for i in np.flatnonzero(row <= radius_miles)]
+
+    def subset(self, location_ids: Iterable[int]) -> "Gazetteer":
+        """A new gazetteer over a subset of locations, ids re-densified.
+
+        Useful for scale-reduction in tests; the mapping old->new id is
+        the sorted order of ``location_ids``.
+        """
+        chosen = sorted(set(location_ids))
+        locations = [
+            Location(
+                location_id=new_id,
+                city=self._locations[old_id].city,
+                state=self._locations[old_id].state,
+                lat=self._locations[old_id].lat,
+                lon=self._locations[old_id].lon,
+                population=self._locations[old_id].population,
+            )
+            for new_id, old_id in enumerate(chosen)
+        ]
+        return Gazetteer(locations)

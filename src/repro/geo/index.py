@@ -1,0 +1,114 @@
+"""A uniform lat/lon grid index for radius and nearest queries.
+
+The evaluation metrics (DP/DR "close enough" tests) and the baselines
+(Cheng et al.'s neighborhood smoothing) repeatedly ask "which candidate
+locations lie within m miles of here?".  A dense distance matrix answers
+that for gazetteer locations, but arbitrary query points (e.g. venue
+coordinates, synthetic user homes) need a spatial index.  A simple
+uniform grid over degrees is ample at this scale and has no
+dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.coords import haversine_miles
+
+#: Rough miles per degree of latitude; used only to size grid cells.
+_MILES_PER_DEG_LAT = 69.0
+
+
+class SpatialGridIndex:
+    """Bucket points into a uniform lat/lon grid for fast radius queries.
+
+    Parameters
+    ----------
+    lats, lons:
+        Parallel coordinate arrays; the index stores integer ids
+        ``0..n-1`` referring to positions in these arrays.
+    cell_miles:
+        Approximate grid cell edge length in miles.  Radius queries
+        scan ``ceil(radius / cell)`` rings of neighbouring cells.
+    """
+
+    def __init__(
+        self,
+        lats: Sequence[float],
+        lons: Sequence[float],
+        cell_miles: float = 50.0,
+    ):
+        if len(lats) != len(lons):
+            raise ValueError("lats and lons must have equal length")
+        if cell_miles <= 0:
+            raise ValueError("cell_miles must be positive")
+        self._lats = np.asarray(lats, dtype=np.float64)
+        self._lons = np.asarray(lons, dtype=np.float64)
+        self._cell_deg = cell_miles / _MILES_PER_DEG_LAT
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        for i in range(len(self._lats)):
+            self._cells.setdefault(
+                self._cell_of(self._lats[i], self._lons[i]), []
+            ).append(i)
+
+    def __len__(self) -> int:
+        return len(self._lats)
+
+    def _cell_of(self, lat: float, lon: float) -> tuple[int, int]:
+        return (
+            int(math.floor(lat / self._cell_deg)),
+            int(math.floor(lon / self._cell_deg)),
+        )
+
+    def _candidate_ids(
+        self, lat: float, lon: float, radius_miles: float
+    ) -> Iterable[int]:
+        """Ids in all grid cells that could contain points in range."""
+        # Longitude degrees shrink with latitude; widen the ring to be safe.
+        lat_rings = int(math.ceil(radius_miles / (_MILES_PER_DEG_LAT * self._cell_deg))) + 1
+        cos_lat = max(0.2, math.cos(math.radians(lat)))
+        lon_rings = int(math.ceil(lat_rings / cos_lat)) + 1
+        ci, cj = self._cell_of(lat, lon)
+        for di in range(-lat_rings, lat_rings + 1):
+            for dj in range(-lon_rings, lon_rings + 1):
+                yield from self._cells.get((ci + di, cj + dj), ())
+
+    def query_radius(
+        self, lat: float, lon: float, radius_miles: float
+    ) -> list[int]:
+        """Ids of all indexed points within ``radius_miles`` of (lat, lon)."""
+        if radius_miles < 0:
+            raise ValueError("radius_miles must be non-negative")
+        hits = []
+        for i in self._candidate_ids(lat, lon, radius_miles):
+            if (
+                haversine_miles(lat, lon, self._lats[i], self._lons[i])
+                <= radius_miles
+            ):
+                hits.append(i)
+        return sorted(hits)
+
+    def nearest(self, lat: float, lon: float) -> int:
+        """Id of the indexed point nearest to (lat, lon).
+
+        Expands the search radius geometrically until a hit is found, then
+        verifies against every candidate in the final ring, so the result
+        is exact.
+        """
+        radius = _MILES_PER_DEG_LAT * self._cell_deg
+        while True:
+            best_id, best_d = -1, float("inf")
+            for i in self._candidate_ids(lat, lon, radius):
+                d = haversine_miles(lat, lon, self._lats[i], self._lons[i])
+                if d < best_d:
+                    best_id, best_d = i, d
+            if best_id >= 0 and best_d <= radius:
+                return best_id
+            radius *= 2.0
+            if radius > 4.0 * math.pi * 3959.0:  # searched the whole globe
+                if best_id >= 0:
+                    return best_id
+                raise ValueError("index is empty")

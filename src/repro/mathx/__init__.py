@@ -1,0 +1,29 @@
+"""Math substrate: power laws, histogram buckets, sampling helpers.
+
+- :mod:`repro.mathx.powerlaw` -- the ``P(x) = beta * x**alpha`` family at
+  the heart of the location-based following model (Eq. 1), with log-log
+  least-squares fitting as used for Fig. 3(a) and the Gibbs-EM M-step.
+- :mod:`repro.mathx.buckets` -- the 1-mile distance bucketing pipeline
+  that converts labeled-user pairs into the empirical following-vs-
+  distance curve.
+- :mod:`repro.mathx.distributions` -- categorical/Dirichlet/Bernoulli
+  helpers shared by the sampler and the synthetic generator.
+"""
+
+from repro.mathx.buckets import DistanceBuckets, bucket_following_pairs
+from repro.mathx.distributions import (
+    log_normalize,
+    sample_categorical,
+    sample_dirichlet,
+)
+from repro.mathx.powerlaw import PowerLaw, fit_power_law
+
+__all__ = [
+    "DistanceBuckets",
+    "PowerLaw",
+    "bucket_following_pairs",
+    "fit_power_law",
+    "log_normalize",
+    "sample_categorical",
+    "sample_dirichlet",
+]

@@ -1,0 +1,87 @@
+"""Distribution helpers shared by the sampler and the generator.
+
+Kept deliberately small: seeded ``numpy.random.Generator`` everywhere,
+categorical sampling from unnormalized weights (the inner loop of the
+Gibbs sampler), Dirichlet draws for synthetic profiles, and log-space
+normalization utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_categorical(
+    rng: np.random.Generator, weights: np.ndarray
+) -> int:
+    """Draw an index proportional to ``weights`` (unnormalized, >= 0).
+
+    Raises ``ValueError`` when the weights are all zero, negative, or
+    non-finite -- silent renormalization of garbage has caused enough
+    sampler bugs to be worth the check.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if not np.all(np.isfinite(w)) or np.any(w < 0):
+        raise ValueError("weights must be finite and non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero; nothing to sample")
+    # Inverse-CDF sampling; cumsum is the fastest route at this size.
+    u = rng.random() * total
+    return int(np.searchsorted(np.cumsum(w), u, side="right").clip(0, w.size - 1))
+
+
+def sample_categorical_logits(
+    rng: np.random.Generator, logits: np.ndarray
+) -> int:
+    """Draw an index proportional to ``exp(logits)``, stably."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 1 or logits.size == 0:
+        raise ValueError("logits must be a non-empty 1-D array")
+    shifted = logits - logits.max()
+    return sample_categorical(rng, np.exp(shifted))
+
+
+def sample_dirichlet(
+    rng: np.random.Generator, alpha: np.ndarray
+) -> np.ndarray:
+    """Dirichlet draw that tolerates very small concentration values.
+
+    numpy's gamma-based Dirichlet can return exact zeros (and then
+    0/0 -> nan) for alpha << 1; we floor the result at a tiny epsilon
+    and renormalize, which is the standard fix.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if np.any(alpha <= 0):
+        raise ValueError("Dirichlet parameters must be positive")
+    draw = rng.dirichlet(alpha)
+    draw = np.maximum(draw, 1e-300)
+    return draw / draw.sum()
+
+
+def log_normalize(log_weights: np.ndarray) -> np.ndarray:
+    """Normalize log-space weights into a probability vector."""
+    log_weights = np.asarray(log_weights, dtype=np.float64)
+    shifted = log_weights - log_weights.max()
+    w = np.exp(shifted)
+    return w / w.sum()
+
+
+def entropy(p: np.ndarray) -> float:
+    """Shannon entropy (nats) of a probability vector, 0log0 = 0."""
+    p = np.asarray(p, dtype=np.float64)
+    nz = p[p > 0]
+    return float(-(nz * np.log(nz)).sum())
+
+
+def top_k_indices(p: np.ndarray, k: int) -> list[int]:
+    """Indices of the ``k`` largest entries, ties broken by low index."""
+    p = np.asarray(p, dtype=np.float64)
+    if k <= 0:
+        return []
+    k = min(k, p.size)
+    # argsort of (-p, index) gives deterministic tie-breaking.
+    order = np.lexsort((np.arange(p.size), -p))
+    return [int(i) for i in order[:k]]

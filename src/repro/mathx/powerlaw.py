@@ -1,0 +1,138 @@
+"""The power-law family ``P(x) = beta * x**alpha`` and its fitting.
+
+Sec. 4.1 of the paper models the probability of a following
+relationship at distance ``d`` as ``beta * d**alpha`` and fits
+``alpha = -0.55``, ``beta = 0.0045`` on Twitter by least squares in
+log-log space ("power laws are straight lines when plotted in the
+log-log scale").  The same fit is re-run inside the Gibbs-EM M-step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLaw:
+    """``P(x) = beta * x**alpha`` with a minimum-distance clamp.
+
+    ``min_x`` guards the ``x == 0`` singularity (two users in the same
+    city): the paper buckets distances at 1-mile granularity, so
+    probabilities below 1 mile are flat by construction.
+    """
+
+    alpha: float
+    beta: float
+    min_x: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta!r}")
+        if self.min_x <= 0:
+            raise ValueError(f"min_x must be positive, got {self.min_x!r}")
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate ``beta * max(x, min_x)**alpha``."""
+        clamped = np.maximum(np.asarray(x, dtype=np.float64), self.min_x)
+        result = self.beta * clamped**self.alpha
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(result)
+        return result
+
+    def log_prob(self, x: float | np.ndarray) -> float | np.ndarray:
+        """``log(beta) + alpha * log(max(x, min_x))`` without underflow."""
+        clamped = np.maximum(np.asarray(x, dtype=np.float64), self.min_x)
+        result = np.log(self.beta) + self.alpha * np.log(clamped)
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(result)
+        return result
+
+    def distance_kernel(self, x: float | np.ndarray) -> float | np.ndarray:
+        """``max(x, min_x)**alpha`` -- the beta-free kernel of Eq. 7-8.
+
+        Inside the Gibbs conditionals beta is a constant factor and is
+        dropped; only the distance dependence matters.
+        """
+        clamped = np.maximum(np.asarray(x, dtype=np.float64), self.min_x)
+        result = clamped**self.alpha
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(result)
+        return result
+
+
+#: The parameters the paper reports for Twitter (Sec. 4.1).
+PAPER_TWITTER_POWERLAW = PowerLaw(alpha=-0.55, beta=0.0045)
+
+#: The exponent Backstrom et al. observed on Facebook, for comparison.
+FACEBOOK_ALPHA = -1.0
+
+
+def fit_power_law(
+    x: np.ndarray,
+    p: np.ndarray,
+    weights: np.ndarray | None = None,
+    min_x: float = 1.0,
+) -> PowerLaw:
+    """Least-squares fit of ``p = beta * x**alpha`` in log-log space.
+
+    Parameters
+    ----------
+    x:
+        Sample points (distances); must be positive.
+    p:
+        Observed probabilities at ``x``; zero entries are dropped
+        (they have no log image and correspond to empty buckets).
+    weights:
+        Optional per-point weights (e.g. bucket pair counts), applied
+        to the squared residuals in log space.
+    min_x:
+        Clamp carried into the resulting :class:`PowerLaw`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64)
+    if x.shape != p.shape or x.ndim != 1:
+        raise ValueError("x and p must be parallel 1-D arrays")
+    mask = (x > 0) & (p > 0)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != x.shape:
+            raise ValueError("weights must parallel x")
+        mask &= weights > 0
+    if int(mask.sum()) < 2:
+        raise ValueError(
+            "need at least two strictly positive (x, p) points to fit"
+        )
+    lx = np.log(x[mask])
+    lp = np.log(p[mask])
+    w = weights[mask] if weights is not None else np.ones_like(lx)
+    # Weighted least squares for lp = log(beta) + alpha * lx.
+    wsum = w.sum()
+    mean_x = (w * lx).sum() / wsum
+    mean_p = (w * lp).sum() / wsum
+    var_x = (w * (lx - mean_x) ** 2).sum()
+    if var_x <= 0:
+        raise ValueError("x values are degenerate (single distinct point)")
+    cov = (w * (lx - mean_x) * (lp - mean_p)).sum()
+    alpha = cov / var_x
+    log_beta = mean_p - alpha * mean_x
+    return PowerLaw(alpha=float(alpha), beta=float(np.exp(log_beta)), min_x=min_x)
+
+
+def r_squared_loglog(law: PowerLaw, x: np.ndarray, p: np.ndarray) -> float:
+    """Coefficient of determination of a fit, in log-log space.
+
+    Used by tests and the Fig. 3(a) experiment to assert that the
+    empirical following curve really is power-law shaped.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64)
+    mask = (x > 0) & (p > 0)
+    lp = np.log(p[mask])
+    pred = law.log_prob(x[mask])
+    ss_res = float(((lp - pred) ** 2).sum())
+    ss_tot = float(((lp - lp.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot

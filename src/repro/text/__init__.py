@@ -1,0 +1,30 @@
+"""Text substrate: tokenization, place-name normalization, extraction.
+
+The paper extracts two text-derived signals:
+
+- **registered locations** from user profile fields, accepted only in
+  the forms ``"cityName, stateName"`` / ``"cityName, stateAbbreviation"``
+  (the rules of Cheng et al. CIKM'10) -- :mod:`repro.text.profile_parser`;
+- **venues** mentioned in tweet bodies, matched against the gazetteer's
+  venue vocabulary -- :mod:`repro.text.venues`.
+"""
+
+from repro.text.normalize import (
+    STATE_ABBREVIATIONS,
+    STATE_NAMES,
+    normalize_state,
+)
+from repro.text.profile_parser import ParsedProfileLocation, parse_profile_location
+from repro.text.tokenizer import tokenize
+from repro.text.venues import VenueExtractor, VenueMention
+
+__all__ = [
+    "STATE_ABBREVIATIONS",
+    "STATE_NAMES",
+    "ParsedProfileLocation",
+    "VenueExtractor",
+    "VenueMention",
+    "normalize_state",
+    "parse_profile_location",
+    "tokenize",
+]

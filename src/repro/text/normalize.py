@@ -1,0 +1,90 @@
+"""U.S. state name / abbreviation normalization.
+
+The profile parser accepts registered locations in both the
+``"Los Angeles, California"`` and ``"Los Angeles, CA"`` forms, so it
+needs the full bidirectional mapping.  DC is included because the
+gazetteer carries Washington, DC.
+"""
+
+from __future__ import annotations
+
+#: Abbreviation -> full state name.
+STATE_NAMES: dict[str, str] = {
+    "AL": "Alabama",
+    "AK": "Alaska",
+    "AZ": "Arizona",
+    "AR": "Arkansas",
+    "CA": "California",
+    "CO": "Colorado",
+    "CT": "Connecticut",
+    "DE": "Delaware",
+    "DC": "District of Columbia",
+    "FL": "Florida",
+    "GA": "Georgia",
+    "HI": "Hawaii",
+    "ID": "Idaho",
+    "IL": "Illinois",
+    "IN": "Indiana",
+    "IA": "Iowa",
+    "KS": "Kansas",
+    "KY": "Kentucky",
+    "LA": "Louisiana",
+    "ME": "Maine",
+    "MD": "Maryland",
+    "MA": "Massachusetts",
+    "MI": "Michigan",
+    "MN": "Minnesota",
+    "MS": "Mississippi",
+    "MO": "Missouri",
+    "MT": "Montana",
+    "NE": "Nebraska",
+    "NV": "Nevada",
+    "NH": "New Hampshire",
+    "NJ": "New Jersey",
+    "NM": "New Mexico",
+    "NY": "New York",
+    "NC": "North Carolina",
+    "ND": "North Dakota",
+    "OH": "Ohio",
+    "OK": "Oklahoma",
+    "OR": "Oregon",
+    "PA": "Pennsylvania",
+    "RI": "Rhode Island",
+    "SC": "South Carolina",
+    "SD": "South Dakota",
+    "TN": "Tennessee",
+    "TX": "Texas",
+    "UT": "Utah",
+    "VT": "Vermont",
+    "VA": "Virginia",
+    "WA": "Washington",
+    "WV": "West Virginia",
+    "WI": "Wisconsin",
+    "WY": "Wyoming",
+}
+
+#: Lowercased full state name -> abbreviation.
+STATE_ABBREVIATIONS: dict[str, str] = {
+    name.casefold(): abbrev for abbrev, name in STATE_NAMES.items()
+}
+
+
+def normalize_state(text: str) -> str | None:
+    """Normalize a state string to its 2-letter abbreviation.
+
+    Accepts abbreviations in any case ("tx", "TX") and full names
+    ("Texas", "NEW YORK").  Returns ``None`` when the text is not a
+    U.S. state.
+
+    >>> normalize_state("texas")
+    'TX'
+    >>> normalize_state("D.C.")
+    'DC'
+    >>> normalize_state("my home") is None
+    True
+    """
+    cleaned = text.strip().replace(".", "")
+    upper = cleaned.upper()
+    if upper in STATE_NAMES:
+        return upper
+    return STATE_ABBREVIATIONS.get(" ".join(cleaned.casefold().split()))

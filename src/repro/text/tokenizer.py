@@ -1,0 +1,34 @@
+"""A small, deterministic tweet tokenizer.
+
+Venue extraction needs word boundaries that survive tweet punctuation
+(hashtags, @-mentions, URLs, emoji runs).  We keep the rules explicit
+and testable rather than reaching for a full NLP stack:
+
+- URLs, @-mentions are dropped (they carry no venue signal);
+- the ``#`` of a hashtag is stripped but the tag text is kept
+  ("#austin" is exactly the kind of venue mention we want);
+- remaining text is lowercased and split on non-alphanumeric runs,
+  keeping internal apostrophes out ("let's" -> "let", "s" is avoided by
+  treating the apostrophe as a joiner and dropping one-letter pieces).
+"""
+
+from __future__ import annotations
+
+import re
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+", re.IGNORECASE)
+_MENTION_RE = re.compile(r"@\w+")
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z0-9]+)?")
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize tweet text into lowercase word tokens.
+
+    >>> tokenize("See Gaga in Hollywood! http://t.co/x @lucy #Austin")
+    ['see', 'gaga', 'in', 'hollywood', 'austin']
+    """
+    text = _URL_RE.sub(" ", text)
+    text = _MENTION_RE.sub(" ", text)
+    text = text.replace("#", " ")
+    tokens = _TOKEN_RE.findall(text.casefold())
+    return [tok.replace("'", "") for tok in tokens if len(tok) > 1]

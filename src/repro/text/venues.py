@@ -1,0 +1,97 @@
+"""Venue extraction: find gazetteer venue names mentioned in tweets.
+
+A *venue* in the paper is the name of a geo signal (a city in our
+gazetteer-driven setup); a single name may refer to many locations.
+The extractor matches the gazetteer's venue vocabulary against tweet
+token streams with greedy longest-first n-gram matching, so
+"los angeles" is recognised as one venue rather than leaking "angeles".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.gazetteer import Gazetteer
+from repro.text.tokenizer import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class VenueMention:
+    """One venue mention found in a piece of text."""
+
+    venue: str
+    venue_id: int
+    token_start: int
+    token_end: int  # exclusive
+
+
+class VenueExtractor:
+    """Extract venue mentions from tweet text against a gazetteer.
+
+    The extractor precomputes, for every vocabulary entry, its token
+    tuple, and indexes entries by first token.  Matching is greedy
+    longest-first at each position, and a matched span is consumed
+    (non-overlapping mentions).
+    """
+
+    def __init__(self, gazetteer: Gazetteer):
+        self._gazetteer = gazetteer
+        self._venue_index = gazetteer.venue_index
+        self._by_first_token: dict[str, list[tuple[tuple[str, ...], str]]] = {}
+        self._max_len = 1
+        for venue in gazetteer.venue_vocabulary:
+            parts = tuple(venue.split())
+            if not parts:
+                continue
+            self._max_len = max(self._max_len, len(parts))
+            self._by_first_token.setdefault(parts[0], []).append((parts, venue))
+        # Longest names first so greedy matching prefers "los angeles"
+        # over a hypothetical single-token "los".
+        for entries in self._by_first_token.values():
+            entries.sort(key=lambda item: -len(item[0]))
+
+    @property
+    def gazetteer(self) -> Gazetteer:
+        return self._gazetteer
+
+    def extract(self, text: str) -> list[VenueMention]:
+        """All non-overlapping venue mentions in ``text``, left to right.
+
+        >>> from repro.geo import builtin_gazetteer
+        >>> ex = VenueExtractor(builtin_gazetteer())
+        >>> [m.venue for m in ex.extract("Moving from Round Rock to Los Angeles!")]
+        ['round rock', 'los angeles']
+        """
+        tokens = tokenize(text)
+        return self.extract_from_tokens(tokens)
+
+    def extract_from_tokens(self, tokens: list[str]) -> list[VenueMention]:
+        """Match venues over an already tokenized stream."""
+        mentions: list[VenueMention] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            entries = self._by_first_token.get(tokens[i])
+            matched = False
+            if entries:
+                for parts, venue in entries:
+                    end = i + len(parts)
+                    if end <= n and tuple(tokens[i:end]) == parts:
+                        mentions.append(
+                            VenueMention(
+                                venue=venue,
+                                venue_id=self._venue_index[venue],
+                                token_start=i,
+                                token_end=end,
+                            )
+                        )
+                        i = end
+                        matched = True
+                        break
+            if not matched:
+                i += 1
+        return mentions
+
+    def extract_venue_ids(self, text: str) -> list[int]:
+        """Convenience: just the venue ids mentioned in ``text``."""
+        return [m.venue_id for m in self.extract(text)]

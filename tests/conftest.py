@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive artifacts (gazetteer, synthetic worlds, one fitted MLP) are
+session-scoped: the suite builds each exactly once and treats them as
+immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import MLPModel
+from repro.core.params import MLPParams
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.geo.us_cities import builtin_gazetteer
+
+
+@pytest.fixture(scope="session")
+def gazetteer():
+    """The embedded US-city gazetteer (immutable, shared)."""
+    return builtin_gazetteer()
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A 60-user world for fast structural tests."""
+    return generate_world(SyntheticWorldConfig(n_users=60, seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A 250-user world for sampler and evaluation tests."""
+    return generate_world(SyntheticWorldConfig(n_users=250, seed=13))
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """A short-but-real inference schedule for the small world."""
+    return MLPParams(n_iterations=12, burn_in=5, seed=3)
+
+
+@pytest.fixture(scope="session")
+def fitted_result(small_world, small_params):
+    """One full MLP fit on the small world, shared by result-shape tests."""
+    return MLPModel(small_params).fit(small_world)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

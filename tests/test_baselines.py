@@ -1,0 +1,149 @@
+"""Tests for the baseline methods (BaseU, BaseC, Base, naive)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.backstrom import BackstromBaseline, BackstromConfig
+from repro.baselines.cheng import ChengBaseline, ChengConfig
+from repro.baselines.home_explainer import HomeLocationExplainer
+from repro.baselines.naive import MajorityNeighborBaseline, PopulationPriorBaseline
+from repro.evaluation.metrics import accuracy_at
+from repro.evaluation.splits import single_holdout_split
+
+
+@pytest.fixture(scope="module")
+def split(small_world):
+    return single_holdout_split(small_world, 0.2, seed=1)
+
+
+def holdout_accuracy(dataset, split, prediction, miles=100.0):
+    preds = [prediction.home_of(u) for u in split.test_user_ids]
+    return accuracy_at(dataset.gazetteer, preds, list(split.test_truth), miles)
+
+
+class TestBackstrom:
+    def test_labeled_users_keep_their_label(self, small_world, split):
+        pred = BackstromBaseline().predict(split.train_dataset)
+        for uid, loc in split.train_dataset.observed_locations.items():
+            assert pred.home_of(uid) == loc
+
+    def test_every_user_ranked(self, small_world, split):
+        pred = BackstromBaseline().predict(split.train_dataset)
+        assert all(pred.ranked_locations[u] for u in range(small_world.n_users))
+
+    def test_beats_population_prior(self, small_world, split):
+        bu = BackstromBaseline().predict(split.train_dataset)
+        pop = PopulationPriorBaseline().predict(split.train_dataset)
+        assert holdout_accuracy(small_world, split, bu) > holdout_accuracy(
+            small_world, split, pop
+        )
+
+    def test_deterministic(self, small_world, split):
+        a = BackstromBaseline().predict(split.train_dataset)
+        b = BackstromBaseline().predict(split.train_dataset)
+        assert a.ranked_locations == b.ranked_locations
+
+    def test_more_rounds_reach_more_users(self, small_world, split):
+        one = BackstromBaseline(BackstromConfig(n_rounds=1)).predict(
+            split.train_dataset
+        )
+        # After round 1 every test user with located neighbours is
+        # ranked; more rounds can only keep or extend coverage, and the
+        # ranking remains well-formed.
+        three = BackstromBaseline(BackstromConfig(n_rounds=3)).predict(
+            split.train_dataset
+        )
+        assert all(three.ranked_locations[u] for u in split.test_user_ids)
+        assert all(one.ranked_locations[u] for u in split.test_user_ids)
+
+
+class TestCheng:
+    def test_labeled_users_keep_their_label(self, small_world, split):
+        pred = ChengBaseline().predict(split.train_dataset)
+        for uid, loc in split.train_dataset.observed_locations.items():
+            assert pred.home_of(uid) == loc
+
+    def test_every_user_ranked(self, small_world, split):
+        pred = ChengBaseline().predict(split.train_dataset)
+        assert all(pred.ranked_locations[u] for u in range(small_world.n_users))
+
+    def test_beats_population_prior(self, small_world, split):
+        bc = ChengBaseline().predict(split.train_dataset)
+        pop = PopulationPriorBaseline().predict(split.train_dataset)
+        assert holdout_accuracy(small_world, split, bc) >= holdout_accuracy(
+            small_world, split, pop
+        )
+
+    def test_focus_threshold_zero_keeps_all_words(self, small_world, split):
+        loose = ChengBaseline(ChengConfig(focus_threshold=0.0, min_word_count=1))
+        pred = loose.predict(split.train_dataset)
+        assert all(pred.ranked_locations[u] for u in split.test_user_ids)
+
+    def test_focus_threshold_one_rejects_most_words(self, small_world, split):
+        # With an impossible focus requirement most users fall back to
+        # the global prior -- predictions still exist.
+        strict = ChengBaseline(ChengConfig(focus_threshold=1.01))
+        pred = strict.predict(split.train_dataset)
+        assert all(pred.ranked_locations[u] for u in split.test_user_ids)
+
+    def test_smoothing_weight_zero_is_valid(self, small_world, split):
+        pred = ChengBaseline(ChengConfig(smoothing_weight=0.0)).predict(
+            split.train_dataset
+        )
+        assert all(pred.ranked_locations[u] for u in split.test_user_ids)
+
+
+class TestHomeExplainer:
+    def test_assignments_parallel_edges(self, small_world):
+        explainer = HomeLocationExplainer.from_ground_truth(small_world)
+        assignments = explainer.edge_assignments(small_world)
+        assert len(assignments) == small_world.n_following
+
+    def test_assigns_true_homes(self, small_world):
+        explainer = HomeLocationExplainer.from_ground_truth(small_world)
+        assignments = explainer.edge_assignments(small_world)
+        e = small_world.following[0]
+        assert assignments[0] == (
+            small_world.users[e.follower].true_home,
+            small_world.users[e.friend].true_home,
+        )
+
+    def test_accepts_mapping(self, small_world):
+        homes = {u: 0 for u in range(small_world.n_users)}
+        explainer = HomeLocationExplainer(homes)
+        assert explainer.edge_assignments(small_world)[0] == (0, 0)
+
+    def test_ground_truth_required(self, gazetteer):
+        from repro.data.model import Dataset, User
+
+        ds = Dataset(gazetteer, [User(0)], [], [])
+        with pytest.raises(ValueError):
+            HomeLocationExplainer.from_ground_truth(ds)
+
+
+class TestNaiveBaselines:
+    def test_population_prior_predicts_mode(self, small_world, split):
+        pred = PopulationPriorBaseline().predict(split.train_dataset)
+        observed = list(split.train_dataset.observed_locations.values())
+        mode = np.argmax(np.bincount(observed))
+        for uid in split.test_user_ids:
+            assert pred.home_of(uid) == mode
+
+    def test_neighbor_vote_every_user_ranked(self, small_world, split):
+        pred = MajorityNeighborBaseline().predict(split.train_dataset)
+        assert all(pred.ranked_locations[u] for u in range(small_world.n_users))
+
+    def test_neighbor_vote_beats_population_prior(self, small_world, split):
+        nv = MajorityNeighborBaseline().predict(split.train_dataset)
+        pop = PopulationPriorBaseline().predict(split.train_dataset)
+        assert holdout_accuracy(small_world, split, nv) > holdout_accuracy(
+            small_world, split, pop
+        )
+
+    def test_backstrom_beats_neighbor_vote(self, small_world, split):
+        """Sec. 2's claim: distance-aware beats distance-blind voting."""
+        bu = BackstromBaseline().predict(split.train_dataset)
+        nv = MajorityNeighborBaseline().predict(split.train_dataset)
+        assert holdout_accuracy(small_world, split, bu) >= holdout_accuracy(
+            small_world, split, nv
+        )

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def saved_world(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "world.json"
+    rc = main(
+        [
+            "generate",
+            str(path),
+            "--users",
+            "120",
+            "--seed",
+            "3",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.json"])
+        assert args.users == 1000
+        assert args.seed == 7
+
+
+class TestGenerate:
+    def test_writes_loadable_dataset(self, saved_world):
+        from repro.data.io import load_dataset
+
+        ds = load_dataset(saved_world)
+        assert ds.n_users == 120
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["generate", str(a), "--users", "50", "--seed", "9"])
+        main(["generate", str(b), "--users", "50", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+    def test_render_tweets_flag(self, tmp_path):
+        path = tmp_path / "t.json"
+        main(["generate", str(path), "--users", "30", "--render-tweets"])
+        from repro.data.io import load_dataset
+
+        assert load_dataset(path).tweets
+
+
+class TestStats:
+    def test_prints_json(self, saved_world, capsys):
+        rc = main(["stats", str(saved_world)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["users"] == 120
+        assert "mean_friends" in payload
+
+
+class TestFit:
+    def test_prints_profiles(self, saved_world, capsys):
+        rc = main(
+            [
+                "fit",
+                str(saved_world),
+                "--iterations",
+                "6",
+                "--burn-in",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fitted law" in out
+        assert "user " in out
+
+    def test_explicit_users(self, saved_world, capsys):
+        rc = main(
+            [
+                "fit",
+                str(saved_world),
+                "--iterations",
+                "6",
+                "--burn-in",
+                "2",
+                "--users",
+                "0",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "user 0:" in out
+        assert "user 1:" in out
+
+    def test_out_of_range_user_warns(self, saved_world, capsys):
+        rc = main(
+            [
+                "fit",
+                str(saved_world),
+                "--iterations",
+                "6",
+                "--burn-in",
+                "2",
+                "--users",
+                "99999",
+            ]
+        )
+        assert rc == 0
+        assert "not in dataset" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_prints_table2(self, saved_world, capsys):
+        rc = main(
+            [
+                "evaluate",
+                str(saved_world),
+                "--iterations",
+                "6",
+                "--burn-in",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        for name in ("BaseU", "BaseC", "MLP"):
+            assert name in out

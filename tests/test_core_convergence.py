@@ -1,0 +1,65 @@
+"""Tests for convergence tracking (Fig. 5 machinery)."""
+
+import pytest
+
+from repro.core.convergence import ConvergenceTrace, IterationStats
+
+
+def make_trace(metrics):
+    trace = ConvergenceTrace()
+    for i, m in enumerate(metrics):
+        trace.append(
+            IterationStats(
+                iteration=i,
+                changed_fraction=0.5 / (i + 1),
+                noise_following_fraction=0.1,
+                noise_tweeting_fraction=0.2,
+                metric=m,
+            )
+        )
+    return trace
+
+
+class TestTrace:
+    def test_len(self):
+        assert len(make_trace([0.1, 0.2])) == 2
+
+    def test_changed_fractions(self):
+        trace = make_trace([0.1, 0.2])
+        assert trace.changed_fractions() == [0.5, 0.25]
+
+    def test_metric_changes(self):
+        trace = make_trace([0.10, 0.25, 0.24, 0.24])
+        changes = trace.metric_changes()
+        assert changes == pytest.approx([0.15, 0.01, 0.0])
+
+    def test_metric_changes_skip_missing(self):
+        trace = make_trace([0.1, None, 0.3])
+        assert trace.metric_changes() == pytest.approx([0.2])
+
+    def test_converged_at(self):
+        trace = make_trace([0.1, 0.3, 0.301, 0.3015])
+        assert trace.converged_at(tolerance=0.01) == 2
+
+    def test_not_converged(self):
+        trace = make_trace([0.1, 0.5, 0.1, 0.5])
+        assert trace.converged_at(tolerance=0.01) is None
+
+    def test_empty_trace(self):
+        trace = ConvergenceTrace()
+        assert trace.metric_changes() == []
+        assert trace.converged_at() is None
+
+
+class TestRealConvergence:
+    def test_changed_fraction_decreases_substantially(self, fitted_result):
+        """The chain must settle: late sweeps change fewer assignments."""
+        fractions = fitted_result.trace.changed_fractions()
+        early = sum(fractions[:2]) / 2
+        late = sum(fractions[-2:]) / 2
+        assert late < early
+
+    def test_noise_fractions_recorded(self, fitted_result):
+        for stats in fitted_result.trace.iterations:
+            assert 0.0 <= stats.noise_following_fraction <= 1.0
+            assert 0.0 <= stats.noise_tweeting_fraction <= 1.0

@@ -1,0 +1,128 @@
+"""Tests for model diagnostics (held-out likelihood, noise calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    _auc,
+    following_log_likelihood,
+    noise_detection_report,
+    profile_concentration_report,
+    tweeting_log_likelihood,
+)
+from repro.data.model import FollowingEdge, TweetingEdge
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert _auc(np.array([0.9, 0.8]), np.array([0.1, 0.2])) == 1.0
+
+    def test_no_separation(self):
+        assert _auc(np.array([0.5, 0.5]), np.array([0.5, 0.5])) == 0.5
+
+    def test_inverted(self):
+        assert _auc(np.array([0.1]), np.array([0.9])) == 0.0
+
+    def test_partial(self):
+        auc = _auc(np.array([0.9, 0.3]), np.array([0.5, 0.1]))
+        assert auc == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _auc(np.array([]), np.array([0.5]))
+
+
+class TestFollowingLogLikelihood:
+    def test_finite_on_real_edges(self, fitted_result, small_world):
+        ll = following_log_likelihood(
+            fitted_result, list(small_world.following[:50])
+        )
+        assert np.isfinite(ll)
+        assert ll < 0.0
+
+    def test_local_edges_likelier_than_random_far_pairs(
+        self, fitted_result, small_world
+    ):
+        """Held-out local edges must out-score shuffled fake edges."""
+        real = [e for e in small_world.following[:80] if not e.is_noise]
+        rng = np.random.default_rng(0)
+        fake = []
+        for e in real:
+            friend = int(rng.integers(small_world.n_users))
+            if friend == e.follower:
+                friend = (friend + 1) % small_world.n_users
+            fake.append(FollowingEdge(e.follower, friend))
+        ll_real = following_log_likelihood(fitted_result, real)
+        ll_fake = following_log_likelihood(fitted_result, fake)
+        assert ll_real > ll_fake
+
+    def test_empty_raises(self, fitted_result):
+        with pytest.raises(ValueError):
+            following_log_likelihood(fitted_result, [])
+
+
+class TestTweetingLogLikelihood:
+    def test_finite_on_real_mentions(self, fitted_result, small_world):
+        ll = tweeting_log_likelihood(
+            fitted_result, list(small_world.tweeting[:50])
+        )
+        assert np.isfinite(ll)
+        assert ll < 0.0
+
+    def test_real_mentions_likelier_than_shuffled(
+        self, fitted_result, small_world
+    ):
+        real = [t for t in small_world.tweeting[:80] if not t.is_noise]
+        rng = np.random.default_rng(1)
+        n_venues = len(small_world.gazetteer.venue_vocabulary)
+        fake = [
+            TweetingEdge(t.user, int(rng.integers(n_venues))) for t in real
+        ]
+        assert tweeting_log_likelihood(
+            fitted_result, real
+        ) > tweeting_log_likelihood(fitted_result, fake)
+
+    def test_empty_raises(self, fitted_result):
+        with pytest.raises(ValueError):
+            tweeting_log_likelihood(fitted_result, [])
+
+
+class TestNoiseDetectionReport:
+    def test_better_than_chance(self, fitted_result):
+        report = noise_detection_report(fitted_result)
+        assert report.auc > 0.5
+        assert (
+            report.mean_noise_posterior_on_noise
+            > report.mean_noise_posterior_on_clean
+        )
+
+    def test_counts_match_ground_truth(self, fitted_result, small_world):
+        report = noise_detection_report(fitted_result)
+        truth_noise = sum(bool(e.is_noise) for e in small_world.following)
+        assert report.n_noise == truth_noise
+        assert report.n_clean == small_world.n_following - truth_noise
+
+    def test_requires_tracked_edges(self, small_world):
+        from repro.core.model import MLPModel
+        from repro.core.params import MLPParams
+
+        params = MLPParams(
+            n_iterations=3, burn_in=1, seed=0, track_edge_assignments=False
+        )
+        result = MLPModel(params).fit(small_world)
+        with pytest.raises(ValueError):
+            noise_detection_report(result)
+
+
+class TestProfileConcentration:
+    def test_multi_location_users_more_spread(self, fitted_result):
+        report = profile_concentration_report(fitted_result)
+        assert report.mean_entropy_multi > report.mean_entropy_single
+        assert (
+            report.mean_effective_locations_multi
+            > report.mean_effective_locations_single
+        )
+
+    def test_effective_locations_at_least_one(self, fitted_result):
+        report = profile_concentration_report(fitted_result)
+        assert report.mean_effective_locations_single >= 1.0

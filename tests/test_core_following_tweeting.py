@@ -1,0 +1,123 @@
+"""Unit tests for the FL/FR/TL/TR component models."""
+
+import numpy as np
+import pytest
+
+from repro.core.following import LocationFollowingModel, RandomFollowingModel
+from repro.core.tweeting import CollapsedTweetingModel, RandomTweetingModel
+from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return Gazetteer(
+        [
+            Location(0, "Near", "CA", 34.0, -118.0, 10),
+            Location(1, "Close", "CA", 34.1, -118.1, 10),
+            Location(2, "Far", "NY", 40.7, -74.0, 10),
+        ]
+    )
+
+
+class TestLocationFollowingModel:
+    def test_probability_decays_with_distance(self, gaz):
+        fl = LocationFollowingModel.from_gazetteer(gaz, -0.55, 0.0045, 1.0)
+        assert fl.probability(0, 1) > fl.probability(0, 2)
+
+    def test_same_location_uses_clamp(self, gaz):
+        fl = LocationFollowingModel.from_gazetteer(gaz, -0.55, 0.0045, 1.0)
+        assert fl.probability(0, 0) == pytest.approx(0.0045)
+
+    def test_matches_eq1(self, gaz):
+        fl = LocationFollowingModel.from_gazetteer(gaz, -0.55, 0.0045, 1.0)
+        d = gaz.distance(0, 2)
+        assert fl.probability(0, 2) == pytest.approx(0.0045 * d**-0.55)
+
+    def test_kernel_drops_beta(self, gaz):
+        fl = LocationFollowingModel.from_gazetteer(gaz, -0.55, 0.0045, 1.0)
+        d = gaz.distance(0, 2)
+        assert fl.kernel(0, 2) == pytest.approx(d**-0.55)
+
+    def test_kernel_against_vectorizes(self, gaz):
+        fl = LocationFollowingModel.from_gazetteer(gaz, -0.55, 0.0045, 1.0)
+        cands = np.array([0, 1, 2])
+        vec = fl.kernel_against(cands, 2)
+        for i, c in enumerate(cands):
+            assert vec[i] == pytest.approx(fl.kernel(int(c), 2))
+
+
+class TestRandomFollowingModel:
+    def test_edge_probability_is_density(self, gaz):
+        ds = Dataset(
+            gaz, [User(0), User(1), User(2)],
+            [FollowingEdge(0, 1), FollowingEdge(1, 2)], [],
+        )
+        fr = RandomFollowingModel.from_dataset(ds)
+        assert fr.probability() == pytest.approx(2 / 9)
+
+
+class TestCollapsedTweetingModel:
+    def test_smoothed_probability(self):
+        tl = CollapsedTweetingModel(n_locations=2, n_venues=3, delta=0.1)
+        tl.increment(0, 1)
+        tl.increment(0, 1)
+        # (2 + 0.1) / (2 + 0.3)
+        assert tl.probability(0, 1) == pytest.approx(2.1 / 2.3)
+        assert tl.probability(0, 0) == pytest.approx(0.1 / 2.3)
+
+    def test_unseen_location_is_uniform(self):
+        tl = CollapsedTweetingModel(2, 4, delta=0.5)
+        assert tl.probability(1, 2) == pytest.approx(0.25)
+
+    def test_decrement_restores(self):
+        tl = CollapsedTweetingModel(1, 2, delta=0.1)
+        before = tl.probability(0, 0)
+        tl.increment(0, 0)
+        tl.decrement(0, 0)
+        assert tl.probability(0, 0) == pytest.approx(before)
+
+    def test_negative_count_raises(self):
+        tl = CollapsedTweetingModel(1, 2, delta=0.1)
+        with pytest.raises(RuntimeError):
+            tl.decrement(0, 0)
+
+    def test_probability_over_matches_scalar(self):
+        tl = CollapsedTweetingModel(3, 2, delta=0.2)
+        tl.increment(1, 0)
+        cands = np.array([0, 1, 2])
+        vec = tl.probability_over(cands, 0)
+        for i, l in enumerate(cands):
+            assert vec[i] == pytest.approx(tl.probability(int(l), 0))
+
+    def test_venue_distribution_normalized(self):
+        tl = CollapsedTweetingModel(1, 5, delta=0.1)
+        tl.increment(0, 3)
+        dist = tl.venue_distribution(0)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[3] == dist.max()
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            CollapsedTweetingModel(1, 1, delta=0.0)
+
+
+class TestRandomTweetingModel:
+    def test_popularity_proportional_to_mentions(self, gaz):
+        ds = Dataset(
+            gaz, [User(0)], [],
+            [TweetingEdge(0, 0), TweetingEdge(0, 0), TweetingEdge(0, 1)],
+        )
+        tr = RandomTweetingModel.from_dataset(ds)
+        assert tr.probability(0) > tr.probability(1) > tr.probability(2) > 0
+
+    def test_probabilities_normalized(self, gaz):
+        ds = Dataset(gaz, [User(0)], [], [TweetingEdge(0, 0)])
+        tr = RandomTweetingModel.from_dataset(ds)
+        assert tr.venue_probabilities.sum() == pytest.approx(1.0)
+
+    def test_no_tweets_falls_back_to_uniform(self, gaz):
+        ds = Dataset(gaz, [User(0)], [], [])
+        tr = RandomTweetingModel.from_dataset(ds)
+        n = len(gaz.venue_vocabulary)
+        assert tr.probability(0) == pytest.approx(1.0 / n)

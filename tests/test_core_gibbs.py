@@ -1,0 +1,206 @@
+"""Tests for the Gibbs sampler: invariants, determinism, behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import NO_ASSIGNMENT, GibbsSampler, _draw_index
+from repro.core.params import MLPParams
+from repro.core.priors import build_user_priors
+
+
+@pytest.fixture(scope="module")
+def sampler_after_sweeps(small_world):
+    params = MLPParams(n_iterations=4, burn_in=1, seed=7)
+    sampler = GibbsSampler(small_world, params)
+    sampler.initialize()
+    for _ in range(3):
+        sampler.sweep()
+    return sampler
+
+
+def check_count_consistency(sampler):
+    """phi must equal the histogram of current non-noise assignments."""
+    expected = np.zeros_like(sampler.state.user_counts.phi)
+    followers = sampler._followers
+    friends = sampler._friends
+    for s in range(len(followers)):
+        if sampler.state.mu[s] == 0:
+            expected[followers[s], sampler.state.x[s]] += 1
+            expected[friends[s], sampler.state.y[s]] += 1
+    for k in range(len(sampler._tw_users)):
+        if sampler.state.nu[k] == 0:
+            expected[sampler._tw_users[k], sampler.state.z[k]] += 1
+    assert np.array_equal(expected, sampler.state.user_counts.phi)
+    assert np.array_equal(
+        expected.sum(axis=1), sampler.state.user_counts.totals
+    )
+
+
+class TestDrawIndex:
+    def test_point_mass(self, rng):
+        w = np.array([0.0, 2.5, 0.0])
+        assert _draw_index(rng, w) == 1
+
+    def test_degenerate_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            _draw_index(rng, np.zeros(3))
+        with pytest.raises(RuntimeError):
+            _draw_index(rng, np.array([np.inf, 1.0]))
+
+
+class TestInvariants:
+    def test_counts_match_assignments_after_init(self, small_world):
+        params = MLPParams(n_iterations=2, burn_in=0, seed=1)
+        sampler = GibbsSampler(small_world, params)
+        sampler.initialize()
+        check_count_consistency(sampler)
+
+    def test_counts_match_assignments_after_sweeps(self, sampler_after_sweeps):
+        check_count_consistency(sampler_after_sweeps)
+
+    def test_assignments_within_candidates(self, sampler_after_sweeps):
+        sampler = sampler_after_sweeps
+        priors = sampler.priors
+        for s in range(len(sampler._followers)):
+            if sampler.state.mu[s] == 0:
+                i = sampler._followers[s]
+                j = sampler._friends[s]
+                assert sampler.state.x[s] in priors.candidates[i]
+                assert sampler.state.y[s] in priors.candidates[j]
+            else:
+                assert sampler.state.x[s] == NO_ASSIGNMENT
+                assert sampler.state.y[s] == NO_ASSIGNMENT
+
+    def test_tweeting_assignments_within_candidates(self, sampler_after_sweeps):
+        sampler = sampler_after_sweeps
+        priors = sampler.priors
+        for k in range(len(sampler._tw_users)):
+            if sampler.state.nu[k] == 0:
+                assert sampler.state.z[k] in priors.candidates[sampler._tw_users[k]]
+            else:
+                assert sampler.state.z[k] == NO_ASSIGNMENT
+
+    def test_venue_counts_nonnegative(self, sampler_after_sweeps):
+        counts = sampler_after_sweeps.tweeting_model.counts_copy()
+        assert np.all(counts >= 0)
+
+    def test_sweep_requires_initialize(self, small_world):
+        sampler = GibbsSampler(small_world, MLPParams(n_iterations=2, burn_in=0))
+        with pytest.raises(RuntimeError):
+            sampler.sweep()
+
+
+class TestDeterminism:
+    def test_same_seed_same_chain(self, small_world):
+        params = MLPParams(n_iterations=3, burn_in=1, seed=5)
+        runs = []
+        for _ in range(2):
+            sampler = GibbsSampler(small_world, params)
+            sampler.run()
+            runs.append(
+                (
+                    sampler.state.x.copy(),
+                    sampler.state.y.copy(),
+                    sampler.state.z.copy(),
+                    sampler.state.mu.copy(),
+                )
+            )
+        for a, b in zip(runs[0], runs[1]):
+            assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self, small_world):
+        chains = []
+        for seed in (1, 2):
+            params = MLPParams(n_iterations=3, burn_in=1, seed=seed)
+            sampler = GibbsSampler(small_world, params)
+            sampler.run()
+            chains.append(sampler.state.x.copy())
+        assert not np.array_equal(chains[0], chains[1])
+
+
+class TestAblations:
+    def test_mlp_u_ignores_tweets(self, small_world):
+        from repro.core.model import mlp_u_params
+
+        params = mlp_u_params(MLPParams(n_iterations=2, burn_in=0, seed=1))
+        sampler = GibbsSampler(small_world, params)
+        assert len(sampler._tw_users) == 0
+        assert len(sampler._followers) == small_world.n_following
+
+    def test_mlp_c_ignores_following(self, small_world):
+        from repro.core.model import mlp_c_params
+
+        params = mlp_c_params(MLPParams(n_iterations=2, burn_in=0, seed=1))
+        sampler = GibbsSampler(small_world, params)
+        assert len(sampler._followers) == 0
+        assert len(sampler._tw_users) == small_world.n_tweeting
+
+
+class TestNoiseDetection:
+    def test_noise_fraction_in_plausible_band(self, small_world):
+        params = MLPParams(n_iterations=8, burn_in=4, seed=2)
+        sampler = GibbsSampler(small_world, params)
+        trace = sampler.run()
+        last = trace.iterations[-1]
+        # Generator noise is ~0.12 following / 0.20 tweeting; the model
+        # must land in a broad band around those, not at 0 or 1.
+        assert 0.02 < last.noise_following_fraction < 0.45
+        assert 0.02 < last.noise_tweeting_fraction < 0.5
+
+    def test_noise_edges_detected_better_than_chance(self, small_world):
+        params = MLPParams(n_iterations=10, burn_in=5, seed=2)
+        sampler = GibbsSampler(small_world, params)
+        sampler.run()
+        mu = sampler.state.mu
+        truth = np.array([bool(e.is_noise) for e in small_world.following])
+        flagged_rate_on_noise = mu[truth].mean()
+        flagged_rate_on_clean = mu[~truth].mean()
+        assert flagged_rate_on_noise > flagged_rate_on_clean
+
+    def test_trace_metric_callback(self, small_world):
+        params = MLPParams(n_iterations=3, burn_in=1, seed=2)
+        sampler = GibbsSampler(small_world, params)
+        seen = []
+
+        def probe(s, it):
+            seen.append(it)
+            return float(it)
+
+        trace = sampler.run(metric_callback=probe)
+        assert seen == [0, 1, 2]
+        assert trace.metrics() == [0.0, 1.0, 2.0]
+
+
+class TestEstimates:
+    def test_theta_normalized(self, sampler_after_sweeps):
+        sampler = sampler_after_sweeps
+        row = sampler.state.user_counts.row(0)
+        theta = sampler.theta_for(0, row)
+        assert theta.sum() == pytest.approx(1.0)
+        assert np.all(theta >= 0)
+
+    def test_current_home_estimates_valid(self, sampler_after_sweeps):
+        homes = sampler_after_sweeps.current_home_estimates()
+        n_loc = len(sampler_after_sweeps.dataset.gazetteer)
+        assert homes.shape == (sampler_after_sweeps.dataset.n_users,)
+        assert homes.min() >= 0 and homes.max() < n_loc
+
+    def test_labeled_users_estimated_at_observed_location(
+        self, sampler_after_sweeps
+    ):
+        """The gamma boost must anchor labeled users to their label."""
+        sampler = sampler_after_sweeps
+        homes = sampler.current_home_estimates()
+        observed = sampler.dataset.observed_locations
+        matches = sum(homes[u] == loc for u, loc in observed.items())
+        assert matches / len(observed) > 0.9
+
+    def test_set_following_law_swaps_model(self, small_world):
+        from repro.mathx.powerlaw import PowerLaw
+
+        sampler = GibbsSampler(
+            small_world, MLPParams(n_iterations=2, burn_in=0, seed=1)
+        )
+        new_law = PowerLaw(alpha=-0.9, beta=0.02)
+        sampler.set_following_law(new_law)
+        assert sampler.following_model.law.alpha == -0.9

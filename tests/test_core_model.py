@@ -1,0 +1,143 @@
+"""Tests for the MLPModel facade and its result types."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import MLPModel, mlp_c_params, mlp_u_params
+from repro.core.params import MLPParams
+from repro.core.results import LocationProfile
+
+
+class TestProfiles:
+    def test_one_profile_per_user(self, fitted_result, small_world):
+        assert len(fitted_result.profiles) == small_world.n_users
+
+    def test_profiles_normalized_and_sorted(self, fitted_result):
+        for profile in fitted_result.profiles:
+            probs = [p for _, p in profile.entries]
+            assert sum(probs) == pytest.approx(1.0)
+            assert probs == sorted(probs, reverse=True)
+
+    def test_home_is_top_entry(self, fitted_result):
+        p = fitted_result.profiles[0]
+        assert p.home == p.entries[0][0]
+
+    def test_predicted_homes_array(self, fitted_result, small_world):
+        homes = fitted_result.predicted_homes()
+        assert homes.shape == (small_world.n_users,)
+        n_loc = len(small_world.gazetteer)
+        assert homes.min() >= 0 and homes.max() < n_loc
+
+    def test_labeled_users_predicted_at_label(self, fitted_result, small_world):
+        observed = small_world.observed_locations
+        matches = sum(
+            fitted_result.predicted_home(u) == loc for u, loc in observed.items()
+        )
+        assert matches / len(observed) > 0.9
+
+    def test_predicted_locations_top_k(self, fitted_result):
+        top2 = fitted_result.predicted_locations(0, k=2)
+        assert len(top2) <= 2
+        assert top2[0] == fitted_result.predicted_home(0)
+
+
+class TestExplanations:
+    def test_one_explanation_per_edge(self, fitted_result, small_world):
+        assert len(fitted_result.explanations) == small_world.n_following
+
+    def test_explanation_indices_parallel(self, fitted_result, small_world):
+        for s, expl in enumerate(fitted_result.explanations):
+            assert expl.edge_index == s
+            assert expl.follower == small_world.following[s].follower
+            assert expl.friend == small_world.following[s].friend
+
+    def test_noise_probabilities_in_unit_interval(self, fitted_result):
+        for expl in fitted_result.explanations:
+            assert 0.0 <= expl.noise_probability <= 1.0
+            assert 0.0 <= expl.support <= 1.0
+
+    def test_tweet_explanations_present(self, fitted_result, small_world):
+        assert len(fitted_result.tweet_explanations) == small_world.n_tweeting
+
+    def test_tracking_disabled_gives_empty(self, small_world):
+        params = MLPParams(
+            n_iterations=4, burn_in=1, seed=0, track_edge_assignments=False
+        )
+        result = MLPModel(params).fit(small_world)
+        assert result.explanations == ()
+        assert result.tweet_explanations == ()
+
+
+class TestGeoGroups:
+    def test_groups_partition_followers(self, fitted_result, small_world):
+        uid = max(
+            range(small_world.n_users),
+            key=lambda u: len(small_world.followers_of[u]),
+        )
+        groups = fitted_result.geo_groups(uid)
+        grouped = [f for members in groups.values() for f in members]
+        assert sorted(grouped) == sorted(small_world.followers_of[uid])
+
+    def test_group_keys_are_locations(self, fitted_result, small_world):
+        uid = max(
+            range(small_world.n_users),
+            key=lambda u: len(small_world.followers_of[u]),
+        )
+        n_loc = len(small_world.gazetteer)
+        for key in fitted_result.geo_groups(uid):
+            assert 0 <= key < n_loc
+
+
+class TestVariants:
+    def test_mlp_u_has_no_tweet_explanations(self, small_world):
+        params = mlp_u_params(MLPParams(n_iterations=4, burn_in=1, seed=0))
+        result = MLPModel(params).fit(small_world)
+        assert result.tweet_explanations == ()
+        assert len(result.explanations) == small_world.n_following
+
+    def test_mlp_c_has_no_edge_explanations(self, small_world):
+        params = mlp_c_params(MLPParams(n_iterations=4, burn_in=1, seed=0))
+        result = MLPModel(params).fit(small_world)
+        assert result.explanations == ()
+        assert len(result.tweet_explanations) == small_world.n_tweeting
+
+
+class TestResultMetadata:
+    def test_law_history_nonempty(self, fitted_result):
+        assert len(fitted_result.law_history) >= 1
+        assert fitted_result.fitted_law is fitted_result.law_history[-1]
+
+    def test_fitted_law_has_negative_alpha(self, fitted_result):
+        assert fitted_result.fitted_law.alpha < 0
+
+    def test_trace_covers_all_iterations(self, fitted_result, small_params):
+        assert len(fitted_result.trace) == small_params.n_iterations
+
+
+class TestLocationProfileType:
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            LocationProfile(user_id=0, entries=((1, 0.6), (2, 0.6)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LocationProfile(user_id=0, entries=((1, -0.5), (2, 1.5)))
+
+    def test_empty_profile_home_is_none(self):
+        assert LocationProfile(user_id=0, entries=()).home is None
+
+    def test_probability_of(self):
+        p = LocationProfile(user_id=0, entries=((3, 0.7), (1, 0.3)))
+        assert p.probability_of(3) == 0.7
+        assert p.probability_of(99) == 0.0
+
+    def test_above_threshold(self):
+        p = LocationProfile(user_id=0, entries=((3, 0.7), (1, 0.3)))
+        assert p.above_threshold(0.5) == [3]
+        assert p.above_threshold(0.1) == [3, 1]
+
+    def test_describe(self, gazetteer):
+        p = LocationProfile(user_id=0, entries=((0, 1.0),))
+        text = p.describe(gazetteer)
+        assert "New York, NY" in text
+        assert "1.00" in text

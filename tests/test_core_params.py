@@ -1,0 +1,89 @@
+"""Unit tests for MLPParams validation."""
+
+import pytest
+
+from repro.core.params import MLPParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        MLPParams()
+
+    def test_rejects_positive_alpha(self):
+        with pytest.raises(ValueError):
+            MLPParams(alpha=0.1)
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            MLPParams(beta=0.0)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            MLPParams(rho_f=1.0)
+        with pytest.raises(ValueError):
+            MLPParams(rho_t=-0.1)
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(ValueError):
+            MLPParams(tau=0.0)
+
+    def test_rejects_negative_boost(self):
+        with pytest.raises(ValueError):
+            MLPParams(boost=-1.0)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            MLPParams(delta=0.0)
+
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(ValueError):
+            MLPParams(n_iterations=0)
+        with pytest.raises(ValueError):
+            MLPParams(n_iterations=10, burn_in=10)
+        with pytest.raises(ValueError):
+            MLPParams(n_iterations=10, burn_in=-1)
+
+    def test_rejects_negative_em_rounds(self):
+        with pytest.raises(ValueError):
+            MLPParams(em_rounds=-1)
+
+    def test_rejects_disabling_both_sources(self):
+        with pytest.raises(ValueError):
+            MLPParams(use_following=False, use_tweeting=False)
+
+    def test_rejects_nonpositive_min_distance(self):
+        with pytest.raises(ValueError):
+            MLPParams(min_distance_miles=0.0)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new(self):
+        base = MLPParams()
+        derived = base.with_overrides(seed=99)
+        assert derived.seed == 99
+        assert base.seed == 0
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            MLPParams().with_overrides(alpha=1.0)
+
+
+class TestVariants:
+    def test_mlp_u(self):
+        from repro.core.model import mlp_u_params
+
+        p = mlp_u_params()
+        assert p.use_following and not p.use_tweeting
+
+    def test_mlp_c(self):
+        from repro.core.model import mlp_c_params
+
+        p = mlp_c_params()
+        assert p.use_tweeting and not p.use_following
+
+    def test_variants_inherit_base(self):
+        from repro.core.model import mlp_u_params
+
+        base = MLPParams(seed=42, n_iterations=7, burn_in=2)
+        p = mlp_u_params(base)
+        assert p.seed == 42 and p.n_iterations == 7

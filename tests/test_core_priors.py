@@ -1,0 +1,131 @@
+"""Unit tests for candidacy vectors and gamma priors (Sec. 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import MLPParams
+from repro.core.priors import (
+    build_user_priors,
+    candidate_locations_for,
+    venue_referent_map,
+)
+from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return Gazetteer(
+        [
+            Location(0, "Alpha", "CA", 34.0, -118.0, 500),
+            Location(1, "Beta", "TX", 30.0, -97.0, 400),
+            Location(2, "Twin", "NJ", 40.3, -74.6, 300),
+            Location(3, "Twin", "WV", 37.3, -81.1, 200),
+        ]
+    )
+
+
+@pytest.fixture()
+def dataset(gaz):
+    twin_vid = list(gaz.venue_vocabulary).index("twin")
+    users = [
+        User(0, registered_location=0),  # labeled
+        User(1),                          # unlabeled, has neighbours+venues
+        User(2, registered_location=1),  # labeled
+        User(3),                          # isolated
+    ]
+    following = [FollowingEdge(1, 0), FollowingEdge(2, 1)]
+    tweeting = [TweetingEdge(1, twin_vid)]
+    return Dataset(gaz, users, following, tweeting)
+
+
+class TestVenueReferents:
+    def test_ambiguous_venue_maps_to_all_cities(self, dataset, gaz):
+        referents = venue_referent_map(dataset)
+        twin_vid = list(gaz.venue_vocabulary).index("twin")
+        assert set(referents[twin_vid]) == {2, 3}
+
+    def test_unique_venue_maps_to_one(self, dataset, gaz):
+        referents = venue_referent_map(dataset)
+        alpha_vid = list(gaz.venue_vocabulary).index("alpha")
+        assert referents[alpha_vid] == (0,)
+
+
+class TestCandidateLocations:
+    def test_labeled_user_includes_own_location(self, dataset):
+        referents = venue_referent_map(dataset)
+        cands = candidate_locations_for(dataset, 0, referents)
+        assert 0 in cands
+
+    def test_neighbours_contribute_observed_locations(self, dataset):
+        referents = venue_referent_map(dataset)
+        cands = candidate_locations_for(dataset, 1, referents)
+        # Friend 0 registered loc 0; follower 2 registered loc 1.
+        assert {0, 1} <= cands
+
+    def test_venues_contribute_all_referents(self, dataset):
+        referents = venue_referent_map(dataset)
+        cands = candidate_locations_for(dataset, 1, referents)
+        assert {2, 3} <= cands
+
+    def test_following_signal_excluded_for_mlp_c(self, dataset):
+        referents = venue_referent_map(dataset)
+        cands = candidate_locations_for(
+            dataset, 1, referents, use_following=False
+        )
+        assert cands == {2, 3}
+
+    def test_tweeting_signal_excluded_for_mlp_u(self, dataset):
+        referents = venue_referent_map(dataset)
+        cands = candidate_locations_for(
+            dataset, 1, referents, use_tweeting=False
+        )
+        assert cands == {0, 1}
+
+    def test_isolated_user_has_no_candidates(self, dataset):
+        referents = venue_referent_map(dataset)
+        assert candidate_locations_for(dataset, 3, referents) == set()
+
+
+class TestBuildUserPriors:
+    def test_candidates_sorted(self, dataset):
+        priors = build_user_priors(dataset, MLPParams())
+        for cand in priors.candidates:
+            assert np.all(np.diff(cand) > 0)
+
+    def test_labeled_user_boosted(self, dataset):
+        params = MLPParams(tau=0.1, boost=50.0)
+        priors = build_user_priors(dataset, params)
+        cand = priors.candidates[0]
+        gamma = priors.gamma[0]
+        pos = int(np.searchsorted(cand, 0))
+        assert gamma[pos] == pytest.approx(50.1)
+
+    def test_unlabeled_user_flat_tau(self, dataset):
+        params = MLPParams(tau=0.1, boost=50.0)
+        priors = build_user_priors(dataset, params)
+        assert np.allclose(priors.gamma[1], 0.1)
+
+    def test_gamma_sum_consistent(self, dataset):
+        priors = build_user_priors(dataset, MLPParams())
+        for uid in range(dataset.n_users):
+            assert priors.gamma_sum[uid] == pytest.approx(
+                priors.gamma[uid].sum()
+            )
+
+    def test_isolated_user_falls_back_to_full_gazetteer(self, dataset, gaz):
+        priors = build_user_priors(dataset, MLPParams())
+        assert priors.candidates[3].size == len(gaz)
+
+    def test_candidate_count(self, dataset):
+        priors = build_user_priors(dataset, MLPParams())
+        counts = priors.candidate_count()
+        assert counts[1] == 4  # {0, 1, 2, 3}
+
+    def test_real_world_priors_cover_candidates(self, small_world):
+        priors = build_user_priors(small_world, MLPParams())
+        assert priors.n_users == small_world.n_users
+        n_loc = len(small_world.gazetteer)
+        for cand in priors.candidates:
+            assert cand.size > 0
+            assert cand.min() >= 0 and cand.max() < n_loc

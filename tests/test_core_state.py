@@ -1,0 +1,125 @@
+"""Unit tests for sampler state: counts and assignment tallies."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import EdgeAssignmentTally, GibbsState, UserLocationCounts
+
+
+class TestUserLocationCounts:
+    def test_increment_decrement_roundtrip(self):
+        counts = UserLocationCounts(3, 5)
+        counts.increment(0, 2)
+        counts.increment(0, 2)
+        counts.decrement(0, 2)
+        assert counts.phi[0, 2] == 1.0
+        assert counts.total(0) == 1.0
+
+    def test_negative_count_raises(self):
+        counts = UserLocationCounts(2, 2)
+        with pytest.raises(RuntimeError):
+            counts.decrement(0, 0)
+
+    def test_counts_over_candidates(self):
+        counts = UserLocationCounts(1, 4)
+        counts.increment(0, 1)
+        counts.increment(0, 3)
+        over = counts.counts_over(0, np.array([0, 1, 3]))
+        assert over.tolist() == [0.0, 1.0, 1.0]
+
+    def test_add_into_accumulates(self):
+        counts = UserLocationCounts(1, 2)
+        counts.increment(0, 0)
+        acc = np.zeros((1, 2))
+        counts.add_into(acc)
+        counts.add_into(acc)
+        assert acc[0, 0] == 2.0
+
+    def test_row_returns_copy(self):
+        counts = UserLocationCounts(1, 2)
+        row = counts.row(0)
+        row[0] = 99.0
+        assert counts.phi[0, 0] == 0.0
+
+
+class TestEdgeAssignmentTally:
+    def test_modal_following(self):
+        tally = EdgeAssignmentTally(1, 0)
+        mu = np.array([0], dtype=np.int8)
+        for xy in [(3, 4), (3, 4), (5, 6)]:
+            tally.record_iteration(
+                mu, np.array([xy[0]]), np.array([xy[1]]),
+                np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int64),
+            )
+        x, y, support = tally.modal_following(0)
+        assert (x, y) == (3, 4)
+        assert support == pytest.approx(2 / 3)
+
+    def test_noise_samples_not_tallied(self):
+        tally = EdgeAssignmentTally(1, 0)
+        tally.record_iteration(
+            np.array([1], dtype=np.int8), np.array([-1]), np.array([-1]),
+            np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int64),
+        )
+        assert tally.modal_following(0) is None
+        assert tally.noise_probability_following(0) == 1.0
+
+    def test_modal_tweeting(self):
+        tally = EdgeAssignmentTally(0, 1)
+        for z in [7, 7, 2]:
+            tally.record_iteration(
+                np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.array([0], dtype=np.int8), np.array([z]),
+            )
+        z, support = tally.modal_tweeting(0)
+        assert z == 7
+        assert support == pytest.approx(2 / 3)
+
+    def test_noise_probability_tweeting(self):
+        tally = EdgeAssignmentTally(0, 1)
+        for nu in [0, 1, 1, 1]:
+            tally.record_iteration(
+                np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.array([nu], dtype=np.int8), np.array([5 if nu == 0 else -1]),
+            )
+        assert tally.noise_probability_tweeting(0) == 0.75
+
+    def test_no_samples_raises(self):
+        tally = EdgeAssignmentTally(1, 1)
+        with pytest.raises(ValueError):
+            tally.modal_following(0)
+        with pytest.raises(ValueError):
+            tally.noise_probability_following(0)
+
+
+class TestGibbsState:
+    def test_allocation_shapes(self):
+        state = GibbsState(
+            n_users=4, n_locations=6, n_following=3, n_tweeting=2,
+            track_edges=True,
+        )
+        assert state.mu.shape == (3,)
+        assert state.z.shape == (2,)
+        assert state.user_counts.phi.shape == (4, 6)
+        assert state.edge_tally is not None
+
+    def test_tracking_disabled(self):
+        state = GibbsState(2, 2, 1, 1, track_edges=False)
+        assert state.edge_tally is None
+        state.record_edge_snapshot()  # must be a no-op, not an error
+
+    def test_theta_snapshot_accumulation(self):
+        state = GibbsState(1, 2, 0, 0, track_edges=False)
+        state.user_counts.increment(0, 1)
+        state.accumulate_theta_snapshot()
+        state.accumulate_theta_snapshot()
+        mean = state.mean_theta_counts()
+        assert mean[0, 1] == 1.0
+        assert state.theta_samples == 2
+
+    def test_mean_theta_requires_snapshots(self):
+        state = GibbsState(1, 1, 0, 0, track_edges=False)
+        with pytest.raises(RuntimeError):
+            state.mean_theta_counts()

@@ -1,0 +1,186 @@
+"""Unit tests for the synthetic world generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.data.stats import compute_stats
+
+
+class TestConfigValidation:
+    def test_rejects_tiny_world(self):
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(n_users=1)
+
+    def test_rejects_bad_labeled_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(labeled_fraction=1.5)
+
+    def test_rejects_unnormalized_location_probs(self):
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(n_location_probs=(0.5, 0.5, 0.5))
+
+    def test_rejects_positive_alpha(self):
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(alpha=0.5)
+
+    def test_rejects_noise_probability_one(self):
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(noise_following=1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        cfg = SyntheticWorldConfig(n_users=80, seed=21)
+        a = generate_world(cfg)
+        b = generate_world(cfg)
+        assert [u.true_locations for u in a.users] == [
+            u.true_locations for u in b.users
+        ]
+        assert a.following == b.following
+        assert a.tweeting == b.tweeting
+
+    def test_different_seeds_differ(self):
+        a = generate_world(SyntheticWorldConfig(n_users=80, seed=1))
+        b = generate_world(SyntheticWorldConfig(n_users=80, seed=2))
+        assert a.following != b.following
+
+
+class TestGroundTruthConsistency:
+    def test_every_user_has_truth(self, small_world):
+        assert small_world.has_ground_truth
+
+    def test_home_is_argmax_of_profile(self, small_world):
+        for u in small_world.users:
+            assert u.true_home == u.true_locations[0]
+            weights = u.true_profile_weights
+            assert weights[0] == max(weights)
+
+    def test_profile_weights_normalized(self, small_world):
+        for u in small_world.users:
+            assert sum(u.true_profile_weights) == pytest.approx(1.0)
+
+    def test_locations_distinct_per_user(self, small_world):
+        for u in small_world.users:
+            assert len(set(u.true_locations)) == len(u.true_locations)
+
+    def test_labeled_users_registered_at_true_home(self, small_world):
+        for u in small_world.users:
+            if u.is_labeled:
+                assert u.registered_location == u.true_home
+
+    def test_location_count_distribution(self):
+        ds = generate_world(SyntheticWorldConfig(n_users=600, seed=3))
+        counts = np.array([len(u.true_locations) for u in ds.users])
+        assert set(counts) <= {1, 2, 3}
+        # Defaults: 50% single, 38% double, 12% triple.
+        assert 0.40 < np.mean(counts == 1) < 0.60
+        assert np.mean(counts == 3) < 0.25
+
+
+class TestEdgeGroundTruth:
+    def test_noise_edges_have_no_assignments(self, small_world):
+        for e in small_world.following:
+            if e.is_noise:
+                assert e.true_x is None and e.true_y is None
+            else:
+                assert e.true_x is not None and e.true_y is not None
+
+    def test_location_edge_assignments_in_profiles(self, small_world):
+        for e in small_world.following:
+            if not e.is_noise:
+                assert e.true_x in small_world.users[e.follower].true_locations
+                assert e.true_y in small_world.users[e.friend].true_locations
+
+    def test_no_duplicate_edges(self, small_world):
+        pairs = [(e.follower, e.friend) for e in small_world.following]
+        assert len(pairs) == len(set(pairs))
+
+    def test_tweet_assignments_in_profiles(self, small_world):
+        for t in small_world.tweeting:
+            if not t.is_noise:
+                assert t.true_z in small_world.users[t.user].true_locations
+            else:
+                assert t.true_z is None
+
+
+class TestCorpusShape:
+    """The generated world matches the paper's corpus statistics."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return compute_stats(generate_world(SyntheticWorldConfig(n_users=800, seed=5)))
+
+    def test_mean_friends_near_config(self, stats):
+        assert 8.0 < stats.mean_friends < 12.0
+
+    def test_mean_venues_near_config(self, stats):
+        assert 11.0 < stats.mean_venues < 17.0
+
+    def test_labeled_fraction_near_config(self, stats):
+        assert 0.74 < stats.labeled_fraction < 0.86
+
+    def test_noise_fractions_near_config(self, stats):
+        # Nominal 0.12, but retries after duplicate/self edges re-roll
+        # the mixture choice, inflating the realized rate slightly.
+        assert 0.08 < stats.noise_following_fraction < 0.22
+        assert 0.15 < stats.noise_tweeting_fraction < 0.26
+
+    def test_multi_location_fraction(self, stats):
+        assert 0.40 < stats.multi_location_fraction < 0.60
+
+    def test_candidacy_coverage_is_high(self, stats):
+        # The paper reports ~92%; the synthetic world must be in the
+        # same regime for candidacy vectors to make sense.
+        assert stats.candidacy_coverage > 0.65
+
+
+class TestDistanceDecay:
+    def test_location_edges_are_mostly_local(self, small_world):
+        """Non-noise edges should be far more local than noise edges."""
+        gaz = small_world.gazetteer
+        loc_d, noise_d = [], []
+        for e in small_world.following:
+            follower_home = small_world.users[e.follower].true_home
+            friend_home = small_world.users[e.friend].true_home
+            d = gaz.distance(follower_home, friend_home)
+            (noise_d if e.is_noise else loc_d).append(d)
+        assert np.median(loc_d) < np.median(noise_d)
+
+
+class TestTweetRendering:
+    def test_tweets_rendered_when_enabled(self):
+        ds = generate_world(
+            SyntheticWorldConfig(n_users=30, seed=2, render_tweets=True)
+        )
+        assert len(ds.tweets) == ds.n_tweeting
+        assert all(t.text for t in ds.tweets)
+
+    def test_rendered_tweets_mention_their_venue(self):
+        from repro.text.venues import VenueExtractor
+
+        ds = generate_world(
+            SyntheticWorldConfig(n_users=30, seed=2, render_tweets=True)
+        )
+        extractor = VenueExtractor(ds.gazetteer)
+        hits = 0
+        for tweet, edge in zip(ds.tweets[:50], ds.tweeting[:50]):
+            mentioned = extractor.extract_venue_ids(tweet.text)
+            if edge.venue_id in mentioned:
+                hits += 1
+        # Template filler can collide with venue tokens, but the named
+        # venue must be recovered in the overwhelming majority.
+        assert hits >= 45
+
+    def test_no_tweets_by_default(self, small_world):
+        assert small_world.tweets == ()
+
+
+class TestCustomGazetteer:
+    def test_generate_on_synthetic_gazetteer(self):
+        from repro.geo.us_cities import synthetic_gazetteer
+
+        gaz = synthetic_gazetteer(40, seed=0)
+        ds = generate_world(SyntheticWorldConfig(n_users=50, seed=1), gazetteer=gaz)
+        assert ds.n_users == 50
+        assert len(ds.gazetteer) == 40

@@ -1,0 +1,82 @@
+"""Round-trip tests for dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.data.io import FORMAT_VERSION, load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(
+        SyntheticWorldConfig(n_users=40, seed=9, render_tweets=True)
+    )
+
+
+class TestRoundTrip:
+    def test_users_survive(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert loaded.n_users == world.n_users
+        for a, b in zip(world.users, loaded.users):
+            assert a == b
+
+    def test_edges_survive(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert loaded.following == world.following
+        assert loaded.tweeting == world.tweeting
+
+    def test_tweets_survive(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert loaded.tweets == world.tweets
+
+    def test_gazetteer_survives(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert len(loaded.gazetteer) == len(world.gazetteer)
+        assert loaded.gazetteer.by_id(3).name == world.gazetteer.by_id(3).name
+        assert loaded.gazetteer.by_id(3).lat == world.gazetteer.by_id(3).lat
+
+    def test_labels_survive(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert loaded.observed_locations == world.observed_locations
+
+    def test_derived_structures_equal(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert loaded.friends_of == world.friends_of
+        assert loaded.venues_of == world.venues_of
+
+
+class TestVersioning:
+    def test_version_written(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == FORMAT_VERSION
+
+    def test_unknown_version_rejected(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(world, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+    def test_missing_version_rejected(self, world, tmp_path):
+        path = tmp_path / "ds.json"
+        path.write_text(json.dumps({"users": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,165 @@
+"""Unit tests for the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import Dataset, FollowingEdge, Tweet, TweetingEdge, User
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+@pytest.fixture(scope="module")
+def toy_gaz():
+    return Gazetteer(
+        [
+            Location(0, "A-Town", "CA", 34.0, -118.0, 100),
+            Location(1, "B-Town", "TX", 30.0, -97.0, 200),
+            Location(2, "C-Town", "NY", 40.0, -74.0, 300),
+        ]
+    )
+
+
+@pytest.fixture()
+def toy_dataset(toy_gaz):
+    users = [
+        User(0, registered_location=0, true_home=0, true_locations=(0,),
+             true_profile_weights=(1.0,)),
+        User(1, registered_location=None, true_home=1,
+             true_locations=(1, 2), true_profile_weights=(0.7, 0.3)),
+        User(2, registered_location=2, true_home=2, true_locations=(2,),
+             true_profile_weights=(1.0,)),
+    ]
+    following = [
+        FollowingEdge(0, 1, true_x=0, true_y=1, is_noise=False),
+        FollowingEdge(1, 2, true_x=2, true_y=2, is_noise=False),
+        FollowingEdge(2, 0, true_x=None, true_y=None, is_noise=True),
+    ]
+    tweeting = [
+        TweetingEdge(0, 0, true_z=0, is_noise=False),
+        TweetingEdge(1, 1, true_z=1, is_noise=False),
+        TweetingEdge(1, 2, true_z=None, is_noise=True),
+    ]
+    return Dataset(toy_gaz, users, following, tweeting)
+
+
+class TestValidation:
+    def test_rejects_sparse_user_ids(self, toy_gaz):
+        with pytest.raises(ValueError):
+            Dataset(toy_gaz, [User(3)], [], [])
+
+    def test_rejects_edge_to_unknown_user(self, toy_gaz):
+        with pytest.raises(ValueError):
+            Dataset(toy_gaz, [User(0)], [FollowingEdge(0, 9)], [])
+
+    def test_rejects_self_follow(self):
+        with pytest.raises(ValueError):
+            FollowingEdge(1, 1)
+
+    def test_rejects_unknown_venue(self, toy_gaz):
+        with pytest.raises(ValueError):
+            Dataset(toy_gaz, [User(0)], [], [TweetingEdge(0, 999)])
+
+    def test_rejects_unknown_location_label(self, toy_gaz):
+        with pytest.raises(ValueError):
+            Dataset(toy_gaz, [User(0, registered_location=55)], [], [])
+
+
+class TestUserProperties:
+    def test_is_labeled(self, toy_dataset):
+        assert toy_dataset.users[0].is_labeled
+        assert not toy_dataset.users[1].is_labeled
+
+    def test_is_multi_location(self, toy_dataset):
+        assert toy_dataset.users[1].is_multi_location
+        assert not toy_dataset.users[0].is_multi_location
+
+    def test_has_ground_truth(self, toy_dataset):
+        assert toy_dataset.has_ground_truth
+
+
+class TestLabelStructure:
+    def test_labeled_and_unlabeled_partition(self, toy_dataset):
+        assert toy_dataset.labeled_user_ids == (0, 2)
+        assert toy_dataset.unlabeled_user_ids == (1,)
+
+    def test_observed_locations(self, toy_dataset):
+        assert toy_dataset.observed_locations == {0: 0, 2: 2}
+
+
+class TestAdjacency:
+    def test_friends_of(self, toy_dataset):
+        assert toy_dataset.friends_of[0] == (1,)
+        assert toy_dataset.friends_of[1] == (2,)
+
+    def test_followers_of(self, toy_dataset):
+        assert toy_dataset.followers_of[0] == (2,)
+        assert toy_dataset.followers_of[2] == (1,)
+
+    def test_neighbors_undirected(self, toy_dataset):
+        assert toy_dataset.neighbors_of[0] == (1, 2)
+
+    def test_venues_of_with_repeats(self, toy_gaz):
+        users = [User(0)]
+        tweeting = [TweetingEdge(0, 1), TweetingEdge(0, 1)]
+        ds = Dataset(toy_gaz, users, [], tweeting)
+        assert ds.venues_of[0] == (1, 1)
+
+    def test_venue_mention_counts(self, toy_dataset):
+        counts = toy_dataset.venue_mention_counts
+        assert counts.sum() == 3
+        assert counts[2] == 1
+
+
+class TestGroundTruthAccess:
+    def test_true_home_of(self, toy_dataset):
+        assert toy_dataset.true_home_of(1) == 1
+
+    def test_true_home_missing_raises(self, toy_gaz):
+        ds = Dataset(toy_gaz, [User(0)], [], [])
+        with pytest.raises(ValueError):
+            ds.true_home_of(0)
+
+    def test_multi_location_cohort(self, toy_dataset):
+        assert toy_dataset.multi_location_user_ids() == (1,)
+
+
+class TestLabelManipulation:
+    def test_hide_labels(self, toy_dataset):
+        hidden = toy_dataset.with_labels_hidden([0])
+        assert hidden.labeled_user_ids == (2,)
+        # Ground truth survives.
+        assert hidden.users[0].true_home == 0
+        # Original untouched.
+        assert toy_dataset.labeled_user_ids == (0, 2)
+
+    def test_restore_labels_from_truth(self, toy_dataset):
+        restored = toy_dataset.with_labels_from_truth([1])
+        assert restored.users[1].registered_location == 1
+
+    def test_hide_then_restore_roundtrip(self, toy_dataset):
+        roundtrip = toy_dataset.with_labels_hidden([0]).with_labels_from_truth([0])
+        assert roundtrip.observed_locations == toy_dataset.observed_locations
+
+
+class TestSubset:
+    def test_subset_users_remaps(self, toy_dataset):
+        sub = toy_dataset.subset_users([1, 2])
+        assert sub.n_users == 2
+        # Edge 1->2 becomes 0->1 in the new ids.
+        assert sub.following[0].follower == 0
+        assert sub.following[0].friend == 1
+
+    def test_subset_drops_crossing_edges(self, toy_dataset):
+        sub = toy_dataset.subset_users([0, 1])
+        # Edges touching user 2 are gone: only 0->1 remains.
+        assert sub.n_following == 1
+
+    def test_subset_keeps_tweets_of_kept_users(self, toy_dataset):
+        sub = toy_dataset.subset_users([1])
+        assert sub.n_tweeting == 2
+
+
+class TestRepr:
+    def test_repr_mentions_sizes(self, toy_dataset):
+        text = repr(toy_dataset)
+        assert "users=3" in text
+        assert "following=3" in text

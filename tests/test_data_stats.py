@@ -1,0 +1,100 @@
+"""Unit tests for dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
+from repro.data.stats import compute_stats, distance_error_summary
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return Gazetteer(
+        [
+            Location(0, "A", "CA", 34.0, -118.0, 100),
+            Location(1, "B", "TX", 30.0, -97.0, 200),
+        ]
+    )
+
+
+class TestComputeStats:
+    def test_counts(self, gaz):
+        ds = Dataset(
+            gaz,
+            [
+                User(0, registered_location=0, true_home=0, true_locations=(0,),
+                     true_profile_weights=(1.0,)),
+                User(1, true_home=1, true_locations=(1, 0),
+                     true_profile_weights=(0.6, 0.4)),
+            ],
+            [FollowingEdge(0, 1, true_x=0, true_y=1, is_noise=False)],
+            [TweetingEdge(0, 0, true_z=0, is_noise=False),
+             TweetingEdge(1, 1, true_z=None, is_noise=True)],
+        )
+        stats = compute_stats(ds)
+        assert stats.n_users == 2
+        assert stats.n_following == 1
+        assert stats.n_tweeting == 2
+        assert stats.labeled_fraction == 0.5
+        assert stats.mean_friends == 0.5
+        assert stats.mean_venues == 1.0
+        assert stats.noise_following_fraction == 0.0
+        assert stats.noise_tweeting_fraction == 0.5
+        assert stats.multi_location_fraction == 0.5
+
+    def test_unknown_noise_flags_give_none(self, gaz):
+        ds = Dataset(gaz, [User(0), User(1)], [FollowingEdge(0, 1)], [])
+        stats = compute_stats(ds)
+        assert stats.noise_following_fraction is None
+        assert stats.noise_tweeting_fraction is None
+        assert stats.multi_location_fraction is None
+
+    def test_candidacy_coverage_via_neighbor(self, gaz):
+        # User 1's home (loc 1) is registered by neighbour... no --
+        # here user 1's home appears through user 0? user 0 registered 0.
+        ds = Dataset(
+            gaz,
+            [
+                User(0, registered_location=0, true_home=0, true_locations=(0,),
+                     true_profile_weights=(1.0,)),
+                User(1, true_home=0, true_locations=(0,),
+                     true_profile_weights=(1.0,)),
+            ],
+            [FollowingEdge(1, 0)],
+            [],
+        )
+        stats = compute_stats(ds)
+        # User 0: own home not observable from empty relationships of
+        # others... user 0's neighbour (1) is unlabeled -> uncovered.
+        # User 1: neighbour 0 registered loc 0 == home -> covered.
+        assert stats.candidacy_coverage == 0.5
+
+    def test_candidacy_coverage_via_venue(self, gaz):
+        ds = Dataset(
+            gaz,
+            [User(0, true_home=1, true_locations=(1,), true_profile_weights=(1.0,))],
+            [],
+            # Venue "b" (id follows sorted vocabulary) refers to loc 1.
+            [TweetingEdge(0, list(gaz.venue_vocabulary).index("b"), None, None)],
+        )
+        assert compute_stats(ds).candidacy_coverage == 1.0
+
+    def test_as_dict_keys(self, gaz):
+        ds = Dataset(gaz, [User(0)], [], [])
+        d = compute_stats(ds).as_dict()
+        assert d["users"] == 1
+        assert "candidacy_coverage" in d
+
+
+class TestDistanceErrorSummary:
+    def test_empty(self):
+        assert distance_error_summary(np.array([])) == {"count": 0}
+
+    def test_quantiles(self):
+        errors = np.arange(101, dtype=float)
+        s = distance_error_summary(errors)
+        assert s["count"] == 101
+        assert s["median"] == 50.0
+        assert s["p90"] == pytest.approx(90.0)
+        assert s["max"] == 100.0

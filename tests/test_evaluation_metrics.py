@@ -1,0 +1,134 @@
+"""Handcrafted-example tests for the evaluation metrics (Sec. 5)."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    aad_curve,
+    accuracy_at,
+    dp_at_k,
+    dp_of_user,
+    dr_at_k,
+    dr_of_user,
+    explanation_accuracy,
+)
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    """Four cities: LA, Santa Monica (next to LA), Austin, NYC."""
+    return Gazetteer(
+        [
+            Location(0, "Los Angeles", "CA", 34.0522, -118.2437, 100),
+            Location(1, "Santa Monica", "CA", 34.0195, -118.4912, 50),
+            Location(2, "Austin", "TX", 30.2672, -97.7431, 80),
+            Location(3, "New York", "NY", 40.7128, -74.0060, 200),
+        ]
+    )
+
+
+class TestAccuracyAt:
+    def test_exact_match(self, gaz):
+        assert accuracy_at(gaz, [0, 2], [0, 2]) == 1.0
+
+    def test_nearby_counts_within_threshold(self, gaz):
+        # Santa Monica is ~15 miles from LA: correct at 100, wrong at 10.
+        assert accuracy_at(gaz, [1], [0], miles=100) == 1.0
+        assert accuracy_at(gaz, [1], [0], miles=10) == 0.0
+
+    def test_mixed(self, gaz):
+        assert accuracy_at(gaz, [0, 3], [0, 2]) == 0.5
+
+    def test_empty(self, gaz):
+        assert accuracy_at(gaz, [], []) == 0.0
+
+    def test_rejects_mismatch(self, gaz):
+        with pytest.raises(ValueError):
+            accuracy_at(gaz, [0], [0, 1])
+
+
+class TestAADCurve:
+    def test_monotone_nondecreasing(self, gaz):
+        curve = aad_curve(gaz, [1, 3, 2], [0, 0, 2], mile_grid=[0, 20, 100, 3000])
+        accs = [a for _, a in curve]
+        assert accs == sorted(accs)
+
+    def test_zero_distance_point(self, gaz):
+        curve = aad_curve(gaz, [0], [0], mile_grid=[0])
+        assert curve == [(0.0, 1.0)]
+
+    def test_grid_preserved(self, gaz):
+        curve = aad_curve(gaz, [0], [0], mile_grid=[5, 10])
+        assert [m for m, _ in curve] == [5.0, 10.0]
+
+
+class TestDPDR:
+    def test_dp_counts_close_predictions(self, gaz):
+        # Predictions LA + NYC; truth LA + Austin: only LA is close.
+        assert dp_of_user(gaz, [0, 3], [0, 2]) == 0.5
+
+    def test_dp_nearby_city_counts(self, gaz):
+        # Santa Monica is close enough to the true LA.
+        assert dp_of_user(gaz, [1], [0]) == 1.0
+
+    def test_dr_counts_covered_truths(self, gaz):
+        # Truth LA + Austin; predictions cover only LA.
+        assert dr_of_user(gaz, [1], [0, 2]) == 0.5
+
+    def test_dp_empty_prediction(self, gaz):
+        assert dp_of_user(gaz, [], [0]) == 0.0
+
+    def test_dr_empty_truth(self, gaz):
+        assert dr_of_user(gaz, [0], []) == 0.0
+
+    def test_dp_at_k_truncates(self, gaz):
+        # Full ranking [3, 0]: at K=1 only NYC counts (wrong); at K=2
+        # the LA prediction enters.
+        rankings = [[3, 0]]
+        truths = [[0]]
+        assert dp_at_k(gaz, rankings, truths, k=1) == 0.0
+        assert dp_at_k(gaz, rankings, truths, k=2) == 0.5
+
+    def test_dr_at_k_improves_with_rank(self, gaz):
+        rankings = [[0, 2]]
+        truths = [[0, 2]]
+        assert dr_at_k(gaz, rankings, truths, k=1) == 0.5
+        assert dr_at_k(gaz, rankings, truths, k=2) == 1.0
+
+    def test_averaged_over_users(self, gaz):
+        rankings = [[0], [3]]
+        truths = [[0], [2]]
+        assert dp_at_k(gaz, rankings, truths, k=1) == 0.5
+
+    def test_rejects_mismatch(self, gaz):
+        with pytest.raises(ValueError):
+            dp_at_k(gaz, [[0]], [[0], [1]])
+
+    def test_empty_cohort(self, gaz):
+        assert dp_at_k(gaz, [], []) == 0.0
+        assert dr_at_k(gaz, [], []) == 0.0
+
+
+class TestExplanationAccuracy:
+    def test_both_endpoints_must_match(self, gaz):
+        truth = [(0, 2)]
+        assert explanation_accuracy(gaz, [(0, 2)], truth) == 1.0
+        assert explanation_accuracy(gaz, [(0, 3)], truth) == 0.0
+        assert explanation_accuracy(gaz, [(3, 2)], truth) == 0.0
+
+    def test_nearby_assignment_counts(self, gaz):
+        # Santa Monica for LA passes at the default 100 miles.
+        assert explanation_accuracy(gaz, [(1, 2)], [(0, 2)]) == 1.0
+        assert explanation_accuracy(gaz, [(1, 2)], [(0, 2)], miles=5) == 0.0
+
+    def test_fraction_over_edges(self, gaz):
+        truth = [(0, 2), (3, 3)]
+        predicted = [(0, 2), (0, 0)]
+        assert explanation_accuracy(gaz, predicted, truth) == 0.5
+
+    def test_rejects_mismatch(self, gaz):
+        with pytest.raises(ValueError):
+            explanation_accuracy(gaz, [(0, 0)], [])
+
+    def test_empty(self, gaz):
+        assert explanation_accuracy(gaz, [], []) == 0.0

@@ -1,0 +1,140 @@
+"""Tests for significance testing (paired bootstrap, McNemar)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.significance import (
+    BootstrapComparison,
+    mcnemar_test,
+    paired_bootstrap,
+)
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return Gazetteer(
+        [
+            Location(0, "LA", "CA", 34.05, -118.24, 1),
+            Location(1, "NYC", "NY", 40.71, -74.00, 1),
+            Location(2, "CHI", "IL", 41.88, -87.63, 1),
+        ]
+    )
+
+
+class TestPairedBootstrap:
+    def test_identical_methods_not_significant(self, gaz, rng):
+        n = 60
+        truth = rng.integers(0, 3, size=n)
+        pred = rng.integers(0, 3, size=n)
+        cmp = paired_bootstrap(gaz, pred, pred, truth, seed=1)
+        assert cmp.mean_gap == 0.0
+        assert not cmp.significant_at_95
+        assert cmp.accuracy_a == cmp.accuracy_b
+
+    def test_dominant_method_is_significant(self, gaz, rng):
+        n = 100
+        truth = rng.integers(0, 3, size=n)
+        perfect = truth.copy()
+        # Wrong everywhere: shift every prediction to a different city.
+        wrong = (truth + 1) % 3
+        cmp = paired_bootstrap(gaz, perfect, wrong, truth, seed=1)
+        assert cmp.accuracy_a == 1.0
+        assert cmp.accuracy_b == 0.0
+        assert cmp.significant_at_95
+        assert cmp.p_a_beats_b == 1.0
+
+    def test_gap_ci_contains_point_estimate(self, gaz, rng):
+        n = 80
+        truth = rng.integers(0, 3, size=n)
+        a = np.where(rng.random(n) < 0.7, truth, (truth + 1) % 3)
+        b = np.where(rng.random(n) < 0.5, truth, (truth + 1) % 3)
+        cmp = paired_bootstrap(gaz, a, b, truth, seed=2)
+        assert cmp.ci_low <= cmp.mean_gap <= cmp.ci_high
+
+    def test_deterministic_by_seed(self, gaz, rng):
+        n = 50
+        truth = rng.integers(0, 3, size=n)
+        a = rng.integers(0, 3, size=n)
+        b = rng.integers(0, 3, size=n)
+        c1 = paired_bootstrap(gaz, a, b, truth, seed=9)
+        c2 = paired_bootstrap(gaz, a, b, truth, seed=9)
+        assert c1 == c2
+
+    def test_rejects_mismatched(self, gaz):
+        with pytest.raises(ValueError):
+            paired_bootstrap(gaz, [0, 1], [0], [0, 1])
+
+    def test_rejects_empty(self, gaz):
+        with pytest.raises(ValueError):
+            paired_bootstrap(gaz, [], [], [])
+
+
+class TestMcNemar:
+    def test_no_discordance(self, gaz):
+        truth = np.array([0, 1, 2])
+        result = mcnemar_test(gaz, truth, truth, truth)
+        assert result.p_value == 1.0
+        assert result.a_right_b_wrong == 0
+
+    def test_strong_asymmetry_is_significant(self, gaz, rng):
+        n = 200
+        truth = rng.integers(0, 3, size=n)
+        a = truth.copy()                      # always right
+        b = (truth + 1) % 3                   # always wrong
+        result = mcnemar_test(gaz, a, b, truth)
+        assert result.a_right_b_wrong == n
+        assert result.a_wrong_b_right == 0
+        assert result.p_value < 1e-6
+
+    def test_small_sample_uses_exact_binomial(self, gaz):
+        truth = np.array([0] * 6)
+        a = np.array([0, 0, 0, 0, 1, 1])  # 4 right
+        b = np.array([0, 0, 1, 1, 1, 1])  # 2 right
+        result = mcnemar_test(gaz, a, b, truth, miles=10)
+        # 2 discordant pairs both favouring A -> p = 2 * 0.25 = 0.5
+        assert result.a_right_b_wrong == 2
+        assert result.a_wrong_b_right == 0
+        assert result.p_value == pytest.approx(0.5)
+
+    def test_balanced_discordance_not_significant(self, gaz, rng):
+        n = 100
+        truth = rng.integers(0, 3, size=n)
+        flip_a = rng.random(n) < 0.3
+        flip_b = rng.random(n) < 0.3
+        a = np.where(flip_a, (truth + 1) % 3, truth)
+        b = np.where(flip_b, (truth + 1) % 3, truth)
+        result = mcnemar_test(gaz, a, b, truth)
+        assert result.p_value > 0.01
+
+    def test_rejects_mismatched(self, gaz):
+        with pytest.raises(ValueError):
+            mcnemar_test(gaz, [0], [0, 1], [0, 1])
+
+
+class TestOnRealMethods:
+    def test_mlp_vs_population_prior_significant(self, small_world):
+        """MLP's win over the population prior survives resampling."""
+        from repro.baselines.naive import PopulationPriorBaseline
+        from repro.core.model import MLPModel
+        from repro.core.params import MLPParams
+        from repro.evaluation.splits import single_holdout_split
+
+        split = single_holdout_split(small_world, 0.25, seed=3)
+        params = MLPParams(
+            n_iterations=10, burn_in=4, seed=0, track_edge_assignments=False
+        )
+        mlp = MLPModel(params).fit(split.train_dataset)
+        pop = PopulationPriorBaseline().predict(split.train_dataset)
+        test = list(split.test_user_ids)
+        cmp = paired_bootstrap(
+            small_world.gazetteer,
+            [mlp.predicted_home(u) for u in test],
+            [pop.home_of(u) for u in test],
+            list(split.test_truth),
+            name_a="MLP",
+            name_b="PopPrior",
+            seed=0,
+        )
+        assert cmp.accuracy_a > cmp.accuracy_b
+        assert cmp.p_a_beats_b > 0.9

@@ -1,0 +1,171 @@
+"""Tests for cross-validation splits and the three task runners."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.home_explainer import HomeLocationExplainer
+from repro.baselines.naive import PopulationPriorBaseline
+from repro.evaluation.methods import MethodPrediction
+from repro.evaluation.splits import k_fold_label_splits, single_holdout_split
+from repro.evaluation.tasks import (
+    evaluable_edges,
+    run_explanation_task,
+    run_home_prediction,
+    run_multi_location_discovery,
+)
+
+
+class TestKFoldSplits:
+    def test_every_labeled_user_tested_once(self, small_world):
+        splits = k_fold_label_splits(small_world, n_folds=5, seed=0)
+        tested = [u for s in splits for u in s.test_user_ids]
+        assert sorted(tested) == sorted(small_world.labeled_user_ids)
+
+    def test_test_labels_hidden_in_train(self, small_world):
+        for split in k_fold_label_splits(small_world, n_folds=3, seed=0):
+            observed = split.train_dataset.observed_locations
+            assert all(u not in observed for u in split.test_user_ids)
+
+    def test_truth_matches_original_labels(self, small_world):
+        observed = small_world.observed_locations
+        for split in k_fold_label_splits(small_world, n_folds=3, seed=0):
+            for uid, truth in zip(split.test_user_ids, split.test_truth):
+                assert observed[uid] == truth
+
+    def test_seed_determinism(self, small_world):
+        a = k_fold_label_splits(small_world, 4, seed=7)
+        b = k_fold_label_splits(small_world, 4, seed=7)
+        assert [s.test_user_ids for s in a] == [s.test_user_ids for s in b]
+
+    def test_rejects_one_fold(self, small_world):
+        with pytest.raises(ValueError):
+            k_fold_label_splits(small_world, n_folds=1)
+
+    def test_rejects_more_folds_than_labels(self, tiny_world):
+        with pytest.raises(ValueError):
+            k_fold_label_splits(tiny_world, n_folds=10_000)
+
+
+class TestHoldoutSplit:
+    def test_test_fraction_respected(self, small_world):
+        split = single_holdout_split(small_world, 0.25, seed=0)
+        n_labeled = len(small_world.labeled_user_ids)
+        assert len(split.test_user_ids) == pytest.approx(0.25 * n_labeled, abs=1)
+
+    def test_rejects_bad_fraction(self, small_world):
+        with pytest.raises(ValueError):
+            single_holdout_split(small_world, 0.0)
+        with pytest.raises(ValueError):
+            single_holdout_split(small_world, 1.0)
+
+
+class TestHomePredictionTask:
+    def test_pools_all_folds(self, small_world):
+        methods = [PopulationPriorBaseline()]
+        results = run_home_prediction(small_world, methods, n_folds=3, seed=0)
+        r = results["PopPrior"]
+        assert len(r.predictions) == len(small_world.labeled_user_ids)
+        assert len(r.truths) == len(r.predictions)
+
+    def test_accuracy_in_unit_interval(self, small_world):
+        results = run_home_prediction(
+            small_world, [PopulationPriorBaseline()], n_folds=2, seed=0
+        )
+        acc = results["PopPrior"].accuracy_at(small_world)
+        assert 0.0 <= acc <= 1.0
+
+    def test_aad_is_monotone(self, small_world):
+        results = run_home_prediction(
+            small_world, [PopulationPriorBaseline()], n_folds=2, seed=0
+        )
+        curve = results["PopPrior"].aad(small_world)
+        accs = [a for _, a in curve]
+        assert accs == sorted(accs)
+
+
+class TestMultiLocationTask:
+    def test_cohort_is_multi_location(self, small_world):
+        results = run_multi_location_discovery(
+            small_world, [PopulationPriorBaseline()], max_cohort=50, seed=0
+        )
+        r = results["PopPrior"]
+        for uid in r.cohort:
+            assert small_world.users[uid].is_multi_location
+
+    def test_cohort_capped(self, small_world):
+        results = run_multi_location_discovery(
+            small_world, [PopulationPriorBaseline()], max_cohort=10, seed=0
+        )
+        assert len(results["PopPrior"].cohort) == 10
+
+    def test_truths_are_full_location_sets(self, small_world):
+        results = run_multi_location_discovery(
+            small_world, [PopulationPriorBaseline()], max_cohort=20, seed=0
+        )
+        r = results["PopPrior"]
+        for uid, truth in zip(r.cohort, r.truths):
+            assert truth == list(small_world.users[uid].true_locations)
+
+    def test_dp_dr_in_unit_interval(self, small_world):
+        results = run_multi_location_discovery(
+            small_world, [PopulationPriorBaseline()], max_cohort=20, seed=0
+        )
+        r = results["PopPrior"]
+        assert 0.0 <= r.dp(small_world) <= 1.0
+        assert 0.0 <= r.dr(small_world) <= 1.0
+
+    def test_requires_ground_truth(self, gazetteer):
+        from repro.data.model import Dataset, User
+
+        ds = Dataset(gazetteer, [User(0)], [], [])
+        with pytest.raises(ValueError):
+            run_multi_location_discovery(ds, [PopulationPriorBaseline()])
+
+
+class TestExplanationTask:
+    def test_evaluable_edges_are_non_noise(self, small_world):
+        edges = evaluable_edges(small_world)
+        for s in edges:
+            assert not small_world.following[s].is_noise
+
+    def test_perfect_oracle_scores_one(self, small_world):
+        oracle = [
+            (e.true_x if e.true_x is not None else 0,
+             e.true_y if e.true_y is not None else 0)
+            for e in small_world.following
+        ]
+        results = run_explanation_task(small_world, [("oracle", oracle)])
+        assert results["oracle"].accuracy_at(small_world) == 1.0
+
+    def test_home_explainer_reasonable(self, small_world):
+        base = HomeLocationExplainer.from_ground_truth(small_world)
+        results = run_explanation_task(
+            small_world, [("Base", base.edge_assignments(small_world))]
+        )
+        acc = results["Base"].accuracy_at(small_world)
+        # Homes explain many but not all location-based edges.
+        assert 0.3 < acc < 1.0
+
+    def test_accuracy_curve_monotone(self, small_world):
+        base = HomeLocationExplainer.from_ground_truth(small_world)
+        results = run_explanation_task(
+            small_world, [("Base", base.edge_assignments(small_world))]
+        )
+        curve = results["Base"].accuracy_curve(small_world)
+        accs = [a for _, a in curve]
+        assert accs == sorted(accs)
+
+    def test_rejects_wrong_length(self, small_world):
+        with pytest.raises(ValueError):
+            run_explanation_task(small_world, [("bad", [(0, 0)])])
+
+
+class TestMethodPrediction:
+    def test_home_of_empty_raises(self):
+        pred = MethodPrediction(method_name="x", ranked_locations=[[]])
+        with pytest.raises(ValueError):
+            pred.home_of(0)
+
+    def test_top_k_of(self):
+        pred = MethodPrediction(method_name="x", ranked_locations=[[5, 2, 9]])
+        assert pred.top_k_of(0, 2) == [5, 2]

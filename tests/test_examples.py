@@ -1,0 +1,57 @@
+"""Structural checks on the example scripts.
+
+Full example runs take minutes; these tests verify each script is
+importable, exposes a ``main`` entry point, and guards execution behind
+``__main__`` (so importing never triggers a fit).
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS]
+)
+class TestExampleStructure:
+    def test_parses(self, script):
+        ast.parse(script.read_text())
+
+    def test_has_main(self, script):
+        tree = ast.parse(script.read_text())
+        names = [
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        assert "main" in names
+
+    def test_guarded_entry_point(self, script):
+        assert 'if __name__ == "__main__":' in script.read_text()
+
+    def test_has_docstring(self, script):
+        tree = ast.parse(script.read_text())
+        assert ast.get_docstring(tree), f"{script.name} needs a docstring"
+
+    def test_importable_without_side_effects(self, script):
+        spec = importlib.util.spec_from_file_location(
+            f"example_{script.stem}", script
+        )
+        module = importlib.util.module_from_spec(spec)
+        # Executing the module body must not run a fit (guarded main).
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            assert callable(module.main)
+        finally:
+            sys.modules.pop(spec.name, None)
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLE_SCRIPTS) >= 5

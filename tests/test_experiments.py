@@ -1,0 +1,169 @@
+"""Tests for the experiment drivers, suite, and text reports."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSuite, report
+from repro.experiments.config import ExperimentConfig, quick_config
+from repro.experiments.figures import fig3a, fig3b, fig3c
+from repro.experiments.tables import METHOD_ORDER
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """One shared quick suite; results are cached per property."""
+    return ExperimentSuite(quick_config(n_users=300, seed=11))
+
+
+class TestConfig:
+    def test_default_valid(self):
+        ExperimentConfig()
+
+    def test_quick_overrides(self):
+        cfg = quick_config(n_users=123, seed=4)
+        assert cfg.world.n_users == 123
+        assert cfg.world.seed == 4
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig().with_overrides(n_folds=3)
+        assert cfg.n_folds == 3
+
+
+class TestFig3a:
+    def test_power_law_shape(self, suite):
+        result = suite.fig3a
+        assert result.law.alpha < -0.05
+        assert result.r_squared > 0.3
+        assert len(result.distances) >= 5
+
+    def test_probabilities_are_probabilities(self, suite):
+        result = suite.fig3a
+        assert np.all(result.probabilities > 0)
+        assert np.all(result.probabilities <= 1)
+
+    def test_requires_labeled_users(self, gazetteer):
+        from repro.data.model import Dataset, User
+
+        ds = Dataset(gazetteer, [User(i) for i in range(20)], [], [])
+        with pytest.raises(ValueError):
+            fig3a(ds)
+
+
+class TestFig3b:
+    def test_two_cities_with_venues(self, suite):
+        result = suite.fig3b
+        assert len(result.city_names) == 2
+        assert len(result.top_venues[0]) > 0
+        assert len(result.top_venues[1]) > 0
+
+    def test_probabilities_sorted_descending(self, suite):
+        for venues in suite.fig3b.top_venues:
+            probs = [p for _, p in venues]
+            assert probs == sorted(probs, reverse=True)
+
+    def test_local_venue_ranks_high(self, suite):
+        """Users at a city tweet that city's own name a lot (Fig 3b)."""
+        result = suite.fig3b
+        for city, venues in zip(result.city_names, result.top_venues):
+            own = city.rsplit(",", 1)[0].strip().casefold()
+            top_names = [v for v, _ in venues]
+            assert own in top_names
+
+
+class TestFig3c:
+    def test_picks_two_location_user(self, suite):
+        result = suite.fig3c
+        assert len(result.true_locations) == 2
+
+    def test_both_regions_have_signal(self, suite):
+        result = suite.fig3c
+        totals = [
+            len(f) + len(v)
+            for f, v in zip(result.friends_by_region, result.venues_by_region)
+        ]
+        assert all(t > 0 for t in totals)
+
+    def test_explicit_user(self, suite):
+        uid = suite.dataset.multi_location_user_ids()[0]
+        result = fig3c(suite.dataset, user_id=uid)
+        assert result.user_id == uid
+
+    def test_single_location_user_rejected(self, suite):
+        single = next(
+            u.user_id for u in suite.dataset.users if not u.is_multi_location
+        )
+        with pytest.raises(ValueError):
+            fig3c(suite.dataset, user_id=single)
+
+
+class TestTasksThroughSuite:
+    def test_table2_has_all_methods(self, suite):
+        assert set(suite.table2.accuracies) == set(METHOD_ORDER)
+
+    def test_table2_accuracies_in_range(self, suite):
+        for acc in suite.table2.accuracies.values():
+            assert 0.0 <= acc <= 1.0
+
+    def test_fig4_curves_monotone(self, suite):
+        for curve in suite.fig4.curves.values():
+            assert list(curve) == sorted(curve)
+
+    def test_table3_metrics_in_range(self, suite):
+        for d in (suite.table3.dp, suite.table3.dr):
+            for v in d.values():
+                assert 0.0 <= v <= 1.0
+
+    def test_fig6_fig7_ranks(self, suite):
+        assert suite.fig6.ranks == (1, 2, 3)
+        assert suite.fig7.metric == "DR"
+        # DR@K never decreases with K (more predictions can only cover
+        # more truths).
+        for values in suite.fig7.values.values():
+            assert list(values) == sorted(values)
+
+    def test_fig8_has_mlp_and_base(self, suite):
+        assert set(suite.fig8.curves) == {"MLP", "Base"}
+
+    def test_fig5_converges(self, suite):
+        result = suite.fig5
+        assert len(result.accuracies) == suite.config.mlp.n_iterations
+        assert len(result.accuracy_changes) == len(result.accuracies) - 1
+
+    def test_table4_rows(self, suite):
+        assert len(suite.table4.rows) == 3
+        for row in suite.table4.rows:
+            assert len(row.true_locations) >= 2
+
+    def test_table5_rows(self, suite):
+        assert suite.table5.rows
+        assert suite.table5.user_home
+
+
+class TestReports:
+    def test_all_renderers_return_text(self, suite):
+        renders = [
+            report.render_table2(suite.table2),
+            report.render_table3(suite.table3),
+            report.render_table4(suite.table4),
+            report.render_table5(suite.table5),
+            report.render_fig3a(suite.fig3a),
+            report.render_fig3b(suite.fig3b),
+            report.render_fig3c(suite.fig3c),
+            report.render_fig4(suite.fig4),
+            report.render_fig5(suite.fig5),
+            report.render_rank_sweep(suite.fig6),
+            report.render_rank_sweep(suite.fig7),
+            report.render_fig8(suite.fig8),
+        ]
+        for text in renders:
+            assert isinstance(text, str) and len(text.splitlines()) >= 3
+
+    def test_table2_mentions_every_method(self, suite):
+        text = report.render_table2(suite.table2)
+        for name in METHOD_ORDER:
+            assert name in text
+
+    def test_fig_headers_match_paper(self, suite):
+        assert report.render_fig3a(suite.fig3a).startswith("Fig 3(a)")
+        assert "Fig 6" in report.render_rank_sweep(suite.fig6)
+        assert "Fig 7" in report.render_rank_sweep(suite.fig7)

@@ -1,0 +1,76 @@
+"""Tests for the ablation drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import MLPParams
+from repro.evaluation.splits import single_holdout_split
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def split(small_world):
+    return single_holdout_split(small_world, 0.25, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fast_params():
+    return MLPParams(
+        n_iterations=8, burn_in=3, seed=0, track_edge_assignments=False
+    )
+
+
+class TestNoiseMixtureAblation:
+    def test_two_outcomes(self, small_world, split, fast_params):
+        outcomes = ablations.ablate_noise_mixture(
+            small_world, split, fast_params
+        )
+        assert [o.variant for o in outcomes] == [
+            "with noise mixture",
+            "without noise mixture",
+        ]
+        for o in outcomes:
+            assert 0.0 <= o.accuracy <= 1.0
+            assert o.seconds > 0
+
+
+class TestSupervisionAblation:
+    def test_boost_helps(self, small_world, split, fast_params):
+        outcomes = ablations.ablate_supervision(small_world, split, fast_params)
+        with_boost, without_boost = outcomes
+        assert with_boost.accuracy >= without_boost.accuracy
+
+
+class TestCandidacyAblation:
+    def test_candidacy_is_faster(self, tiny_world, fast_params):
+        split = single_holdout_split(tiny_world, 0.25, seed=1)
+        params = fast_params.with_overrides(n_iterations=4, burn_in=1)
+        outcomes = ablations.ablate_candidacy(tiny_world, split, params)
+        with_cand, full_gaz = outcomes
+        assert full_gaz.seconds > with_cand.seconds
+
+
+class TestGibbsEMAblation:
+    def test_rows_per_round(self, small_world, split, fast_params):
+        outcomes = ablations.ablate_gibbs_em(
+            small_world, split, fast_params, rounds=(0, 1)
+        )
+        assert [o.variant for o in outcomes] == ["em_rounds=0", "em_rounds=1"]
+        for o in outcomes:
+            assert "alpha=" in o.detail
+
+
+class TestRendering:
+    def test_render_contains_rows(self, small_world, split, fast_params):
+        outcomes = ablations.ablate_supervision(small_world, split, fast_params)
+        text = ablations.render_ablation("supervision", outcomes)
+        assert "Ablation: supervision" in text
+        assert "ACC@100" in text
+        assert "with supervision boost" in text
+
+    def test_render_handles_nan_seconds(self):
+        outcome = ablations.AblationOutcome(
+            variant="x", accuracy=0.5, seconds=float("nan"), detail="d"
+        )
+        text = ablations.render_ablation("t", [outcome])
+        assert "[d]" in text

@@ -1,0 +1,89 @@
+"""Tests for hyper-parameter sensitivity sweeps."""
+
+import pytest
+
+from repro.core.params import MLPParams
+from repro.evaluation.splits import single_holdout_split
+from repro.experiments.sensitivity import (
+    DEFAULT_GRIDS,
+    SensitivityPoint,
+    accuracy_spread,
+    best_point,
+    render_sweep,
+    sweep_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def split(small_world):
+    return single_holdout_split(small_world, 0.25, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fast_params():
+    return MLPParams(
+        n_iterations=6, burn_in=2, seed=0, track_edge_assignments=False
+    )
+
+
+class TestSweep:
+    def test_one_point_per_grid_value(self, small_world, split, fast_params):
+        points = sweep_parameter(
+            small_world, split, fast_params, "tau", grid=(0.05, 0.5)
+        )
+        assert [p.value for p in points] == [0.05, 0.5]
+        assert all(0.0 <= p.accuracy <= 1.0 for p in points)
+
+    def test_default_grid_used(self, small_world, split, fast_params):
+        points = sweep_parameter(
+            small_world, split, fast_params, "boost", grid=(10.0,)
+        )
+        assert points[0].parameter == "boost"
+
+    def test_unknown_parameter_rejected(self, small_world, split, fast_params):
+        with pytest.raises(ValueError):
+            sweep_parameter(small_world, split, fast_params, "nonsense",
+                            grid=(1.0,))
+
+    def test_unknown_default_grid_rejected(self, small_world, split, fast_params):
+        with pytest.raises(ValueError):
+            sweep_parameter(small_world, split, fast_params, "seed")
+
+    def test_boost_matters(self, small_world, split, fast_params):
+        """Supervision boost is the most sensitive knob: a tiny boost
+        must underperform a strong one."""
+        points = sweep_parameter(
+            small_world, split, fast_params, "boost", grid=(0.5, 50.0)
+        )
+        assert points[1].accuracy >= points[0].accuracy
+
+
+class TestHelpers:
+    def _points(self):
+        return [
+            SensitivityPoint("tau", 0.01, 0.4),
+            SensitivityPoint("tau", 0.1, 0.6),
+            SensitivityPoint("tau", 1.0, 0.6),
+        ]
+
+    def test_best_point_prefers_smaller_on_tie(self):
+        assert best_point(self._points()).value == 0.1
+
+    def test_accuracy_spread(self):
+        assert accuracy_spread(self._points()) == pytest.approx(0.2)
+
+    def test_render(self):
+        text = render_sweep(self._points())
+        assert "Sensitivity: tau" in text
+        assert "spread: 20.0%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([])
+        with pytest.raises(ValueError):
+            accuracy_spread([])
+        with pytest.raises(ValueError):
+            render_sweep([])
+
+    def test_default_grids_cover_paper_parameters(self):
+        assert {"tau", "boost", "rho_f", "rho_t", "delta"} <= set(DEFAULT_GRIDS)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.geo.coords."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import (
+    EARTH_RADIUS_MILES,
+    GeoPoint,
+    equirectangular_miles,
+    haversine_miles,
+    haversine_miles_vec,
+    pairwise_distance_matrix,
+)
+
+# Reference city coordinates for known-distance checks.
+LA = (34.0522, -118.2437)
+NYC = (40.7128, -74.0060)
+CHI = (41.8781, -87.6298)
+SF = (37.7749, -122.4194)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_miles(*LA, *LA) == 0.0
+
+    def test_la_to_nyc_is_about_2450_miles(self):
+        d = haversine_miles(*LA, *NYC)
+        assert 2400 < d < 2500
+
+    def test_la_to_sf_is_about_347_miles(self):
+        d = haversine_miles(*LA, *SF)
+        assert 330 < d < 365
+
+    def test_chicago_to_nyc_is_about_712_miles(self):
+        d = haversine_miles(*CHI, *NYC)
+        assert 690 < d < 740
+
+    def test_symmetry(self):
+        assert haversine_miles(*LA, *NYC) == pytest.approx(
+            haversine_miles(*NYC, *LA)
+        )
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_miles(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_MILES, rel=1e-6)
+
+    def test_poles(self):
+        d = haversine_miles(90.0, 0.0, -90.0, 0.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_MILES, rel=1e-6)
+
+    def test_small_distance_precision(self):
+        # ~0.69 miles per 0.01 degree of latitude.
+        d = haversine_miles(34.00, -118.0, 34.01, -118.0)
+        assert 0.65 < d < 0.73
+
+    def test_triangle_inequality_on_cities(self):
+        d_direct = haversine_miles(*LA, *NYC)
+        d_via_chi = haversine_miles(*LA, *CHI) + haversine_miles(*CHI, *NYC)
+        assert d_direct <= d_via_chi + 1e-9
+
+
+class TestEquirectangular:
+    def test_matches_haversine_for_short_distances(self):
+        exact = haversine_miles(*LA, *SF)
+        approx = equirectangular_miles(*LA, *SF)
+        assert approx == pytest.approx(exact, rel=0.01)
+
+    def test_zero(self):
+        assert equirectangular_miles(*CHI, *CHI) == 0.0
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        lats = np.array([LA[0], NYC[0], CHI[0]])
+        lons = np.array([LA[1], NYC[1], CHI[1]])
+        vec = haversine_miles_vec(SF[0], SF[1], lats, lons)
+        for i, (lat, lon) in enumerate(zip(lats, lons)):
+            assert vec[i] == pytest.approx(
+                haversine_miles(SF[0], SF[1], lat, lon), rel=1e-12
+            )
+
+    def test_clip_guards_rounding(self):
+        # Identical points must not produce NaN from sqrt of negative.
+        out = haversine_miles_vec(
+            np.array([40.0]), np.array([-75.0]), np.array([40.0]), np.array([-75.0])
+        )
+        assert out[0] == 0.0
+
+
+class TestPairwiseMatrix:
+    def test_shape_symmetry_diagonal(self):
+        lats = np.array([LA[0], NYC[0], CHI[0], SF[0]])
+        lons = np.array([LA[1], NYC[1], CHI[1], SF[1]])
+        mat = pairwise_distance_matrix(lats, lons)
+        assert mat.shape == (4, 4)
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_entries_match_scalar(self):
+        lats = np.array([LA[0], NYC[0]])
+        lons = np.array([LA[1], NYC[1]])
+        mat = pairwise_distance_matrix(lats, lons)
+        assert mat[0, 1] == pytest.approx(haversine_miles(*LA, *NYC), rel=1e-12)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            pairwise_distance_matrix(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            pairwise_distance_matrix(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(34.05, -118.24)
+        assert p.as_tuple() == (34.05, -118.24)
+
+    def test_distance_to(self):
+        a = GeoPoint(*LA)
+        b = GeoPoint(*NYC)
+        assert a.distance_to(b) == pytest.approx(haversine_miles(*LA, *NYC))
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 180.5)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0)
+
+    def test_hashable_and_equal(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert len({GeoPoint(1.0, 2.0), GeoPoint(1.0, 2.0)}) == 1

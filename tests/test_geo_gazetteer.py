@@ -1,0 +1,167 @@
+"""Unit tests for repro.geo.gazetteer."""
+
+import numpy as np
+import pytest
+
+from repro.geo.gazetteer import Gazetteer, Location, normalize_place_name
+
+
+def make_gazetteer():
+    return Gazetteer(
+        [
+            Location(0, "Los Angeles", "CA", 34.0522, -118.2437, 3_694_820),
+            Location(1, "Austin", "TX", 30.2672, -97.7431, 656_562),
+            Location(2, "Princeton", "NJ", 40.3573, -74.6672, 14_203),
+            Location(3, "Princeton", "WV", 37.3662, -81.1026, 6_347),
+            Location(4, "St. Louis", "MO", 38.6270, -90.1994, 348_189),
+        ]
+    )
+
+
+class TestNormalizePlaceName:
+    def test_casefold(self):
+        assert normalize_place_name("Los Angeles") == "los angeles"
+
+    def test_strips_periods(self):
+        assert normalize_place_name("St. Louis") == "st louis"
+
+    def test_hyphens_become_spaces(self):
+        assert normalize_place_name("Winston-Salem") == "winston salem"
+
+    def test_collapses_whitespace(self):
+        assert normalize_place_name("  New   York ") == "new york"
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Gazetteer([])
+
+    def test_rejects_sparse_ids(self):
+        with pytest.raises(ValueError):
+            Gazetteer([Location(5, "X", "XX", 0.0, 0.0, 1)])
+
+    def test_rejects_duplicate_city_state(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gazetteer(
+                [
+                    Location(0, "Austin", "TX", 30.0, -97.0, 1),
+                    Location(1, "Austin", "TX", 31.0, -98.0, 2),
+                ]
+            )
+
+    def test_orders_by_id(self):
+        gaz = make_gazetteer()
+        assert [loc.location_id for loc in gaz] == [0, 1, 2, 3, 4]
+
+
+class TestLookups:
+    def test_by_id(self):
+        gaz = make_gazetteer()
+        assert gaz.by_id(1).city == "Austin"
+
+    def test_by_id_out_of_range(self):
+        gaz = make_gazetteer()
+        with pytest.raises(IndexError):
+            gaz.by_id(99)
+        with pytest.raises(IndexError):
+            gaz.by_id(-1)
+
+    def test_lookup_name_case_insensitive(self):
+        gaz = make_gazetteer()
+        assert gaz.lookup_name("AUSTIN")[0].location_id == 1
+
+    def test_lookup_name_unknown_returns_empty(self):
+        gaz = make_gazetteer()
+        assert gaz.lookup_name("atlantis") == ()
+
+    def test_ambiguous_name_returns_all_sorted_by_population(self):
+        gaz = make_gazetteer()
+        hits = gaz.lookup_name("princeton")
+        assert [h.state for h in hits] == ["NJ", "WV"]
+
+    def test_is_ambiguous(self):
+        gaz = make_gazetteer()
+        assert gaz.is_ambiguous("princeton")
+        assert not gaz.is_ambiguous("austin")
+
+    def test_lookup_city_state(self):
+        gaz = make_gazetteer()
+        assert gaz.lookup_city_state("princeton", "wv").location_id == 3
+        assert gaz.lookup_city_state("Princeton", "CA") is None
+
+    def test_lookup_with_punctuation(self):
+        gaz = make_gazetteer()
+        assert gaz.lookup_city_state("St Louis", "MO").location_id == 4
+
+
+class TestVenueVocabulary:
+    def test_ambiguous_names_collapse_to_one_venue(self):
+        gaz = make_gazetteer()
+        # 5 locations, but the two Princetons share one venue name.
+        assert len(gaz.venue_vocabulary) == 4
+        assert "princeton" in gaz.venue_vocabulary
+
+    def test_vocabulary_is_sorted(self):
+        gaz = make_gazetteer()
+        assert list(gaz.venue_vocabulary) == sorted(gaz.venue_vocabulary)
+
+    def test_venue_index_roundtrip(self):
+        gaz = make_gazetteer()
+        for name, idx in gaz.venue_index.items():
+            assert gaz.venue_vocabulary[idx] == name
+
+    def test_venue_id_of_location(self):
+        gaz = make_gazetteer()
+        vid = gaz.venue_id_of_location(2)
+        assert gaz.venue_vocabulary[vid] == "princeton"
+        assert gaz.venue_id_of_location(3) == vid
+
+
+class TestGeometry:
+    def test_distance_matrix_shape(self):
+        gaz = make_gazetteer()
+        assert gaz.distance_matrix.shape == (5, 5)
+
+    def test_distance_consistent_with_locations(self):
+        gaz = make_gazetteer()
+        expected = gaz.by_id(0).distance_to(gaz.by_id(1))
+        assert gaz.distance(0, 1) == pytest.approx(expected)
+
+    def test_nearest(self):
+        gaz = make_gazetteer()
+        # A point in Hollywood should resolve to Los Angeles.
+        assert gaz.nearest(34.09, -118.33).city == "Los Angeles"
+
+    def test_within_radius_includes_self(self):
+        gaz = make_gazetteer()
+        assert 0 in gaz.within_radius(0, 10.0)
+
+    def test_within_radius_finds_nothing_far(self):
+        gaz = make_gazetteer()
+        # Nothing else within 100 miles of Los Angeles in this toy set.
+        assert gaz.within_radius(0, 100.0) == [0]
+
+    def test_lats_lons_indexed_by_id(self):
+        gaz = make_gazetteer()
+        assert gaz.lats[1] == pytest.approx(30.2672)
+        assert gaz.lons[1] == pytest.approx(-97.7431)
+
+
+class TestSubset:
+    def test_subset_redensifies_ids(self):
+        gaz = make_gazetteer()
+        sub = gaz.subset([2, 4])
+        assert len(sub) == 2
+        assert [loc.location_id for loc in sub] == [0, 1]
+        assert {loc.city for loc in sub} == {"Princeton", "St. Louis"}
+
+    def test_subset_preserves_coordinates(self):
+        gaz = make_gazetteer()
+        sub = gaz.subset([1])
+        assert sub.by_id(0).lat == gaz.by_id(1).lat
+
+    def test_subset_deduplicates(self):
+        gaz = make_gazetteer()
+        sub = gaz.subset([1, 1, 1])
+        assert len(sub) == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the spatial grid index."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import haversine_miles
+from repro.geo.index import SpatialGridIndex
+
+
+def brute_force_radius(lats, lons, lat, lon, radius):
+    return sorted(
+        i
+        for i in range(len(lats))
+        if haversine_miles(lat, lon, lats[i], lons[i]) <= radius
+    )
+
+
+@pytest.fixture(scope="module")
+def random_points():
+    rng = np.random.default_rng(42)
+    lats = rng.uniform(25.0, 48.0, size=300)
+    lons = rng.uniform(-124.0, -67.0, size=300)
+    return lats, lons
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SpatialGridIndex([1.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError):
+            SpatialGridIndex([1.0], [1.0], cell_miles=0.0)
+
+    def test_len(self, random_points):
+        lats, lons = random_points
+        assert len(SpatialGridIndex(lats, lons)) == 300
+
+
+class TestQueryRadius:
+    @pytest.mark.parametrize("radius", [10.0, 50.0, 120.0, 400.0])
+    def test_matches_brute_force(self, random_points, radius):
+        lats, lons = random_points
+        index = SpatialGridIndex(lats, lons, cell_miles=60.0)
+        for lat, lon in [(34.0, -118.0), (41.0, -74.0), (30.0, -97.0)]:
+            expected = brute_force_radius(lats, lons, lat, lon, radius)
+            assert index.query_radius(lat, lon, radius) == expected
+
+    def test_zero_radius_finds_exact_points(self):
+        index = SpatialGridIndex([40.0, 41.0], [-75.0, -76.0])
+        assert index.query_radius(40.0, -75.0, 0.0) == [0]
+
+    def test_negative_radius_rejected(self):
+        index = SpatialGridIndex([40.0], [-75.0])
+        with pytest.raises(ValueError):
+            index.query_radius(40.0, -75.0, -1.0)
+
+    def test_empty_result(self, random_points):
+        lats, lons = random_points
+        index = SpatialGridIndex(lats, lons)
+        # Middle of the Pacific: nothing within 100 miles.
+        assert index.query_radius(30.0, -150.0, 100.0) == []
+
+
+class TestNearest:
+    def test_matches_brute_force(self, random_points):
+        lats, lons = random_points
+        index = SpatialGridIndex(lats, lons, cell_miles=60.0)
+        for lat, lon in [(34.0, -118.0), (47.0, -122.0), (26.0, -80.0)]:
+            distances = [
+                haversine_miles(lat, lon, lats[i], lons[i])
+                for i in range(len(lats))
+            ]
+            expected = int(np.argmin(distances))
+            assert index.nearest(lat, lon) == expected
+
+    def test_nearest_far_query_expands_search(self, random_points):
+        lats, lons = random_points
+        index = SpatialGridIndex(lats, lons)
+        # Hawaii is thousands of miles from every indexed point.
+        result = index.nearest(21.3, -157.8)
+        assert 0 <= result < 300
+
+    def test_single_point(self):
+        index = SpatialGridIndex([40.0], [-75.0])
+        assert index.nearest(0.0, 0.0) == 0

@@ -1,0 +1,120 @@
+"""Sanity tests for the embedded gazetteer data."""
+
+import pytest
+
+from repro.geo.us_cities import US_CITIES, builtin_gazetteer, synthetic_gazetteer
+from repro.text.normalize import STATE_NAMES
+
+
+class TestDataQuality:
+    def test_has_several_hundred_cities(self):
+        assert len(US_CITIES) >= 300
+
+    def test_all_states_are_valid(self):
+        for city, state, _lat, _lon, _pop in US_CITIES:
+            assert state in STATE_NAMES, f"{city}, {state}"
+
+    def test_coordinates_in_us_range(self):
+        for city, state, lat, lon, _pop in US_CITIES:
+            assert 18.0 < lat < 72.0, f"{city}, {state}"
+            assert -165.0 < lon < -60.0, f"{city}, {state}"
+
+    def test_populations_positive(self):
+        assert all(pop > 0 for *_rest, pop in US_CITIES)
+
+    def test_no_duplicate_city_state(self):
+        keys = [(c.casefold(), s) for c, s, *_ in US_CITIES]
+        assert len(keys) == len(set(keys))
+
+    def test_paper_case_study_cities_present(self):
+        gaz = builtin_gazetteer()
+        for name in [
+            ("Los Angeles", "CA"),
+            ("Austin", "TX"),
+            ("St. Louis", "MO"),
+            ("Anaheim", "CA"),
+            ("Nashville", "TN"),
+            ("Murfreesboro", "TN"),
+            ("Chicago", "IL"),
+            ("New York", "NY"),
+            ("San Diego", "CA"),
+            ("Long Beach", "CA"),
+            ("Honolulu", "HI"),
+            ("Round Rock", "TX"),
+            ("Franklin", "TN"),
+        ]:
+            assert gaz.lookup_city_state(*name) is not None, name
+
+
+class TestAmbiguity:
+    def test_princeton_is_ambiguous(self):
+        gaz = builtin_gazetteer()
+        assert len(gaz.lookup_name("Princeton")) >= 5
+
+    def test_springfield_is_ambiguous(self):
+        gaz = builtin_gazetteer()
+        assert len(gaz.lookup_name("Springfield")) >= 4
+
+    @pytest.mark.parametrize(
+        "name", ["Columbus", "Columbia", "Franklin", "Athens", "Portland", "Charleston"]
+    )
+    def test_known_ambiguous_names(self, name):
+        gaz = builtin_gazetteer()
+        assert gaz.is_ambiguous(name), name
+
+
+class TestKnownDistances:
+    def test_la_to_nyc(self):
+        gaz = builtin_gazetteer()
+        la = gaz.lookup_city_state("Los Angeles", "CA")
+        ny = gaz.lookup_city_state("New York", "NY")
+        assert 2400 < la.distance_to(ny) < 2500
+
+    def test_austin_to_round_rock_is_short(self):
+        gaz = builtin_gazetteer()
+        austin = gaz.lookup_city_state("Austin", "TX")
+        rr = gaz.lookup_city_state("Round Rock", "TX")
+        assert austin.distance_to(rr) < 25
+
+    def test_la_to_santa_monica_is_short(self):
+        gaz = builtin_gazetteer()
+        la = gaz.lookup_city_state("Los Angeles", "CA")
+        sm = gaz.lookup_city_state("Santa Monica", "CA")
+        assert la.distance_to(sm) < 20
+
+
+class TestBuiltinGazetteer:
+    def test_deterministic_ids(self):
+        a = builtin_gazetteer()
+        b = builtin_gazetteer()
+        assert [l.name for l in a] == [l.name for l in b]
+
+    def test_dense_ids(self):
+        gaz = builtin_gazetteer()
+        assert [l.location_id for l in gaz] == list(range(len(gaz)))
+
+
+class TestSyntheticGazetteer:
+    def test_size(self):
+        assert len(synthetic_gazetteer(50)) == 50
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_gazetteer(20, seed=9)
+        b = synthetic_gazetteer(20, seed=9)
+        assert all(
+            x.lat == y.lat and x.lon == y.lon for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        a = synthetic_gazetteer(20, seed=1)
+        b = synthetic_gazetteer(20, seed=2)
+        assert any(x.lat != y.lat for x, y in zip(a, b))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            synthetic_gazetteer(0)
+
+    def test_populations_zipf_like(self):
+        gaz = synthetic_gazetteer(10)
+        pops = [l.population for l in gaz]
+        assert pops[0] > pops[-1]

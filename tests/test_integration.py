@@ -1,0 +1,136 @@
+"""End-to-end integration tests: the paper's claims at small scale.
+
+These run real fits over a shared 250-user world (session fixtures) and
+check the *direction* of the paper's headline comparisons.  Absolute
+numbers are scale-dependent; directions are not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HomeLocationExplainer, PopulationPriorBaseline
+from repro.core.model import MLPModel
+from repro.core.params import MLPParams
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.evaluation.metrics import accuracy_at, dr_at_k
+from repro.evaluation.methods import MLPMethod
+from repro.evaluation.splits import single_holdout_split
+from repro.evaluation.tasks import (
+    run_explanation_task,
+    run_multi_location_discovery,
+)
+from repro.text.venues import VenueExtractor
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(SyntheticWorldConfig(n_users=350, seed=23))
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MLPParams(n_iterations=16, burn_in=6, seed=1)
+
+
+class TestHomePredictionBeatsPrior:
+    def test_mlp_beats_population_prior(self, world, params):
+        split = single_holdout_split(world, 0.2, seed=2)
+        mlp = MLPMethod(
+            params.with_overrides(track_edge_assignments=False)
+        ).predict(split.train_dataset)
+        pop = PopulationPriorBaseline().predict(split.train_dataset)
+        truth = list(split.test_truth)
+        gaz = world.gazetteer
+        acc_mlp = accuracy_at(
+            gaz, [mlp.home_of(u) for u in split.test_user_ids], truth
+        )
+        acc_pop = accuracy_at(
+            gaz, [pop.home_of(u) for u in split.test_user_ids], truth
+        )
+        assert acc_mlp > acc_pop + 0.1
+
+
+class TestMultiLocationRecall:
+    def test_mlp_recall_beats_single_location_baseline(self, world, params):
+        """The paper's Sec 5.2 claim: baselines miss secondary locations."""
+        methods = [
+            MLPMethod(params.with_overrides(track_edge_assignments=False)),
+            PopulationPriorBaseline(),
+        ]
+        results = run_multi_location_discovery(
+            world, methods, max_cohort=80, seed=0
+        )
+        mlp_dr = results["MLP"].dr(world, k=2)
+        pop_dr = results["PopPrior"].dr(world, k=2)
+        assert mlp_dr > pop_dr
+
+
+class TestExplanation:
+    def test_mlp_explains_multi_location_edges_better_than_home(
+        self, world, params
+    ):
+        """Restricted to edges NOT based on both homes, MLP must win big:
+        the home baseline is wrong on them *by construction*."""
+        prediction = MLPMethod(params).predict(world)
+        base = HomeLocationExplainer.from_ground_truth(world)
+        base_assignments = base.edge_assignments(world)
+        hard_edges = [
+            s
+            for s, e in enumerate(world.following)
+            if e.true_x is not None
+            and (
+                e.true_x != world.users[e.follower].true_home
+                or e.true_y != world.users[e.friend].true_home
+            )
+        ]
+        assert hard_edges, "world must contain non-home edges"
+        gaz = world.gazetteer
+        def acc(assignments):
+            hits = 0
+            for s in hard_edges:
+                px, py = assignments[s]
+                e = world.following[s]
+                if gaz.distance(px, e.true_x) <= 100 and gaz.distance(py, e.true_y) <= 100:
+                    hits += 1
+            return hits / len(hard_edges)
+
+        assert acc(prediction.edge_assignments) > acc(base_assignments)
+
+
+class TestTextPipelineIntegration:
+    def test_rendered_tweets_rebuild_tweeting_relationships(self):
+        """Generator -> raw text -> extractor -> same venue multiset."""
+        ds = generate_world(
+            SyntheticWorldConfig(n_users=40, seed=3, render_tweets=True)
+        )
+        extractor = VenueExtractor(ds.gazetteer)
+        recovered = 0
+        for tweet, edge in zip(ds.tweets, ds.tweeting):
+            if edge.venue_id in extractor.extract_venue_ids(tweet.text):
+                recovered += 1
+        assert recovered / ds.n_tweeting > 0.9
+
+    def test_profile_parser_reads_registered_labels(self, world):
+        from repro.text.profile_parser import parse_profile_location
+
+        gaz = world.gazetteer
+        labeled = world.labeled_user_ids[:20]
+        for uid in labeled:
+            loc = gaz.by_id(world.observed_locations[uid])
+            parsed = parse_profile_location(loc.name, gaz)
+            assert parsed is not None
+            assert parsed.location.location_id == loc.location_id
+
+
+class TestSaveLoadFitRoundtrip:
+    def test_fit_on_reloaded_dataset_matches(self, tmp_path, params):
+        from repro.data.io import load_dataset, save_dataset
+
+        ds = generate_world(SyntheticWorldConfig(n_users=80, seed=6))
+        path = tmp_path / "world.json"
+        save_dataset(ds, path)
+        reloaded = load_dataset(path)
+        p = params.with_overrides(n_iterations=6, burn_in=2)
+        a = MLPModel(p).fit(ds)
+        b = MLPModel(p).fit(reloaded)
+        assert a.predicted_homes().tolist() == b.predicted_homes().tolist()

@@ -1,0 +1,120 @@
+"""Unit tests for distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.mathx.distributions import (
+    entropy,
+    log_normalize,
+    sample_categorical,
+    sample_categorical_logits,
+    sample_dirichlet,
+    top_k_indices,
+)
+
+
+class TestSampleCategorical:
+    def test_deterministic_for_point_mass(self, rng):
+        w = np.array([0.0, 0.0, 5.0, 0.0])
+        assert all(sample_categorical(rng, w) == 2 for _ in range(20))
+
+    def test_frequencies_match_weights(self, rng):
+        w = np.array([1.0, 3.0])
+        draws = [sample_categorical(rng, w) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.75, abs=0.03)
+
+    def test_rejects_all_zero(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, np.zeros(3))
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, np.array([1.0, -0.1]))
+
+    def test_rejects_nan(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, np.array([1.0, np.nan]))
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, np.array([]))
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, np.ones((2, 2)))
+
+
+class TestSampleCategoricalLogits:
+    def test_matches_exp_weights(self, rng):
+        logits = np.array([0.0, np.log(3.0)])
+        draws = [sample_categorical_logits(rng, logits) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.75, abs=0.03)
+
+    def test_handles_large_logits(self, rng):
+        logits = np.array([1000.0, 999.0])
+        # Must not overflow; index 0 is ~2.7x likelier.
+        draws = [sample_categorical_logits(rng, logits) for _ in range(100)]
+        assert 0 in draws
+
+
+class TestSampleDirichlet:
+    def test_sums_to_one(self, rng):
+        draw = sample_dirichlet(rng, np.array([0.1, 0.1, 0.1]))
+        assert draw.sum() == pytest.approx(1.0)
+
+    def test_no_exact_zeros_for_tiny_alpha(self, rng):
+        for _ in range(50):
+            draw = sample_dirichlet(rng, np.full(5, 0.01))
+            assert np.all(draw > 0)
+
+    def test_rejects_nonpositive_alpha(self, rng):
+        with pytest.raises(ValueError):
+            sample_dirichlet(rng, np.array([1.0, 0.0]))
+
+    def test_concentration_shifts_mean(self, rng):
+        draws = np.array(
+            [sample_dirichlet(rng, np.array([10.0, 1.0])) for _ in range(500)]
+        )
+        assert draws[:, 0].mean() > 0.8
+
+
+class TestLogNormalize:
+    def test_normalizes(self):
+        p = log_normalize(np.array([0.0, 0.0]))
+        assert np.allclose(p, [0.5, 0.5])
+
+    def test_shift_invariant(self):
+        a = log_normalize(np.array([1.0, 2.0, 3.0]))
+        b = log_normalize(np.array([1001.0, 1002.0, 1003.0]))
+        assert np.allclose(a, b)
+
+    def test_extreme_values_stable(self):
+        p = log_normalize(np.array([-1e9, 0.0]))
+        assert p[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(p))
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert entropy(np.full(4, 0.25)) == pytest.approx(np.log(4))
+
+    def test_point_mass_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_zero_entries_ignored(self):
+        assert entropy(np.array([0.5, 0.5, 0.0])) == pytest.approx(np.log(2))
+
+
+class TestTopK:
+    def test_basic(self):
+        assert top_k_indices(np.array([0.1, 0.5, 0.4]), 2) == [1, 2]
+
+    def test_ties_broken_by_low_index(self):
+        assert top_k_indices(np.array([0.4, 0.4, 0.2]), 2) == [0, 1]
+
+    def test_k_larger_than_size(self):
+        assert top_k_indices(np.array([0.3, 0.7]), 10) == [1, 0]
+
+    def test_k_zero_or_negative(self):
+        assert top_k_indices(np.array([1.0]), 0) == []
+        assert top_k_indices(np.array([1.0]), -3) == []

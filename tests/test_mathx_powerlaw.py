@@ -1,0 +1,128 @@
+"""Unit tests for the power-law family and its fitting."""
+
+import numpy as np
+import pytest
+
+from repro.mathx.powerlaw import (
+    PAPER_TWITTER_POWERLAW,
+    PowerLaw,
+    fit_power_law,
+    r_squared_loglog,
+)
+
+
+class TestPowerLaw:
+    def test_evaluates_formula(self):
+        law = PowerLaw(alpha=-0.5, beta=0.01)
+        assert law(4.0) == pytest.approx(0.01 * 4.0**-0.5)
+
+    def test_clamps_below_min_x(self):
+        law = PowerLaw(alpha=-0.5, beta=0.01, min_x=1.0)
+        assert law(0.0) == law(1.0) == pytest.approx(0.01)
+        assert law(0.5) == law(1.0)
+
+    def test_vector_input(self):
+        law = PowerLaw(alpha=-1.0, beta=1.0)
+        out = law(np.array([1.0, 2.0, 4.0]))
+        assert np.allclose(out, [1.0, 0.5, 0.25])
+
+    def test_scalar_in_scalar_out(self):
+        law = PowerLaw(alpha=-1.0, beta=1.0)
+        assert isinstance(law(2.0), float)
+
+    def test_log_prob_consistent(self):
+        law = PowerLaw(alpha=-0.7, beta=0.02)
+        assert law.log_prob(10.0) == pytest.approx(np.log(law(10.0)))
+
+    def test_distance_kernel_drops_beta(self):
+        law = PowerLaw(alpha=-0.5, beta=0.123)
+        assert law.distance_kernel(9.0) == pytest.approx(9.0**-0.5)
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            PowerLaw(alpha=-0.5, beta=0.0)
+
+    def test_rejects_nonpositive_min_x(self):
+        with pytest.raises(ValueError):
+            PowerLaw(alpha=-0.5, beta=1.0, min_x=0.0)
+
+    def test_paper_constants(self):
+        assert PAPER_TWITTER_POWERLAW.alpha == -0.55
+        assert PAPER_TWITTER_POWERLAW.beta == 0.0045
+
+
+class TestFitPowerLaw:
+    def test_exact_recovery(self):
+        x = np.logspace(0, 3, 30)
+        truth = PowerLaw(alpha=-0.55, beta=0.0045)
+        law = fit_power_law(x, truth(x))
+        assert law.alpha == pytest.approx(-0.55, abs=1e-9)
+        assert law.beta == pytest.approx(0.0045, rel=1e-9)
+
+    def test_recovery_under_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.logspace(0, 3, 100)
+        truth = PowerLaw(alpha=-0.8, beta=0.01)
+        p = truth(x) * np.exp(rng.normal(0, 0.1, size=x.size))
+        law = fit_power_law(x, p)
+        assert law.alpha == pytest.approx(-0.8, abs=0.05)
+
+    def test_weighted_fit_prefers_heavy_points(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        p = np.array([0.1, 0.05, 0.01, 0.5])  # last point is an outlier
+        w_out = np.array([1.0, 1.0, 1.0, 1e-9])
+        law = fit_power_law(x, p, weights=w_out)
+        # With the outlier suppressed, the slope must be negative.
+        assert law.alpha < 0
+
+    def test_zero_probabilities_dropped(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        p = np.array([0.1, 0.01, 0.0, 0.001])
+        law = fit_power_law(x, p)
+        assert law.alpha < 0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([5.0, 5.0]), np.array([0.1, 0.2]))
+
+    def test_rejects_bad_weights_shape(self):
+        with pytest.raises(ValueError):
+            fit_power_law(
+                np.array([1.0, 2.0]), np.array([0.1, 0.2]), weights=np.array([1.0])
+            )
+
+    def test_min_x_carried_into_result(self):
+        x = np.logspace(0, 2, 10)
+        law = fit_power_law(x, PowerLaw(-0.5, 0.01)(x), min_x=2.5)
+        assert law.min_x == 2.5
+
+
+class TestRSquared:
+    def test_perfect_fit_is_one(self):
+        x = np.logspace(0, 3, 20)
+        law = PowerLaw(alpha=-0.6, beta=0.02)
+        assert r_squared_loglog(law, x, law(x)) == pytest.approx(1.0)
+
+    def test_bad_fit_is_low(self):
+        x = np.logspace(0, 3, 20)
+        law = PowerLaw(alpha=-0.6, beta=0.02)
+        wrong = PowerLaw(alpha=0.6 - 1e-12, beta=0.02)  # opposite slope
+        p = law(x)
+        assert r_squared_loglog(wrong, x, p) < 0.5
+
+    def test_noise_reduces_r2(self):
+        rng = np.random.default_rng(1)
+        x = np.logspace(0, 3, 50)
+        law = PowerLaw(alpha=-0.6, beta=0.02)
+        noisy = law(x) * np.exp(rng.normal(0, 0.5, size=x.size))
+        assert r_squared_loglog(law, x, noisy) < 1.0

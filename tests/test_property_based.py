@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core data structures and math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import haversine_miles
+from repro.geo.gazetteer import normalize_place_name
+from repro.mathx.buckets import bucket_following_pairs
+from repro.mathx.distributions import (
+    log_normalize,
+    sample_categorical,
+    top_k_indices,
+)
+from repro.mathx.powerlaw import PowerLaw, fit_power_law
+from repro.text.tokenizer import tokenize
+
+lat = st.floats(min_value=-89.9, max_value=89.9)
+lon = st.floats(min_value=-179.9, max_value=179.9)
+
+
+class TestHaversineProperties:
+    @given(lat, lon)
+    def test_identity(self, a, b):
+        assert haversine_miles(a, b, a, b) == 0.0
+
+    @given(lat, lon, lat, lon)
+    def test_symmetry(self, a1, b1, a2, b2):
+        d1 = haversine_miles(a1, b1, a2, b2)
+        d2 = haversine_miles(a2, b2, a1, b1)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @given(lat, lon, lat, lon)
+    def test_non_negative_and_bounded(self, a1, b1, a2, b2):
+        d = haversine_miles(a1, b1, a2, b2)
+        assert 0.0 <= d <= math.pi * 3958.7613 + 1e-6
+
+    @given(lat, lon, lat, lon, lat, lon)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a1, b1, a2, b2, a3, b3):
+        d12 = haversine_miles(a1, b1, a2, b2)
+        d23 = haversine_miles(a2, b2, a3, b3)
+        d13 = haversine_miles(a1, b1, a3, b3)
+        assert d13 <= d12 + d23 + 1e-6
+
+
+class TestPowerLawProperties:
+    @given(
+        st.floats(min_value=-2.0, max_value=-0.1),
+        st.floats(min_value=1e-5, max_value=1.0),
+    )
+    def test_fit_recovers_exact_parameters(self, alpha, beta):
+        x = np.logspace(0.1, 3, 25)
+        law = fit_power_law(x, PowerLaw(alpha, beta)(x))
+        assert law.alpha == pytest.approx(alpha, abs=1e-6)
+        assert law.beta == pytest.approx(beta, rel=1e-5)
+
+    @given(
+        st.floats(min_value=-2.0, max_value=-0.1),
+        st.floats(min_value=1e-5, max_value=1.0),
+        st.floats(min_value=0.0, max_value=5000.0),
+    )
+    def test_evaluation_positive(self, alpha, beta, x):
+        assert PowerLaw(alpha, beta)(x) > 0
+
+    @given(st.floats(min_value=-2.0, max_value=-0.1))
+    def test_monotone_decreasing_beyond_clamp(self, alpha):
+        law = PowerLaw(alpha, 0.01)
+        xs = np.linspace(1.0, 1000.0, 50)
+        values = law(xs)
+        assert np.all(np.diff(values) <= 0)
+
+
+class TestCategoricalProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_sample_lands_on_positive_weight(self, weights, seed):
+        w = np.array(weights)
+        if w.sum() <= 0:
+            return  # all-zero is a ValueError, covered by unit tests
+        rng = np.random.default_rng(seed)
+        idx = sample_categorical(rng, w)
+        assert 0 <= idx < len(w)
+        assert w[idx] > 0
+
+
+class TestLogNormalizeProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-500.0, max_value=500.0), min_size=1, max_size=30
+        )
+    )
+    def test_output_is_distribution(self, logits):
+        p = log_normalize(np.array(logits))
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50.0, max_value=50.0), min_size=2, max_size=20
+        ),
+        st.floats(min_value=-1000.0, max_value=1000.0),
+    )
+    def test_shift_invariance(self, logits, shift):
+        a = log_normalize(np.array(logits))
+        b = log_normalize(np.array(logits) + shift)
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestTopKProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_topk_are_the_largest(self, values, k):
+        p = np.array(values)
+        top = top_k_indices(p, k)
+        assert len(top) == min(k, len(p))
+        assert len(set(top)) == len(top)
+        if len(top) < len(p):
+            threshold = min(p[i] for i in top)
+            rest = [p[i] for i in range(len(p)) if i not in set(top)]
+            assert all(v <= threshold + 1e-12 for v in rest)
+
+
+class TestBucketProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=3000.0), st.booleans()
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_mass_conservation(self, pairs):
+        d = np.array([p[0] for p in pairs])
+        e = np.array([p[1] for p in pairs])
+        b = bucket_following_pairs(d, e)
+        assert b.totals.sum() == len(pairs)
+        assert b.edges.sum() == e.sum()
+        assert np.all(b.edges <= b.totals)
+
+
+class TestTokenizerProperties:
+    @given(st.text(max_size=300))
+    def test_never_crashes_and_tokens_are_clean(self, text):
+        tokens = tokenize(text)
+        for tok in tokens:
+            assert tok == tok.casefold()
+            assert len(tok) > 1
+            assert " " not in tok
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=["Lu", "Ll"]), max_size=50))
+    def test_idempotent_on_own_output(self, text):
+        tokens = tokenize(text)
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+class TestNormalizePlaceNameProperties:
+    @given(st.text(max_size=100))
+    def test_idempotent(self, text):
+        once = normalize_place_name(text)
+        assert normalize_place_name(once) == once
+
+
+class TestProfileInvariants:
+    """Sampled profiles from a real fit satisfy distribution axioms."""
+
+    def test_every_profile_is_distribution(self, fitted_result):
+        for profile in fitted_result.profiles:
+            probs = np.array([p for _, p in profile.entries])
+            assert probs.sum() == pytest.approx(1.0)
+            assert np.all(probs >= 0)
+            locs = [l for l, _ in profile.entries]
+            assert len(set(locs)) == len(locs)

@@ -1,0 +1,120 @@
+"""Property-based tests on the evaluation metrics and splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    accuracy_at,
+    dp_at_k,
+    dp_of_user,
+    dr_at_k,
+    dr_of_user,
+    explanation_accuracy,
+)
+from repro.geo.gazetteer import Gazetteer, Location
+
+
+def _grid_gazetteer(n: int = 12) -> Gazetteer:
+    """A small grid of cities ~70 miles apart."""
+    locs = []
+    for i in range(n):
+        locs.append(
+            Location(i, f"G{i}", "ZZ", 30.0 + (i // 4), -100.0 + (i % 4), 10)
+        )
+    return Gazetteer(locs)
+
+
+GAZ = _grid_gazetteer()
+loc_ids = st.integers(min_value=0, max_value=len(GAZ) - 1)
+
+
+class TestAccuracyProperties:
+    @given(st.lists(st.tuples(loc_ids, loc_ids), min_size=1, max_size=30))
+    def test_bounded(self, pairs):
+        pred = [p for p, _ in pairs]
+        true = [t for _, t in pairs]
+        acc = accuracy_at(GAZ, pred, true)
+        assert 0.0 <= acc <= 1.0
+
+    @given(st.lists(st.tuples(loc_ids, loc_ids), min_size=1, max_size=30))
+    def test_monotone_in_miles(self, pairs):
+        pred = [p for p, _ in pairs]
+        true = [t for _, t in pairs]
+        accs = [accuracy_at(GAZ, pred, true, miles=m) for m in (0, 50, 200, 5000)]
+        assert accs == sorted(accs)
+
+    @given(st.lists(loc_ids, min_size=1, max_size=30))
+    def test_perfect_prediction(self, locs):
+        assert accuracy_at(GAZ, locs, locs, miles=0.0) == 1.0
+
+
+class TestDPDRProperties:
+    @given(
+        st.lists(loc_ids, min_size=1, max_size=6),
+        st.lists(loc_ids, min_size=1, max_size=4),
+    )
+    def test_bounded(self, predicted, truth):
+        assert 0.0 <= dp_of_user(GAZ, predicted, truth) <= 1.0
+        assert 0.0 <= dr_of_user(GAZ, predicted, truth) <= 1.0
+
+    @given(
+        st.lists(loc_ids, min_size=1, max_size=6, unique=True),
+        st.lists(loc_ids, min_size=1, max_size=4, unique=True),
+    )
+    def test_dr_monotone_in_k(self, ranking, truth):
+        drs = [dr_at_k(GAZ, [ranking], [truth], k=k) for k in (1, 2, 3, 6)]
+        assert drs == sorted(drs)
+
+    @given(st.lists(loc_ids, min_size=1, max_size=5, unique=True))
+    def test_predicting_exact_truth_is_perfect(self, truth):
+        assert dp_of_user(GAZ, truth, truth) == 1.0
+        assert dr_of_user(GAZ, truth, truth) == 1.0
+
+    @given(
+        st.lists(loc_ids, min_size=1, max_size=6),
+        st.lists(loc_ids, min_size=1, max_size=4),
+    )
+    def test_dp_dr_duality(self, predicted, truth):
+        """DP(pred, truth) == DR(truth, pred) -- the definitions are
+        symmetric in their arguments."""
+        assert dp_of_user(GAZ, predicted, truth) == pytest.approx(
+            dr_of_user(GAZ, truth, predicted)
+        )
+
+
+class TestExplanationProperties:
+    @given(
+        st.lists(
+            st.tuples(loc_ids, loc_ids, loc_ids, loc_ids),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_bounded_and_monotone(self, rows):
+        pred = [(a, b) for a, b, _, _ in rows]
+        true = [(c, d) for _, _, c, d in rows]
+        accs = [
+            explanation_accuracy(GAZ, pred, true, miles=m)
+            for m in (0, 100, 1000)
+        ]
+        assert all(0.0 <= a <= 1.0 for a in accs)
+        assert accs == sorted(accs)
+
+    @given(st.lists(st.tuples(loc_ids, loc_ids), min_size=1, max_size=20))
+    def test_perfect_explanation(self, assignments):
+        assert explanation_accuracy(GAZ, assignments, assignments) == 1.0
+
+
+class TestSplitProperties:
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_folds_partition_labeled_users(self, small_world, n_folds, seed):
+        from repro.evaluation.splits import k_fold_label_splits
+
+        splits = k_fold_label_splits(small_world, n_folds=n_folds, seed=seed)
+        tested = sorted(u for s in splits for u in s.test_user_ids)
+        assert tested == sorted(small_world.labeled_user_ids)
+        # Folds are disjoint.
+        assert len(tested) == len(set(tested))

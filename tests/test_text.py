@@ -1,0 +1,160 @@
+"""Unit tests for the text substrate (tokenizer, normalize, parser, venues)."""
+
+import pytest
+
+from repro.geo.us_cities import builtin_gazetteer
+from repro.text.normalize import normalize_state
+from repro.text.profile_parser import parse_profile_location
+from repro.text.tokenizer import tokenize
+from repro.text.venues import VenueExtractor
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return builtin_gazetteer()
+
+
+@pytest.fixture(scope="module")
+def extractor(gaz):
+    return VenueExtractor(gaz)
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("Good Morning Austin") == ["good", "morning", "austin"]
+
+    def test_strips_urls(self):
+        assert "http" not in " ".join(tokenize("see http://t.co/abc now"))
+        assert tokenize("go www.example.com now") == ["go", "now"]
+
+    def test_strips_mentions(self):
+        assert tokenize("hey @lucy what's up") == ["hey", "whats", "up"]
+
+    def test_keeps_hashtag_text(self):
+        assert tokenize("#Austin is great") == ["austin", "is", "great"]
+
+    def test_apostrophes_joined(self):
+        assert tokenize("let's go") == ["lets", "go"]
+
+    def test_drops_single_letters(self):
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66 forever") == ["route", "66", "forever"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("@only http://x.y") == []
+
+    def test_punctuation_boundaries(self):
+        assert tokenize("austin,texas!now") == ["austin", "texas", "now"]
+
+
+class TestNormalizeState:
+    def test_abbreviation_any_case(self):
+        assert normalize_state("tx") == "TX"
+        assert normalize_state("TX") == "TX"
+
+    def test_full_name(self):
+        assert normalize_state("Texas") == "TX"
+        assert normalize_state("NEW YORK") == "NY"
+
+    def test_dc_with_periods(self):
+        assert normalize_state("D.C.") == "DC"
+
+    def test_whitespace_tolerated(self):
+        assert normalize_state("  california ") == "CA"
+
+    def test_invalid_returns_none(self):
+        assert normalize_state("my home") is None
+        assert normalize_state("") is None
+        assert normalize_state("ZZ") is None
+
+    def test_multiword_state(self):
+        assert normalize_state("west  virginia") == "WV"
+
+
+class TestProfileParser:
+    def test_city_abbrev(self, gaz):
+        parsed = parse_profile_location("Los Angeles, CA", gaz)
+        assert parsed.location.name == "Los Angeles, CA"
+
+    def test_city_full_state(self, gaz):
+        parsed = parse_profile_location("austin, texas", gaz)
+        assert parsed.location.name == "Austin, TX"
+
+    def test_rejects_state_only(self, gaz):
+        assert parse_profile_location("CA", gaz) is None
+
+    def test_rejects_nonsense(self, gaz):
+        assert parse_profile_location("my home", gaz) is None
+        assert parse_profile_location("somewhere, overtherainbow", gaz) is None
+
+    def test_rejects_blank_and_none(self, gaz):
+        assert parse_profile_location("", gaz) is None
+        assert parse_profile_location(None, gaz) is None
+        assert parse_profile_location("   ", gaz) is None
+
+    def test_rejects_unknown_city(self, gaz):
+        assert parse_profile_location("Atlantis, CA", gaz) is None
+
+    def test_ambiguous_name_resolved_by_state(self, gaz):
+        nj = parse_profile_location("Princeton, NJ", gaz)
+        wv = parse_profile_location("Princeton, WV", gaz)
+        assert nj.location.location_id != wv.location.location_id
+
+    def test_last_comma_wins(self, gaz):
+        # "City, with, commas" style: only the trailing state matters.
+        parsed = parse_profile_location("Austin, TX, USA", gaz)
+        assert parsed is None  # "TX, USA" is not a state
+
+    def test_preserves_raw_text(self, gaz):
+        parsed = parse_profile_location("  Austin, TX ", gaz)
+        assert parsed.raw_text == "Austin, TX"
+
+
+class TestVenueExtractor:
+    def test_single_word_venue(self, extractor):
+        venues = [m.venue for m in extractor.extract("leaving austin tomorrow")]
+        assert venues == ["austin"]
+
+    def test_multi_word_venue(self, extractor):
+        venues = [m.venue for m in extractor.extract("I love Los Angeles so much")]
+        assert venues == ["los angeles"]
+
+    def test_longest_match_preferred(self, extractor):
+        # "long beach" must win over any shorter token interpretation.
+        venues = [m.venue for m in extractor.extract("surfing at long beach today")]
+        assert "long beach" in venues
+
+    def test_multiple_mentions(self, extractor):
+        text = "from round rock to los angeles and back to austin"
+        venues = [m.venue for m in extractor.extract(text)]
+        assert venues == ["round rock", "los angeles", "austin"]
+
+    def test_ambiguous_venue_single_mention(self, extractor):
+        mentions = extractor.extract("visiting princeton next week")
+        assert len(mentions) == 1
+        assert mentions[0].venue == "princeton"
+
+    def test_no_venues(self, extractor):
+        assert extractor.extract("nothing geographic here at all") == []
+
+    def test_hashtag_venue(self, extractor):
+        venues = [m.venue for m in extractor.extract("great show #austin")]
+        assert venues == ["austin"]
+
+    def test_mention_offsets(self, extractor):
+        mentions = extractor.extract("hello austin friends")
+        assert mentions[0].token_start == 1
+        assert mentions[0].token_end == 2
+
+    def test_non_overlapping(self, extractor):
+        # "new york" consumes both tokens; "york" alone must not re-match.
+        mentions = extractor.extract("i love new york")
+        assert len(mentions) == 1
+
+    def test_extract_venue_ids_consistent(self, extractor, gaz):
+        ids = extractor.extract_venue_ids("austin and los angeles")
+        names = [gaz.venue_vocabulary[i] for i in ids]
+        assert names == ["austin", "los angeles"]

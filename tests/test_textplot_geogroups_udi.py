@@ -1,0 +1,193 @@
+"""Tests for the extensions: text plots, geo-group scoring, BaseUDI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.udi import UDIConfig, UnifiedInfluenceBaseline
+from repro.evaluation.geo_groups import (
+    GroupingScore,
+    mean_grouping_score,
+    score_grouping,
+    true_geo_groups,
+)
+from repro.evaluation.metrics import accuracy_at
+from repro.evaluation.splits import single_holdout_split
+from repro.experiments.textplot import multi_scatter, scatter
+
+
+class TestScatter:
+    def test_contains_markers(self):
+        text = scatter([1, 2, 3], [1, 4, 9])
+        assert "*" in text
+
+    def test_log_log_power_law_is_straight(self):
+        """A power law plotted log-log occupies a thin diagonal band."""
+        x = np.logspace(0, 3, 30)
+        y = 0.01 * x**-0.8
+        text = scatter(list(x), list(y), log_x=True, log_y=True, width=40, height=12)
+        rows = [
+            (r, line.index("*"))
+            for r, line in enumerate(text.splitlines())
+            if "*" in line
+        ]
+        cols = [c for _, c in rows]
+        # Strictly increasing columns as rows descend = monotone line.
+        assert cols == sorted(cols)
+
+    def test_title_and_labels(self):
+        text = scatter([1], [1], title="T", x_label="miles", y_label="p")
+        assert "T" in text
+        assert "x: miles" in text
+        assert "y: p" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter([0.0, 1.0], [1.0, 1.0], log_x=True)
+
+    def test_constant_series(self):
+        text = scatter([1, 2, 3], [5, 5, 5])
+        assert "*" in text
+
+
+class TestMultiScatter:
+    def test_legend_lists_series(self):
+        text = multi_scatter(
+            {"MLP": ([1, 2], [0.5, 0.6]), "BaseU": ([1, 2], [0.3, 0.4])}
+        )
+        assert "legend:" in text
+        assert "MLP" in text and "BaseU" in text
+
+    def test_distinct_markers(self):
+        text = multi_scatter(
+            {"a": ([1.0], [1.0]), "b": ([2.0], [2.0])}
+        )
+        assert "*" in text and "o" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            multi_scatter({})
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            multi_scatter({"a": ([1], [1])}, width=2, height=2)
+
+    def test_rejects_mismatched_series(self):
+        with pytest.raises(ValueError):
+            multi_scatter({"a": ([1, 2], [1])})
+
+
+class TestTrueGeoGroups:
+    def test_groups_cover_location_based_followers(self, small_world):
+        uid = max(
+            range(small_world.n_users),
+            key=lambda u: len(small_world.followers_of[u]),
+        )
+        groups = true_geo_groups(small_world, uid)
+        grouped = {f for members in groups.values() for f in members}
+        expected = {
+            e.follower
+            for e in small_world.following
+            if e.friend == uid and e.true_y is not None
+        }
+        assert grouped == expected
+
+    def test_nearby_assignments_merge(self, small_world):
+        uid = max(
+            range(small_world.n_users),
+            key=lambda u: len(small_world.followers_of[u]),
+        )
+        groups = true_geo_groups(small_world, uid, radius_miles=100.0)
+        gaz = small_world.gazetteer
+        keys = list(groups)
+        for a, b in zip(keys, keys[1:]):
+            assert gaz.distance(a, b) > 0  # distinct group anchors
+
+
+class TestScoreGrouping:
+    def test_perfect_grouping(self):
+        truth = {0: [1, 2], 5: [3]}
+        score = score_grouping(truth, truth)
+        assert score.purity == 1.0
+        assert score.pairwise_f1 == 1.0
+
+    def test_everything_in_one_group(self):
+        truth = {0: [1, 2], 5: [3, 4]}
+        predicted = {0: [1, 2, 3, 4]}
+        score = score_grouping(predicted, truth)
+        assert score.purity == 0.5
+        assert score.pairwise_recall == 1.0
+        assert score.pairwise_precision < 1.0
+
+    def test_oversplit_grouping(self):
+        truth = {0: [1, 2, 3, 4]}
+        predicted = {0: [1, 2], 9: [3, 4]}
+        score = score_grouping(predicted, truth)
+        assert score.purity == 1.0
+        assert score.pairwise_precision == 1.0
+        assert score.pairwise_recall < 1.0
+
+    def test_no_shared_followers_raises(self):
+        with pytest.raises(ValueError):
+            score_grouping({0: [1]}, {0: [2]})
+
+
+class TestMeanGroupingScore:
+    def test_mlp_groups_score_well(self, fitted_result, small_world):
+        top_users = sorted(
+            range(small_world.n_users),
+            key=lambda u: -len(small_world.followers_of[u]),
+        )[:10]
+        predicted = {
+            uid: fitted_result.geo_groups(uid) for uid in top_users
+        }
+        score = mean_grouping_score(small_world, predicted)
+        assert score.purity > 0.5
+        assert 0.0 <= score.pairwise_f1 <= 1.0
+
+    def test_requires_enough_followers(self, small_world):
+        with pytest.raises(ValueError):
+            mean_grouping_score(small_world, {0: {0: [1]}}, min_followers=999)
+
+
+class TestUnifiedInfluenceBaseline:
+    @pytest.fixture(scope="class")
+    def split(self, small_world):
+        return single_holdout_split(small_world, 0.2, seed=1)
+
+    def test_labeled_users_keep_label(self, split):
+        pred = UnifiedInfluenceBaseline().predict(split.train_dataset)
+        for uid, loc in split.train_dataset.observed_locations.items():
+            assert pred.home_of(uid) == loc
+
+    def test_every_user_ranked(self, small_world, split):
+        pred = UnifiedInfluenceBaseline().predict(split.train_dataset)
+        assert all(
+            pred.ranked_locations[u] for u in range(small_world.n_users)
+        )
+
+    def test_beats_single_signal_baselines(self, small_world, split):
+        """Unifying both signals should at least match network-only."""
+        from repro.baselines.backstrom import BackstromBaseline
+
+        udi = UnifiedInfluenceBaseline().predict(split.train_dataset)
+        bu = BackstromBaseline().predict(split.train_dataset)
+        gaz = small_world.gazetteer
+        truth = list(split.test_truth)
+        acc_udi = accuracy_at(
+            gaz, [udi.home_of(u) for u in split.test_user_ids], truth
+        )
+        acc_bu = accuracy_at(
+            gaz, [bu.home_of(u) for u in split.test_user_ids], truth
+        )
+        assert acc_udi >= acc_bu - 0.05
+
+    def test_deterministic(self, split):
+        a = UnifiedInfluenceBaseline().predict(split.train_dataset)
+        b = UnifiedInfluenceBaseline().predict(split.train_dataset)
+        assert a.ranked_locations == b.ranked_locations
+
+    def test_content_weight_zero_reduces_to_network(self, split):
+        pred = UnifiedInfluenceBaseline(
+            UDIConfig(content_weight=0.0)
+        ).predict(split.train_dataset)
+        assert all(r for r in pred.ranked_locations)
