@@ -1,0 +1,23 @@
+# Developer entry points.  Everything assumes the repo root as cwd and
+# needs no installation beyond python + numpy (+ pytest, pytest-benchmark).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke docs-check all
+
+all: docs-check test
+
+## tier-1 test suite (the gate every change must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## fast benchmark pass: component micro-benches + engine head-to-head,
+## writes benchmarks/results/engine_head_to_head.txt and bench_run.json
+bench-smoke:
+	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) -m pytest bench_components.py -q
+
+## fail if any public module lacks a module docstring
+docs-check:
+	$(PYTHON) tools/docs_check.py

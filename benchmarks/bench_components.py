@@ -3,8 +3,12 @@ building blocks (no paper artifact attached).
 
 These give pytest-benchmark real statistics and catch performance
 regressions in the hot paths: world generation, prior construction,
-one Gibbs sweep, distance-matrix construction, venue extraction.
+one Gibbs sweep (both engines), distance-matrix construction, venue
+extraction.  The loop-vs-vectorized head-to-head runs on the *medium*
+dataset (below) and records its numbers to the JSON journal.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -13,14 +17,35 @@ from repro.core.gibbs import GibbsSampler
 from repro.core.params import MLPParams
 from repro.core.priors import build_user_priors
 from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.engine import VectorizedGibbsSampler
 from repro.geo.coords import pairwise_distance_matrix
 from repro.geo.us_cities import builtin_gazetteer
 from repro.text.venues import VenueExtractor
+
+#: The medium synthetic dataset of the engine head-to-head: a
+#: follow-dominated corpus in the spirit of the paper's Twitter crawl
+#: (following relationships outnumber venue mentions roughly 5:1, and a
+#: celebrity-noise share matching the rho_f prior below).  Medium sits
+#: between the 400-user micro world here and the 1500-user default
+#: experiment scale.
+MEDIUM_WORLD = SyntheticWorldConfig(
+    n_users=1200,
+    seed=11,
+    mean_friends=30.0,
+    mean_venues=6.0,
+    noise_following=0.35,
+)
+MEDIUM_PARAMS = MLPParams(n_iterations=4, burn_in=0, seed=1, rho_f=0.35)
 
 
 @pytest.fixture(scope="module")
 def bench_world():
     return generate_world(SyntheticWorldConfig(n_users=400, seed=3))
+
+
+@pytest.fixture(scope="module")
+def medium_world():
+    return generate_world(MEDIUM_WORLD)
 
 
 def test_bench_world_generation(benchmark):
@@ -55,6 +80,76 @@ def test_bench_gibbs_sweep(benchmark, bench_world):
     sampler.initialize()
     sampler.sweep()  # warm the chain
     benchmark.pedantic(sampler.sweep, rounds=3, iterations=1)
+
+
+def test_bench_gibbs_sweep_vectorized(benchmark, bench_world):
+    """The same sweep on the vectorized engine (identical chain)."""
+    params = MLPParams(n_iterations=2, burn_in=0, seed=1)
+    sampler = VectorizedGibbsSampler(bench_world, params)
+    sampler.initialize()
+    sampler.sweep()  # warm the chain and build the layout
+    benchmark.pedantic(sampler.sweep, rounds=3, iterations=1)
+
+
+def _sustained_sweep_seconds(sampler, sweeps: int, repeats: int) -> float:
+    """Best sustained per-sweep time over several measurement windows."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(sweeps):
+            sampler.sweep()
+        best = min(best, (time.perf_counter() - start) / sweeps)
+    return best
+
+
+def test_bench_engine_head_to_head(medium_world, artifact_dir, journal):
+    """Loop vs vectorized on the medium dataset: same chain, wall clock.
+
+    Both engines run the identical chain (same seed, bit-identical
+    states -- the golden tests prove it), so the comparison is pure
+    implementation speed.  The measured speedup and the per-engine
+    sweep times land in the JSON journal and in
+    ``results/engine_head_to_head.txt``.  The hard floor asserted here
+    is a regression guard; the issue-level target (>= 3x) is recorded
+    as a flag because single-core hosts top out around 2.5-2.9x -- see
+    docs/PERFORMANCE.md for why bit-identity caps the ratio.
+    """
+    loop = GibbsSampler(medium_world, MEDIUM_PARAMS)
+    vec = VectorizedGibbsSampler(medium_world, MEDIUM_PARAMS)
+    loop.initialize()
+    vec.initialize()
+    for _ in range(3):  # warm both chains past the cold start
+        loop.sweep()
+        vec.sweep()
+    loop_s = _sustained_sweep_seconds(loop, sweeps=4, repeats=2)
+    vec_s = _sustained_sweep_seconds(vec, sweeps=4, repeats=2)
+    speedup = loop_s / vec_s
+    edges = medium_world.n_following + medium_world.n_tweeting
+    summary = (
+        f"engine head-to-head (medium dataset: {medium_world.n_users} users, "
+        f"{edges} relationships)\n"
+        f"  loop       {loop_s * 1e3:8.1f} ms/sweep "
+        f"({loop_s / edges * 1e6:.1f} us/edge)\n"
+        f"  vectorized {vec_s * 1e3:8.1f} ms/sweep "
+        f"({vec_s / edges * 1e6:.1f} us/edge)\n"
+        f"  speedup    {speedup:8.2f}x"
+    )
+    (artifact_dir / "engine_head_to_head.txt").write_text(summary + "\n")
+    print()
+    print(summary)
+    journal(
+        "timing",
+        bench="engine_head_to_head",
+        n_users=medium_world.n_users,
+        n_relationships=edges,
+        loop_seconds_per_sweep=loop_s,
+        vectorized_seconds_per_sweep=vec_s,
+        speedup=speedup,
+        meets_3x_target=bool(speedup >= 3.0),
+    )
+    assert speedup >= 2.0, (
+        f"vectorized engine regressed: only {speedup:.2f}x over loop"
+    )
 
 
 def test_bench_venue_extraction(benchmark):

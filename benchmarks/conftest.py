@@ -1,4 +1,4 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the machine-readable run journal.
 
 One :class:`ExperimentSuite` is shared across all benchmark modules, so
 the five method fits behind Table 2 / Fig. 4, the multi-location runs
@@ -10,18 +10,28 @@ and say so in their docstrings.
 
 Every bench writes its rendered artifact to ``benchmarks/results/`` so
 a bench run leaves the full set of paper tables/figures on disk.
+
+**Machine-readable output.**  Benches additionally call
+:func:`record_json` with structured measurements; at session end the
+journal is written to ``benchmarks/results/bench_run.json`` together
+with interpreter/library/host metadata, so performance history can be
+tracked across machines and commits (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentSuite
 from repro.core.params import MLPParams
 from repro.data.generator import SyntheticWorldConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentSuite
 
 #: Scale of the benchmark campaign.  Large enough that method ordering
 #: is stable, small enough that the full harness runs in minutes.
@@ -29,6 +39,9 @@ BENCH_USERS = 900
 BENCH_SEED = 11
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Structured measurements accumulated over one pytest session.
+_JOURNAL: list[dict] = []
 
 
 def bench_config() -> ExperimentConfig:
@@ -58,3 +71,44 @@ def save_artifact(artifact_dir: Path, name: str, text: str) -> None:
     (artifact_dir / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+    record_json("artifact", name=name, path=str(artifact_dir / f"{name}.txt"))
+
+
+def record_json(kind: str, **payload) -> None:
+    """Append one structured measurement to the session journal.
+
+    ``kind`` groups entries (``"timing"``, ``"artifact"``, ...); the
+    payload is whatever the bench wants to persist -- numbers, not
+    prose.  The journal lands in ``benchmarks/results/bench_run.json``.
+    """
+    _JOURNAL.append({"kind": kind, **payload})
+
+
+@pytest.fixture(scope="session")
+def journal():
+    """The :func:`record_json` recorder, as a fixture.
+
+    Benches take this instead of importing from conftest -- fixture
+    resolution works under every pytest import mode, a cross-conftest
+    import only under the default rootdir sys.path insertion.
+    """
+    return record_json
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the journal with enough metadata to compare runs."""
+    if not _JOURNAL:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "exit_status": int(exitstatus),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "entries": _JOURNAL,
+    }
+    out = RESULTS_DIR / "bench_run.json"
+    out.write_text(json.dumps(run, indent=2) + "\n")
+    print(f"\n[bench] wrote {len(_JOURNAL)} journal entries -> {out}")

@@ -23,6 +23,7 @@ Package map::
     repro.data         containers, synthetic generator, persistence
     repro.mathx        power laws, bucketing, sampling helpers
     repro.core         the MLP model (params, priors, Gibbs, facade)
+    repro.engine       vectorized sweeps, engine factory, chain pool
     repro.baselines    BaseU, BaseC, home-explainer, naive references
     repro.evaluation   metrics, splits, task runners
     repro.experiments  per-table/figure drivers and text reports

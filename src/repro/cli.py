@@ -8,7 +8,15 @@ Commands:
 - ``evaluate``  -- run the five-method Table 2 protocol on a dataset;
 - ``reproduce`` -- regenerate every paper table/figure.
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed``.  ``fit``, ``evaluate``
+and ``reproduce`` accept the engine knobs shared by every inference in
+this codebase: ``--engine {loop,vectorized}`` selects the sweep
+implementation (identical chains, different speed/memory trade -- see
+:mod:`repro.engine`) and ``--chains K`` runs K independently-seeded
+chains whose posteriors are pooled and cross-checked with R-hat.
+
+Every subcommand documents its flags in ``--help``; run
+``python -m repro <command> --help`` for the full story.
 """
 
 from __future__ import annotations
@@ -18,59 +26,198 @@ import json
 import sys
 from pathlib import Path
 
+_ENGINE_EPILOG = """\
+engine knobs:
+  --engine loop        reference Python-loop Gibbs sweeps (the oracle)
+  --engine vectorized  precomputed-layout sweeps; bit-identical chain,
+                       ~2.5-3x faster, more memory (kernel cache)
+  --chains K           K independent chains with deterministic seeds
+                       (base, base+7919, ...); profiles average the
+                       pooled posterior, explanations merge per-edge
+                       tallies, and an R-hat summary is reported.
+"""
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
+    """The engine knobs shared by fit/evaluate/reproduce."""
+    p.add_argument(
+        "--engine",
+        choices=("loop", "vectorized"),
+        default="loop",
+        help="Gibbs sweep implementation (default: %(default)s)",
+    )
+    p.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="independent chains to run and pool (default: %(default)s)",
+    )
+
 
 def _add_generate(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("generate", help="generate a synthetic world")
+    p = sub.add_parser(
+        "generate",
+        help="generate a synthetic world",
+        description=(
+            "Generate a synthetic MLP world (users, homes, following "
+            "edges, venue mentions) and save it as JSON.  The generator "
+            "mirrors the paper's data assumptions: power-law distance "
+            "decay for friendships, noisy celebrity follows, ambiguous "
+            "venue names."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example:\n"
+            "  python -m repro generate world.json --users 2000 --seed 7\n"
+        ),
+    )
     p.add_argument("output", type=Path, help="output JSON path")
-    p.add_argument("--users", type=int, default=1000)
-    p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--labeled-fraction", type=float, default=0.8)
-    p.add_argument("--mean-friends", type=float, default=10.0)
-    p.add_argument("--mean-venues", type=float, default=14.0)
+    p.add_argument(
+        "--users", type=int, default=1000, help="number of users (default: %(default)s)"
+    )
+    p.add_argument("--seed", type=int, default=7, help="RNG seed (default: %(default)s)")
+    p.add_argument(
+        "--labeled-fraction",
+        type=float,
+        default=0.8,
+        help="fraction of users with an observed home (default: %(default)s)",
+    )
+    p.add_argument(
+        "--mean-friends",
+        type=float,
+        default=10.0,
+        help="mean following edges per user (default: %(default)s)",
+    )
+    p.add_argument(
+        "--mean-venues",
+        type=float,
+        default=14.0,
+        help="mean venue mentions per user (default: %(default)s)",
+    )
     p.add_argument(
         "--render-tweets", action="store_true", help="emit raw tweet text"
     )
 
 
 def _add_stats(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("stats", help="print dataset statistics")
-    p.add_argument("dataset", type=Path)
+    p = sub.add_parser(
+        "stats",
+        help="print dataset statistics",
+        description=(
+            "Print corpus statistics (user, edge, venue and label "
+            "counts; degree and distance summaries) of a saved dataset "
+            "as JSON."
+        ),
+    )
+    p.add_argument("dataset", type=Path, help="dataset JSON path")
 
 
 def _add_fit(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("fit", help="fit MLP and print profiles")
-    p.add_argument("dataset", type=Path)
-    p.add_argument("--iterations", type=int, default=30)
-    p.add_argument("--burn-in", type=int, default=12)
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser(
+        "fit",
+        help="fit MLP and print profiles",
+        description=(
+            "Run full MLP inference (collapsed Gibbs with Gibbs-EM "
+            "power-law refits) on a saved dataset and print location "
+            "profiles for selected users."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_ENGINE_EPILOG + (
+            "\nexample:\n"
+            "  python -m repro fit world.json --engine vectorized --chains 4\n"
+        ),
+    )
+    p.add_argument("dataset", type=Path, help="dataset JSON path")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=30,
+        help="total Gibbs sweeps (default: %(default)s)",
+    )
+    p.add_argument(
+        "--burn-in",
+        type=int,
+        default=12,
+        help="sweeps discarded before accumulation (default: %(default)s)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed (default: %(default)s)")
     p.add_argument(
         "--users", type=int, nargs="*", default=None,
         help="user ids to print (default: first 5 multi-location users)",
     )
-    p.add_argument("--top-k", type=int, default=3)
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="profile entries to print per user (default: %(default)s)",
+    )
+    _add_engine_arguments(p)
 
 
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
-        "evaluate", help="five-method home-prediction comparison (Table 2)"
+        "evaluate",
+        help="five-method home-prediction comparison (Table 2)",
+        description=(
+            "Run the Sec. 5.1 home-prediction protocol: hide a holdout "
+            "of labels, predict them with MLP, MLP_U, MLP_C and the "
+            "baselines, and print the Table 2 accuracy comparison."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_ENGINE_EPILOG,
     )
-    p.add_argument("dataset", type=Path)
-    p.add_argument("--iterations", type=int, default=24)
-    p.add_argument("--burn-in", type=int, default=10)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--holdout", type=float, default=0.2)
+    p.add_argument("dataset", type=Path, help="dataset JSON path")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=24,
+        help="total Gibbs sweeps per fit (default: %(default)s)",
+    )
+    p.add_argument(
+        "--burn-in",
+        type=int,
+        default=10,
+        help="sweeps discarded before accumulation (default: %(default)s)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed (default: %(default)s)")
+    p.add_argument(
+        "--holdout",
+        type=float,
+        default=0.2,
+        help="fraction of labels hidden for testing (default: %(default)s)",
+    )
+    _add_engine_arguments(p)
 
 
 def _add_reproduce(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
-        "reproduce", help="regenerate every paper table and figure"
+        "reproduce",
+        help="regenerate every paper table and figure",
+        description=(
+            "Regenerate the full artifact set of the paper (Tables 2-5, "
+            "Figures 3-8) from one synthetic world, printing each as "
+            "text and optionally writing them to a directory."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_ENGINE_EPILOG,
     )
-    p.add_argument("--users", type=int, default=900)
-    p.add_argument("--seed", type=int, default=11)
+    p.add_argument(
+        "--users", type=int, default=900, help="world size (default: %(default)s)"
+    )
+    p.add_argument("--seed", type=int, default=11, help="RNG seed (default: %(default)s)")
     p.add_argument(
         "--output-dir", type=Path, default=None,
         help="also write each artifact to this directory",
     )
+    _add_engine_arguments(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,11 +268,21 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
     dataset = load_dataset(args.dataset)
     params = MLPParams(
-        n_iterations=args.iterations, burn_in=args.burn_in, seed=args.seed
+        n_iterations=args.iterations,
+        burn_in=args.burn_in,
+        seed=args.seed,
+        engine=args.engine,
+        n_chains=args.chains,
     )
     result = MLPModel(params).fit(dataset)
     law = result.fitted_law
     print(f"fitted law: alpha={law.alpha:.3f} beta={law.beta:.5f}")
+    if result.posterior is not None:
+        summary = ", ".join(
+            f"{name}={value:.3f}"
+            for name, value in result.posterior.convergence_summary().items()
+        )
+        print(f"chains: {args.chains}  R-hat: {summary}")
 
     if args.users is not None:
         user_ids = args.users
@@ -155,6 +312,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         burn_in=args.burn_in,
         seed=args.seed,
         track_edge_assignments=False,
+        engine=args.engine,
+        n_chains=args.chains,
     )
     split = single_holdout_split(dataset, args.holdout, seed=args.seed)
     results = run_home_prediction(
@@ -169,7 +328,13 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.config import default_config
     from repro.experiments.runner import ExperimentSuite
 
-    suite = ExperimentSuite(default_config(n_users=args.users, seed=args.seed))
+    config = default_config(
+        n_users=args.users,
+        seed=args.seed,
+        engine=args.engine,
+        chains=args.chains,
+    )
+    suite = ExperimentSuite(config)
     artifacts = {
         "fig3a": report.render_fig3a(suite.fig3a),
         "fig3b": report.render_fig3b(suite.fig3b),

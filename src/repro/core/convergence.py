@@ -5,12 +5,18 @@ convergence in ~14 rounds.  We track, per sweep: the fraction of
 assignments that changed, the fraction of relationships on the random
 model, and an optional user-supplied metric (the Fig. 5 experiment
 passes home-prediction accuracy against held-out truth).
+
+Single-chain traces only diagnose *within*-chain mixing.  The
+multi-chain engine (:mod:`repro.engine.pool`) additionally applies the
+Gelman-Rubin potential scale reduction factor
+(:func:`potential_scale_reduction`) across independently-seeded chains:
+R-hat near 1 means the chains are sampling the same distribution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,6 +50,12 @@ class ConvergenceTrace:
     def changed_fractions(self) -> list[float]:
         return [s.changed_fraction for s in self.iterations]
 
+    def noise_following_fractions(self) -> list[float]:
+        return [s.noise_following_fraction for s in self.iterations]
+
+    def noise_tweeting_fractions(self) -> list[float]:
+        return [s.noise_tweeting_fraction for s in self.iterations]
+
     def metrics(self) -> list[float | None]:
         return [s.metric for s in self.iterations]
 
@@ -63,6 +75,47 @@ class ConvergenceTrace:
             if change < tolerance:
                 return i + 1
         return None
+
+
+def potential_scale_reduction(chains: Sequence[Sequence[float]]) -> float:
+    """Gelman-Rubin R-hat over per-chain scalar draw sequences.
+
+    ``chains`` holds one series per independently-seeded chain (e.g.
+    the post-burn-in ``noise_following_fraction`` values).  The classic
+    estimator compares the between-chain variance ``B`` of the chain
+    means with the mean within-chain variance ``W``::
+
+        R-hat = sqrt(((n - 1)/n * W + B/n) / W)
+
+    Values near 1 indicate the chains agree; > ~1.1 is the usual "keep
+    sampling" signal.  Degenerate cases are resolved conservatively:
+
+    - fewer than two chains, or chains shorter than two draws, raise
+      ``ValueError`` (the statistic is undefined);
+    - zero within-chain variance returns 1.0 when the chains agree
+      exactly and ``inf`` when they do not (frozen chains stuck at
+      different values have emphatically not converged).
+    """
+    if len(chains) < 2:
+        raise ValueError("R-hat needs at least two chains")
+    lengths = {len(c) for c in chains}
+    if len(lengths) != 1:
+        raise ValueError("chains must have equal length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("R-hat needs at least two draws per chain")
+    draws = [[float(v) for v in chain] for chain in chains]
+    means = [sum(c) / n for c in draws]
+    grand = sum(means) / len(draws)
+    b = n * sum((m - grand) ** 2 for m in means) / (len(draws) - 1)
+    w = sum(
+        sum((v - m) ** 2 for v in c) / (n - 1)
+        for c, m in zip(draws, means)
+    ) / len(draws)
+    if w == 0.0:
+        return 1.0 if b == 0.0 else float("inf")
+    var_plus = (n - 1) / n * w + b / n
+    return float(var_plus / w) ** 0.5
 
 
 #: Signature of the per-iteration metric callback: receives the sweep

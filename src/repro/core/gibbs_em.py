@@ -4,6 +4,10 @@ The outer Gibbs-EM loop of Sec. 4.5: the E-step is the Gibbs chain
 itself (:class:`~repro.core.gibbs.GibbsSampler`), the M-step refits
 (alpha, beta) from the sampled assignments
 (:func:`repro.core.calibration.refit_power_law`).
+
+The sampler class is chosen by ``params.engine`` through
+:func:`repro.engine.factory.make_sampler`, so the vectorized engine
+slots into the same schedule (including mid-run law swaps) unchanged.
 """
 
 from __future__ import annotations
@@ -47,6 +51,10 @@ def run_inference(
     (alpha, beta) spread immediately after burn-in, then accumulation
     sweeps that feed theta estimation and edge tallies.
     """
+    # Engine dispatch lives in repro.engine; imported lazily because the
+    # engine package layers on top of this module.
+    from repro.engine.factory import make_sampler
+
     priors = priors if priors is not None else build_user_priors(dataset, params)
     if params.fit_alpha_beta and params.use_following:
         law = fit_initial_power_law(dataset, params)
@@ -55,7 +63,7 @@ def run_inference(
             alpha=params.alpha, beta=params.beta, min_x=params.min_distance_miles
         )
     laws = [law]
-    sampler = GibbsSampler(
+    sampler = make_sampler(
         dataset, params, priors=priors, alpha=law.alpha, beta=law.beta
     )
     sampler.initialize()

@@ -20,8 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.convergence import ConvergenceTrace
-from repro.core.gibbs import GibbsSampler
-from repro.core.gibbs_em import InferenceRun, run_inference
+from repro.core.gibbs_em import run_inference
 from repro.core.params import MLPParams
 from repro.core.priors import UserPriors, build_user_priors
 from repro.core.results import EdgeExplanation, LocationProfile, TweetExplanation
@@ -40,6 +39,9 @@ class MLPResult:
     tweet_explanations: tuple[TweetExplanation, ...]
     trace: ConvergenceTrace
     law_history: tuple[PowerLaw, ...]
+    #: Multi-chain runs only: the pooled posterior with per-chain
+    #: results and R-hat convergence diagnostics (None otherwise).
+    posterior: "object | None" = None
 
     @property
     def fitted_law(self) -> PowerLaw:
@@ -116,13 +118,28 @@ class MLPModel:
 
         ``metric_callback(sampler, iteration) -> float`` is recorded in
         the convergence trace each sweep (used by the Fig. 5 driver).
+
+        With ``params.n_chains > 1`` the fit runs a
+        :class:`~repro.engine.pool.ChainPool`: profiles come from the
+        cross-chain pooled counts, explanations from the merged edge
+        tallies, and ``result.posterior`` carries the per-chain results
+        plus R-hat diagnostics.  The reported trace and law history are
+        chain 0's (whose seed is the base seed, so a one-chain pool
+        reproduces the plain fit exactly).
         """
         priors = build_user_priors(dataset, self.params)
+        if self.params.n_chains > 1:
+            return self._fit_pooled(dataset, priors, metric_callback)
         run = run_inference(
             dataset, self.params, priors=priors, metric_callback=metric_callback
         )
-        profiles = self._build_profiles(run, priors)
-        explanations, tweet_explanations = self._build_explanations(run)
+        mean_counts = run.sampler.state.mean_theta_counts()
+        profiles = self._profiles_from_counts(dataset, mean_counts, priors)
+        explanations, tweet_explanations = self._explanations_from(
+            dataset,
+            run.sampler.state.edge_tally,
+            lambda: run.sampler.current_home_estimates(),
+        )
         return MLPResult(
             dataset=dataset,
             params=self.params,
@@ -133,14 +150,52 @@ class MLPModel:
             law_history=tuple(run.law_history),
         )
 
-    def _build_profiles(
-        self, run: InferenceRun, priors: UserPriors
+    def _fit_pooled(
+        self, dataset: Dataset, priors: UserPriors, metric_callback
+    ) -> MLPResult:
+        """K-chain inference via the engine's ChainPool."""
+        # Lazy import: the engine package layers on top of core.
+        import os
+
+        from repro.engine.pool import ChainPool
+
+        if metric_callback is not None:
+            raise ValueError(
+                "metric_callback is not supported with n_chains > 1 "
+                "(chains may run in worker processes)"
+            )
+        pool = ChainPool(
+            dataset,
+            self.params,
+            processes=min(self.params.n_chains, os.cpu_count() or 1),
+            priors=priors,
+        )
+        posterior = pool.run()
+        mean_counts = posterior.pooled_mean_counts()
+        profiles = self._profiles_from_counts(dataset, mean_counts, priors)
+        explanations, tweet_explanations = self._explanations_from(
+            dataset,
+            posterior.merged_edge_tally(),
+            lambda: _homes_from_counts(mean_counts, priors),
+        )
+        first = posterior.chains[0]
+        return MLPResult(
+            dataset=dataset,
+            params=self.params,
+            profiles=profiles,
+            explanations=explanations,
+            tweet_explanations=tweet_explanations,
+            trace=first.trace,
+            law_history=first.law_history,
+            posterior=posterior,
+        )
+
+    def _profiles_from_counts(
+        self, dataset: Dataset, mean_counts: np.ndarray, priors: UserPriors
     ) -> tuple[LocationProfile, ...]:
         """Eq. 10 over averaged post-burn-in counts, per user."""
-        sampler = run.sampler
-        mean_counts = sampler.state.mean_theta_counts()
         profiles = []
-        for uid in range(sampler.dataset.n_users):
+        for uid in range(dataset.n_users):
             cand = priors.candidates[uid]
             weights = mean_counts[uid, cand] + priors.gamma[uid]
             probs = weights / weights.sum()
@@ -151,18 +206,15 @@ class MLPModel:
             profiles.append(LocationProfile(user_id=uid, entries=entries))
         return tuple(profiles)
 
-    def _build_explanations(
-        self, run: InferenceRun
+    def _explanations_from(
+        self, dataset: Dataset, tally, homes_factory
     ) -> tuple[tuple[EdgeExplanation, ...], tuple[TweetExplanation, ...]]:
-        sampler = run.sampler
-        tally = sampler.state.edge_tally
         if tally is None or tally.n_samples == 0:
             return (), ()
-        dataset = sampler.dataset
         # Fallback for always-noise relationships: the involved users'
         # current modal locations (the best available explanation when
         # the sampler judged the edge random in every sample).
-        provisional_homes = sampler.current_home_estimates()
+        provisional_homes = homes_factory()
         explanations = []
         if self.params.use_following:
             for s, edge in enumerate(dataset.following):
@@ -205,6 +257,20 @@ class MLPModel:
                     )
                 )
         return tuple(explanations), tuple(tweet_explanations)
+
+
+def _homes_from_counts(mean_counts: np.ndarray, priors: UserPriors) -> np.ndarray:
+    """Argmax-theta home per user from a (pooled) mean count matrix.
+
+    The pooled analogue of
+    :meth:`~repro.core.gibbs.GibbsSampler.current_home_estimates`.
+    """
+    homes = np.empty(priors.n_users, dtype=np.int64)
+    for uid in range(priors.n_users):
+        cand = priors.candidates[uid]
+        weights = mean_counts[uid, cand] + priors.gamma[uid]
+        homes[uid] = cand[int(np.argmax(weights))]
+    return homes
 
 
 def mlp_u_params(base: MLPParams | None = None) -> MLPParams:

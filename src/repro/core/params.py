@@ -64,6 +64,13 @@ class MLPParams:
     #: gazetteer as candidates -- the ablation quantifying the paper's
     #: "candidacy vectors greatly improve the efficiency" claim.
     use_candidacy: bool = True
+    #: Sweep implementation (see :mod:`repro.engine`): ``loop`` is the
+    #: reference sampler, ``vectorized`` replays the identical chain
+    #: from precomputed per-edge layouts (faster, more memory).
+    engine: str = "loop"
+    #: Independent chains to run (>= 2 pools posteriors and enables
+    #: R-hat cross-chain convergence checks via the ChainPool).
+    n_chains: int = 1
     #: Keep per-edge assignment tallies after burn-in (needed for the
     #: relationship-explanation task; costs memory on huge datasets).
     track_edge_assignments: bool = True
@@ -93,6 +100,12 @@ class MLPParams:
             raise ValueError("em_rounds must be >= 0")
         if not (self.use_following or self.use_tweeting):
             raise ValueError("at least one relationship type must be used")
+        if self.engine not in ("loop", "vectorized"):
+            raise ValueError(
+                f"engine must be 'loop' or 'vectorized', got {self.engine!r}"
+            )
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be >= 1")
 
     def with_overrides(self, **kwargs) -> "MLPParams":
         """A copy with the given fields replaced (validation re-runs)."""

@@ -110,6 +110,35 @@ class EdgeAssignmentTally:
         self._nu_noise += nu.astype(np.int64)
         self._samples += 1
 
+    def copy(self) -> "EdgeAssignmentTally":
+        """Deep copy (starting point for cross-chain merges)."""
+        clone = EdgeAssignmentTally(len(self._xy), len(self._z))
+        clone._xy = [dict(t) for t in self._xy]
+        clone._z = [dict(t) for t in self._z]
+        clone._mu_noise = self._mu_noise.copy()
+        clone._nu_noise = self._nu_noise.copy()
+        clone._samples = self._samples
+        return clone
+
+    def merge(self, other: "EdgeAssignmentTally") -> None:
+        """Accumulate another tally over the same edges (chain pooling).
+
+        Sample counts add, so modal explanations and noise
+        probabilities are computed as if both chains' post-burn-in
+        sweeps had been recorded into one tally.
+        """
+        if len(self._xy) != len(other._xy) or len(self._z) != len(other._z):
+            raise ValueError("tallies cover different edge sets")
+        for mine, theirs in zip(self._xy, other._xy):
+            for key, count in theirs.items():
+                mine[key] = mine.get(key, 0) + count
+        for mine_z, theirs_z in zip(self._z, other._z):
+            for z, count in theirs_z.items():
+                mine_z[z] = mine_z.get(z, 0) + count
+        self._mu_noise += other._mu_noise
+        self._nu_noise += other._nu_noise
+        self._samples += other._samples
+
     def modal_following(
         self, edge_index: int
     ) -> tuple[int, int, float] | None:

@@ -75,6 +75,25 @@ class CollapsedTweetingModel:
         """Snapshot of the raw count matrix (tests, diagnostics)."""
         return self._phi.copy()
 
+    def repack_flat(self) -> np.ndarray:
+        """Repack counts into one flat arena ``[phi.ravel() | totals]``.
+
+        The vectorized engine reads the Eq. 9 numerator (``phi[l, v]``)
+        and denominator (``totals[l]``) of every candidate location in a
+        single gather; backing both with one buffer makes that possible.
+        After this call the model's own reads and writes go through
+        views of the returned arena, so the two stay coherent whichever
+        side mutates.  Current values are preserved; safe to call
+        mid-run.
+        """
+        n_cells = self._phi.size
+        arena = np.empty(n_cells + self._totals.size, dtype=np.float64)
+        arena[:n_cells] = self._phi.reshape(-1)
+        arena[n_cells:] = self._totals
+        self._phi = arena[:n_cells].reshape(self._phi.shape)
+        self._totals = arena[n_cells:]
+        return arena
+
 
 @dataclass(frozen=True, slots=True)
 class RandomTweetingModel:

@@ -1,0 +1,33 @@
+"""The inference engine subsystem: fast samplers and multi-chain runs.
+
+The :mod:`repro.core` package defines *what* the collapsed Gibbs
+sampler computes; this package is about *how fast* and *how many at
+once*:
+
+- :mod:`repro.engine.vectorized` -- a drop-in
+  :class:`~repro.core.gibbs.GibbsSampler` subclass whose sweeps replay
+  the exact same chain (bit-identical states under a fixed seed) while
+  assembling every per-edge weight table from precomputed candidate
+  layouts and batched NumPy kernels;
+- :mod:`repro.engine.factory` -- engine selection by name
+  (``MLPParams.engine``), so callers never hard-code a sampler class;
+- :mod:`repro.engine.pool` -- :class:`ChainPool`, which runs K
+  independent chains (optionally across processes), pools their
+  posteriors and reports R-hat style cross-chain convergence.
+
+The plain loop sampler stays the oracle: ``tests/test_engine_vectorized.py``
+asserts bit-identical sweeps between the two engines.
+"""
+
+from repro.engine.factory import ENGINES, make_sampler
+from repro.engine.pool import ChainPool, ChainResult, PooledPosterior
+from repro.engine.vectorized import VectorizedGibbsSampler
+
+__all__ = [
+    "ENGINES",
+    "make_sampler",
+    "ChainPool",
+    "ChainResult",
+    "PooledPosterior",
+    "VectorizedGibbsSampler",
+]

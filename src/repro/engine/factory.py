@@ -1,0 +1,47 @@
+"""Engine selection: map ``MLPParams.engine`` names to sampler classes.
+
+Callers (the Gibbs-EM driver, the chain pool, the CLI) construct
+samplers through :func:`make_sampler` so that the engine choice is a
+parameter, not an import.  ``ENGINES`` is the registry; both entries
+sample the *same* chain -- the golden tests assert bit-identical
+states -- and differ only in speed and memory footprint.
+"""
+
+from __future__ import annotations
+
+from repro.core.gibbs import GibbsSampler
+from repro.core.params import MLPParams
+from repro.core.priors import UserPriors
+from repro.data.model import Dataset
+from repro.engine.vectorized import VectorizedGibbsSampler
+
+#: Engine name -> sampler class.  ``loop`` is the reference
+#: implementation (the oracle); ``vectorized`` trades memory for speed.
+ENGINES: dict[str, type[GibbsSampler]] = {
+    "loop": GibbsSampler,
+    "vectorized": VectorizedGibbsSampler,
+}
+
+
+def make_sampler(
+    dataset: Dataset,
+    params: MLPParams,
+    priors: UserPriors | None = None,
+    alpha: float | None = None,
+    beta: float | None = None,
+) -> GibbsSampler:
+    """Construct the sampler selected by ``params.engine``.
+
+    Arguments mirror :class:`~repro.core.gibbs.GibbsSampler`; the
+    engine name is validated by :class:`~repro.core.params.MLPParams`,
+    so an unknown name can only reach this point through a bypassed
+    constructor -- fail loudly in that case too.
+    """
+    try:
+        cls = ENGINES[params.engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {params.engine!r}; "
+            f"expected one of {sorted(ENGINES)}"
+        ) from None
+    return cls(dataset, params, priors=priors, alpha=alpha, beta=beta)

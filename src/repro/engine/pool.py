@@ -1,0 +1,218 @@
+"""Multi-chain inference: K independent chains, one pooled posterior.
+
+A single Gibbs chain gives point estimates whose quality silently
+depends on mixing.  :class:`ChainPool` runs ``K`` chains of the full
+inference schedule (initial power-law fit, burn-in, Gibbs-EM refits,
+accumulation -- see :func:`repro.core.gibbs_em.run_inference`) with
+deterministic per-chain seeds, optionally fanned out over processes,
+and combines them:
+
+- **pooled theta counts**: the post-burn-in mean count matrices are
+  averaged across chains, which is exactly averaging over ``K`` times
+  as many posterior draws;
+- **pooled explanations**: per-edge assignment tallies are summed, so
+  modal explanations draw support from every chain;
+- **cross-chain convergence**: Gelman-Rubin R-hat
+  (:func:`repro.core.convergence.potential_scale_reduction`) over the
+  post-burn-in per-sweep statistics, the multi-chain complement of the
+  paper's single-chain Fig. 5 criterion.
+
+Chain results are trimmed to plain arrays before crossing process
+boundaries; the pool never pickles a live sampler.  Per-chain seeds are
+``base_seed + SEED_STRIDE * chain_index``, so chain 0 reproduces the
+equivalent single-chain run bit for bit and a restarted pool reproduces
+itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace, potential_scale_reduction
+from repro.core.gibbs_em import run_inference
+from repro.core.params import MLPParams
+from repro.core.state import EdgeAssignmentTally
+from repro.data.model import Dataset
+from repro.mathx.powerlaw import PowerLaw
+
+#: Seed spacing between chains.  A fixed odd stride keeps the mapping
+#: transparent and reproducible (chain 0 *is* the single-chain run).
+SEED_STRIDE = 7919
+
+#: Per-sweep statistics R-hat can be computed over.
+RHAT_STATISTICS = (
+    "changed_fraction",
+    "noise_following_fraction",
+    "noise_tweeting_fraction",
+)
+
+
+def chain_seeds(base_seed: int, n_chains: int) -> list[int]:
+    """The deterministic seed schedule of a pool."""
+    return [base_seed + SEED_STRIDE * c for c in range(n_chains)]
+
+
+@dataclass(frozen=True, slots=True)
+class ChainResult:
+    """One chain's contribution, trimmed for cheap pickling."""
+
+    chain_index: int
+    seed: int
+    mean_theta_counts: np.ndarray
+    trace: ConvergenceTrace
+    law_history: tuple[PowerLaw, ...]
+    edge_tally: EdgeAssignmentTally | None
+    #: Final assignment arrays (mu, x, y, nu, z) -- the chain's last
+    #: state, used by determinism tests and diagnostics.
+    final_state: dict[str, np.ndarray]
+
+
+def _run_chain(payload) -> ChainResult:
+    """Worker: run one full inference and trim the result.
+
+    Module-level so it pickles under every multiprocessing start
+    method.  ``priors`` is the shared, seed-independent prior structure
+    (built once by the pool instead of once per chain); the power-law
+    fit stays per-chain because it samples with the chain's seed.
+    """
+    dataset, params, priors, chain_index, seed = payload
+    chain_params = params.with_overrides(seed=seed, n_chains=1)
+    run = run_inference(dataset, chain_params, priors=priors)
+    sampler = run.sampler
+    state = sampler.state
+    return ChainResult(
+        chain_index=chain_index,
+        seed=seed,
+        mean_theta_counts=state.mean_theta_counts(),
+        trace=run.trace,
+        law_history=tuple(run.law_history),
+        edge_tally=state.edge_tally,
+        final_state={
+            "mu": state.mu.copy(),
+            "x": state.x.copy(),
+            "y": state.y.copy(),
+            "nu": state.nu.copy(),
+            "z": state.z.copy(),
+        },
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PooledPosterior:
+    """Aggregated output of a :class:`ChainPool` run."""
+
+    chains: tuple[ChainResult, ...]
+    burn_in: int
+
+    @property
+    def n_chains(self) -> int:
+        return len(self.chains)
+
+    def pooled_mean_counts(self) -> np.ndarray:
+        """Cross-chain average of the mean theta count matrices."""
+        stacked = np.stack([c.mean_theta_counts for c in self.chains])
+        return stacked.mean(axis=0)
+
+    def merged_edge_tally(self) -> EdgeAssignmentTally | None:
+        """Sum of every chain's per-edge tallies (None if untracked)."""
+        tallies = [c.edge_tally for c in self.chains]
+        if any(t is None for t in tallies):
+            return None
+        merged = tallies[0].copy()
+        for t in tallies[1:]:
+            merged.merge(t)
+        return merged
+
+    def r_hat(self, statistic: str = "noise_following_fraction") -> float:
+        """R-hat over a post-burn-in per-sweep statistic.
+
+        Returns NaN when the schedule leaves fewer than two post-burn-in
+        draws per chain (legal but degenerate: the statistic is
+        undefined, and a finished fit should not be discarded over it).
+        """
+        if statistic not in RHAT_STATISTICS:
+            raise ValueError(
+                f"unknown statistic {statistic!r}; "
+                f"expected one of {RHAT_STATISTICS}"
+            )
+        series = []
+        for chain in self.chains:
+            values = getattr(chain.trace, statistic + "s")()
+            series.append(values[self.burn_in:])
+        if min(len(s) for s in series) < 2:
+            return float("nan")
+        return potential_scale_reduction(series)
+
+    def convergence_summary(self) -> dict[str, float]:
+        """R-hat for every tracked statistic, keyed by name."""
+        return {stat: self.r_hat(stat) for stat in RHAT_STATISTICS}
+
+
+class ChainPool:
+    """Run K independent chains and pool their posteriors.
+
+    Parameters
+    ----------
+    dataset:
+        The profiling problem (shared read-only across chains).
+    params:
+        Base hyper-parameters.  ``params.seed`` anchors the seed
+        schedule, ``params.engine`` picks the sweep implementation for
+        every chain, and ``params.n_chains`` is the default chain
+        count.
+    n_chains:
+        Override for the chain count (>= 1).
+    processes:
+        Worker processes; 0 or 1 runs the chains serially in-process
+        (the default, and what tests use for determinism checks), more
+        fans out via ``multiprocessing``.  Results are independent of
+        this value -- parallelism is an execution detail, never a
+        semantic one.
+    priors:
+        Optional prebuilt :class:`~repro.core.priors.UserPriors`.
+        Priors are deterministic in ``(dataset, params)`` and
+        seed-independent, so the pool builds them once and shares them
+        with every chain rather than rebuilding per chain.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        params: MLPParams,
+        n_chains: int | None = None,
+        processes: int = 1,
+        priors=None,
+    ):
+        self.dataset = dataset
+        self.params = params
+        self.priors = priors
+        self.n_chains = params.n_chains if n_chains is None else n_chains
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be >= 1")
+        if processes < 0:
+            raise ValueError("processes must be >= 0")
+        self.processes = min(max(processes, 1), self.n_chains)
+
+    def run(self) -> PooledPosterior:
+        """Execute every chain and aggregate."""
+        priors = self.priors
+        if priors is None:
+            from repro.core.priors import build_user_priors
+
+            priors = build_user_priors(self.dataset, self.params)
+        payloads = [
+            (self.dataset, self.params, priors, c, seed)
+            for c, seed in enumerate(chain_seeds(self.params.seed, self.n_chains))
+        ]
+        if self.processes <= 1:
+            results = [_run_chain(p) for p in payloads]
+        else:
+            with multiprocessing.get_context().Pool(self.processes) as pool:
+                results = pool.map(_run_chain, payloads)
+        results.sort(key=lambda r: r.chain_index)
+        return PooledPosterior(
+            chains=tuple(results), burn_in=self.params.burn_in
+        )

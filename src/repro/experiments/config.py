@@ -33,22 +33,48 @@ class ExperimentConfig:
         return replace(self, **kwargs)
 
 
-def default_config(n_users: int = 1500, seed: int = 11) -> ExperimentConfig:
-    """The configuration behind EXPERIMENTS.md's recorded numbers."""
+def default_config(
+    n_users: int = 1500,
+    seed: int = 11,
+    engine: str = "loop",
+    chains: int = 1,
+) -> ExperimentConfig:
+    """The configuration behind EXPERIMENTS.md's recorded numbers.
+
+    ``engine`` and ``chains`` thread the inference-engine knobs (see
+    :mod:`repro.engine`) into every fit the suite performs, so any
+    figure/table experiment can opt into the vectorized sweeps or
+    multi-chain pooling.
+    """
     return ExperimentConfig(
         world=SyntheticWorldConfig(n_users=n_users, seed=seed),
         mlp=MLPParams(
-            n_iterations=36, burn_in=14, seed=0, track_edge_assignments=False
+            n_iterations=36,
+            burn_in=14,
+            seed=0,
+            track_edge_assignments=False,
+            engine=engine,
+            n_chains=chains,
         ),
     )
 
 
-def quick_config(n_users: int = 500, seed: int = 11) -> ExperimentConfig:
+def quick_config(
+    n_users: int = 500,
+    seed: int = 11,
+    engine: str = "loop",
+    chains: int = 1,
+) -> ExperimentConfig:
     """A small configuration for smoke tests and CI."""
     return ExperimentConfig(
         world=SyntheticWorldConfig(n_users=n_users, seed=seed),
         mlp=MLPParams(
-            n_iterations=16, burn_in=6, seed=0, track_edge_assignments=False
+            n_iterations=16,
+            burn_in=6,
+            seed=0,
+            track_edge_assignments=False,
+            engine=engine,
+            n_chains=chains,
         ),
         max_multi_cohort=100,
     )

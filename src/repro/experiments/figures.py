@@ -313,7 +313,12 @@ def fig5(
     test_truth: np.ndarray,
     tolerance: float = 1e-3,
 ) -> Fig5Result:
-    """Run MLP with a per-sweep accuracy probe (the Fig. 5 series)."""
+    """Run MLP with a per-sweep accuracy probe (the Fig. 5 series).
+
+    Fig. 5 plots the trajectory of *one* chain, so the fit is forced to
+    a single chain: the per-sweep probe needs the live sampler, which a
+    chain pool (possibly running in worker processes) cannot expose.
+    """
 
     def probe(sampler, _iteration: int) -> float:
         homes = sampler.current_home_estimates()
@@ -321,7 +326,8 @@ def fig5(
             dataset.gazetteer, homes[test_user_ids], test_truth
         )
 
-    result = MLPModel(params).fit(dataset, metric_callback=probe)
+    single_chain = params.with_overrides(n_chains=1)
+    result = MLPModel(single_chain).fit(dataset, metric_callback=probe)
     return fig5_from_trace(result.trace, tolerance)
 
 

@@ -38,6 +38,31 @@ class TestParser:
         assert args.users == 1000
         assert args.seed == 7
 
+    def test_engine_flags_default(self):
+        args = build_parser().parse_args(["fit", "world.json"])
+        assert args.engine == "loop"
+        assert args.chains == 1
+
+    def test_engine_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fit", "world.json", "--engine", "vectorized", "--chains", "4"]
+        )
+        assert args.engine == "vectorized"
+        assert args.chains == 4
+
+    def test_engine_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "world.json", "--engine", "gpu"])
+
+    @pytest.mark.parametrize("command", ["fit", "evaluate", "reproduce"])
+    def test_help_mentions_engine_knobs(self, command, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        out = capsys.readouterr().out
+        assert "--engine" in out
+        assert "--chains" in out
+        assert "vectorized" in out
+
 
 class TestGenerate:
     def test_writes_loadable_dataset(self, saved_world):
@@ -105,6 +130,45 @@ class TestFit:
         out = capsys.readouterr().out
         assert "user 0:" in out
         assert "user 1:" in out
+
+    def test_vectorized_engine_matches_loop(self, saved_world, capsys):
+        """Same seed, either engine: identical printed profiles."""
+        outputs = []
+        for engine in ("loop", "vectorized"):
+            rc = main(
+                [
+                    "fit",
+                    str(saved_world),
+                    "--iterations",
+                    "6",
+                    "--burn-in",
+                    "2",
+                    "--engine",
+                    engine,
+                ]
+            )
+            assert rc == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_multi_chain_reports_r_hat(self, saved_world, capsys):
+        rc = main(
+            [
+                "fit",
+                str(saved_world),
+                "--iterations",
+                "5",
+                "--burn-in",
+                "2",
+                "--engine",
+                "vectorized",
+                "--chains",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "R-hat" in out
 
     def test_out_of_range_user_warns(self, saved_world, capsys):
         rc = main(

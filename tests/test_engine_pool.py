@@ -1,0 +1,189 @@
+"""Tests for the multi-chain ChainPool: seeds, pooling, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import potential_scale_reduction
+from repro.core.model import MLPModel
+from repro.core.params import MLPParams
+from repro.engine.pool import SEED_STRIDE, ChainPool, chain_seeds
+
+
+@pytest.fixture(scope="module")
+def pool_params():
+    return MLPParams(
+        n_iterations=5, burn_in=2, seed=3, engine="vectorized", n_chains=3
+    )
+
+
+@pytest.fixture(scope="module")
+def posterior(tiny_world, pool_params):
+    return ChainPool(tiny_world, pool_params).run()
+
+
+class TestSeeds:
+    def test_schedule_is_deterministic(self):
+        assert chain_seeds(3, 3) == [3, 3 + SEED_STRIDE, 3 + 2 * SEED_STRIDE]
+
+    def test_chain_zero_uses_base_seed(self, posterior, pool_params):
+        assert posterior.chains[0].seed == pool_params.seed
+
+    def test_chains_differ(self, posterior):
+        x0 = posterior.chains[0].final_state["x"]
+        x1 = posterior.chains[1].final_state["x"]
+        assert not np.array_equal(x0, x1)
+
+
+class TestPooling:
+    def test_pooled_counts_average(self, posterior, tiny_world):
+        pooled = posterior.pooled_mean_counts()
+        stacked = np.stack([c.mean_theta_counts for c in posterior.chains])
+        assert np.allclose(pooled, stacked.mean(axis=0))
+        assert pooled.shape == (tiny_world.n_users, 517)
+
+    def test_merged_tally_sums_samples(self, posterior):
+        merged = posterior.merged_edge_tally()
+        per_chain = [c.edge_tally.n_samples for c in posterior.chains]
+        assert merged.n_samples == sum(per_chain)
+
+    def test_merge_does_not_mutate_chains(self, posterior):
+        before = posterior.chains[0].edge_tally.n_samples
+        posterior.merged_edge_tally()
+        assert posterior.chains[0].edge_tally.n_samples == before
+
+    def test_convergence_summary_keys(self, posterior):
+        summary = posterior.convergence_summary()
+        assert set(summary) == {
+            "changed_fraction",
+            "noise_following_fraction",
+            "noise_tweeting_fraction",
+        }
+        for value in summary.values():
+            assert value > 0.0
+
+    def test_unknown_statistic_rejected(self, posterior):
+        with pytest.raises(ValueError):
+            posterior.r_hat("flux_capacitance")
+
+    def test_single_draw_schedule_yields_nan_not_crash(self, tiny_world):
+        """burn_in = n_iterations - 1 is legal; R-hat must degrade, not die."""
+        import math
+
+        params = MLPParams(n_iterations=3, burn_in=2, seed=1, n_chains=2)
+        posterior = ChainPool(tiny_world, params).run()
+        for value in posterior.convergence_summary().values():
+            assert math.isnan(value)
+
+
+class TestDeterminism:
+    def test_restart_reproduces_pool(self, tiny_world, pool_params, posterior):
+        """Same config => identical GibbsState across a pool restart."""
+        again = ChainPool(tiny_world, pool_params).run()
+        for a, b in zip(posterior.chains, again.chains):
+            assert a.seed == b.seed
+            for key in a.final_state:
+                assert np.array_equal(a.final_state[key], b.final_state[key])
+            assert np.array_equal(a.mean_theta_counts, b.mean_theta_counts)
+
+    def test_parallel_equals_serial(self, tiny_world, pool_params, posterior):
+        """Process fan-out is an execution detail, not a semantic one."""
+        parallel = ChainPool(tiny_world, pool_params, processes=3).run()
+        for a, b in zip(posterior.chains, parallel.chains):
+            assert np.array_equal(a.mean_theta_counts, b.mean_theta_counts)
+            for key in a.final_state:
+                assert np.array_equal(a.final_state[key], b.final_state[key])
+
+    def test_chain_zero_matches_single_chain_run(
+        self, tiny_world, pool_params, posterior
+    ):
+        """A pool's first chain is the plain single-chain inference."""
+        from repro.core.gibbs_em import run_inference
+
+        single = run_inference(
+            tiny_world, pool_params.with_overrides(n_chains=1)
+        )
+        assert np.array_equal(
+            posterior.chains[0].final_state["x"], single.sampler.state.x
+        )
+        assert np.array_equal(
+            posterior.chains[0].mean_theta_counts,
+            single.sampler.state.mean_theta_counts(),
+        )
+
+
+class TestModelIntegration:
+    def test_fit_with_chains_pools_posterior(self, tiny_world):
+        params = MLPParams(
+            n_iterations=4, burn_in=1, seed=3, engine="vectorized", n_chains=2
+        )
+        result = MLPModel(params).fit(tiny_world)
+        assert result.posterior is not None
+        assert result.posterior.n_chains == 2
+        assert len(result.profiles) == tiny_world.n_users
+        assert result.explanations  # merged tallies feed explanations
+
+    def test_single_chain_has_no_posterior(self, fitted_result):
+        assert fitted_result.posterior is None
+
+    def test_metric_callback_rejected_with_chains(self, tiny_world):
+        params = MLPParams(n_iterations=3, burn_in=1, n_chains=2)
+        with pytest.raises(ValueError):
+            MLPModel(params).fit(tiny_world, metric_callback=lambda s, i: 0.0)
+
+    def test_fig5_forces_single_chain(self, tiny_world):
+        """The reproduce --chains path: Fig. 5 probes one live chain."""
+        import numpy as np
+
+        from repro.evaluation.splits import single_holdout_split
+        from repro.experiments import figures
+
+        split = single_holdout_split(tiny_world, 0.2, seed=0)
+        params = MLPParams(
+            n_iterations=3,
+            burn_in=1,
+            seed=0,
+            n_chains=2,
+            track_edge_assignments=False,
+        )
+        result = figures.fig5(
+            tiny_world.with_labels_hidden(split.test_user_ids),
+            params,
+            np.array(split.test_user_ids, dtype=np.int64),
+            np.array(split.test_truth, dtype=np.int64),
+        )
+        assert len(result.accuracies) == 3
+
+
+class TestPotentialScaleReduction:
+    def test_agreeing_chains_near_one(self):
+        rng = np.random.default_rng(0)
+        chains = [rng.normal(0.5, 0.1, 200).tolist() for _ in range(4)]
+        assert abs(potential_scale_reduction(chains) - 1.0) < 0.1
+
+    def test_disagreeing_chains_large(self):
+        rng = np.random.default_rng(0)
+        chains = [
+            (rng.normal(0.0, 0.01, 100)).tolist(),
+            (rng.normal(5.0, 0.01, 100)).tolist(),
+        ]
+        assert potential_scale_reduction(chains) > 10.0
+
+    def test_frozen_identical_chains(self):
+        assert potential_scale_reduction([[1.0, 1.0], [1.0, 1.0]]) == 1.0
+
+    def test_frozen_divergent_chains(self):
+        assert potential_scale_reduction([[1.0, 1.0], [2.0, 2.0]]) == float(
+            "inf"
+        )
+
+    def test_rejects_single_chain(self):
+        with pytest.raises(ValueError):
+            potential_scale_reduction([[1.0, 2.0]])
+
+    def test_rejects_short_chains(self):
+        with pytest.raises(ValueError):
+            potential_scale_reduction([[1.0], [2.0]])
+
+    def test_rejects_uneven_chains(self):
+        with pytest.raises(ValueError):
+            potential_scale_reduction([[1.0, 2.0], [1.0, 2.0, 3.0]])

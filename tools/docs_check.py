@@ -1,0 +1,57 @@
+"""Documentation lint: every public module must carry a docstring.
+
+Walks ``src/repro`` (and the benchmark/tool scripts), parses each file
+with :mod:`ast`, and fails with a file list when a module lacks a
+docstring.  "Public" means every module in the package -- this codebase
+treats module docstrings as the primary architecture documentation (see
+docs/ARCHITECTURE.md), so an undocumented module is a build error, not
+a style nit.
+
+Run directly or via ``make docs-check``::
+
+    python tools/docs_check.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories whose .py files must carry module docstrings.
+CHECKED_TREES = ("src/repro", "benchmarks", "tools", "examples")
+
+
+def modules_missing_docstrings(root: Path) -> list[Path]:
+    """Paths under the checked trees whose module docstring is absent."""
+    missing = []
+    for tree in CHECKED_TREES:
+        for path in sorted((root / tree).rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            try:
+                node = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:  # unparseable is worse than undocumented
+                raise SystemExit(f"docs-check: cannot parse {path}: {exc}")
+            if not ast.get_docstring(node):
+                missing.append(path.relative_to(root))
+    return missing
+
+
+def main() -> int:
+    missing = modules_missing_docstrings(REPO_ROOT)
+    if missing:
+        print("docs-check: modules without a module docstring:")
+        for path in missing:
+            print(f"  {path}")
+        return 1
+    total = sum(
+        len(list((REPO_ROOT / tree).rglob("*.py"))) for tree in CHECKED_TREES
+    )
+    print(f"docs-check: OK ({total} modules documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
