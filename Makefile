@@ -12,11 +12,11 @@ all: docs-check test
 test:
 	$(PYTHON) -m pytest -x -q
 
-## fast benchmark pass: component micro-benches + engine head-to-head,
-## writes benchmarks/results/engine_head_to_head.txt and bench_run.json
+## fast benchmark pass: component micro-benches + engine head-to-head
+## + serving throughput, writes benchmarks/results/bench_run.json
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
-		$(PYTHON) -m pytest bench_components.py -q
+		$(PYTHON) -m pytest bench_components.py bench_serving.py -q
 
 ## fail if any public module lacks a module docstring
 docs-check:

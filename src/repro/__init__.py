@@ -24,6 +24,7 @@ Package map::
     repro.mathx        power laws, bucketing, sampling helpers
     repro.core         the MLP model (params, priors, Gibbs, facade)
     repro.engine       vectorized sweeps, engine factory, chain pool
+    repro.serving      model artifacts, fold-in predictor, HTTP server
     repro.baselines    BaseU, BaseC, home-explainer, naive references
     repro.evaluation   metrics, splits, task runners
     repro.experiments  per-table/figure drivers and text reports

@@ -4,9 +4,15 @@ Commands:
 
 - ``generate``  -- build a synthetic world and save it as JSON;
 - ``stats``     -- print corpus statistics of a saved dataset;
-- ``fit``       -- fit MLP on a saved dataset, print profile summaries;
+- ``fit``       -- fit MLP on a saved dataset, print profile summaries
+  (``--save-artifact`` persists the fitted result as a ``.mlp.npz``
+  serving artifact);
 - ``evaluate``  -- run the five-method Table 2 protocol on a dataset;
-- ``reproduce`` -- regenerate every paper table/figure.
+- ``reproduce`` -- regenerate every paper table/figure;
+- ``predict``   -- offline batch fold-in scoring against a saved
+  artifact;
+- ``serve``     -- the JSON-over-HTTP inference server over a saved
+  artifact.
 
 All commands are deterministic given ``--seed``.  ``fit``, ``evaluate``
 and ``reproduce`` accept the engine knobs shared by every inference in
@@ -159,7 +165,103 @@ def _add_fit(sub: argparse._SubParsersAction) -> None:
         default=3,
         help="profile entries to print per user (default: %(default)s)",
     )
+    p.add_argument(
+        "--save-artifact",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="persist the fitted result as a serving artifact "
+        "(conventionally *.mlp.npz)",
+    )
     _add_engine_arguments(p)
+
+
+def _add_predict(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "predict",
+        help="offline batch fold-in scoring against a saved artifact",
+        description=(
+            "Score users against a frozen fitted posterior (a .mlp.npz "
+            "artifact written by `fit --save-artifact`) without "
+            "re-running Gibbs: training users by id, or new unseen "
+            "users from a JSON request file."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "request file: a JSON list of user specs, each either\n"
+            '  {"user_id": 7}                          (training user)\n'
+            '  {"friends": [3, 17], "venues": [42],    (new user)\n'
+            '   "venue_names": ["austin"], "observed_location": null}\n'
+            "\nexample:\n"
+            "  python -m repro predict model.mlp.npz --users 0 1 2\n"
+            "  python -m repro predict model.mlp.npz --requests specs.json "
+            "-o out.json\n"
+        ),
+    )
+    p.add_argument("artifact", type=Path, help="model artifact path (.mlp.npz)")
+    p.add_argument(
+        "--users",
+        type=int,
+        nargs="*",
+        default=None,
+        help="training-set user ids to score",
+    )
+    p.add_argument(
+        "--requests",
+        type=Path,
+        default=None,
+        help="JSON file with a list of user specs",
+    )
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="profile entries per prediction (default: %(default)s)",
+    )
+    p.add_argument(
+        "--output",
+        "-o",
+        type=Path,
+        default=None,
+        help="write predictions to this JSON file (default: stdout)",
+    )
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="serve fold-in inference over HTTP from a saved artifact",
+        description=(
+            "Run the JSON-over-HTTP inference server on a saved model "
+            "artifact: POST /predict-home (fold-in), POST /profile "
+            "(stored posterior), POST /explain-edge, GET /healthz, "
+            "GET /artifact."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example:\n"
+            "  python -m repro serve model.mlp.npz --port 8000 &\n"
+            "  curl -s localhost:8000/healthz\n"
+            "  curl -s -X POST localhost:8000/predict-home \\\n"
+            '       -d \'{"users": [{"user_id": 7}]}\'\n'
+        ),
+    )
+    p.add_argument("artifact", type=Path, help="model artifact path (.mlp.npz)")
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    p.add_argument(
+        "--port", type=int, default=8000, help="bind port (default: %(default)s)"
+    )
+    p.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=1024,
+        help="LRU prediction cache capacity (default: %(default)s)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
 
 
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
@@ -231,6 +333,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fit(sub)
     _add_evaluate(sub)
     _add_reproduce(sub)
+    _add_predict(sub)
+    _add_serve(sub)
     return parser
 
 
@@ -295,6 +399,86 @@ def cmd_fit(args: argparse.Namespace) -> int:
             continue
         profile = result.profile_of(uid)
         print(f"user {uid}: {profile.describe(gaz, k=args.top_k)}")
+    if args.save_artifact is not None:
+        from repro.serving.artifacts import save_result
+
+        artifact_id = save_result(result, args.save_artifact)
+        print(f"saved artifact -> {args.save_artifact} (id {artifact_id})")
+    return 0
+
+
+def _load_predictor(artifact_path, cache_size: int = 1024):
+    """Shared predict/serve bootstrap: artifact -> FoldInPredictor."""
+    from repro.serving.artifacts import artifact_metadata, load_result
+    from repro.serving.foldin import FoldInPredictor
+
+    meta = artifact_metadata(artifact_path)
+    return FoldInPredictor(
+        load_result(artifact_path),
+        artifact_id=meta["artifact_id"],
+        cache_size=cache_size,
+    )
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.serving.foldin import prediction_payload
+
+    predictor = _load_predictor(args.artifact)
+    requests: list[dict] = []
+    if args.users is not None:
+        requests.extend({"user_id": uid} for uid in args.users)
+    if args.requests is not None:
+        entries = json.loads(args.requests.read_text())
+        if not isinstance(entries, list):
+            print("--requests file must hold a JSON list", file=sys.stderr)
+            return 2
+        requests.extend(entries)
+    if not requests:
+        print("nothing to score: pass --users and/or --requests", file=sys.stderr)
+        return 2
+    try:
+        specs = [predictor.resolve_request(entry) for entry in requests]
+    except ValueError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    gaz = predictor.dataset.gazetteer
+    payload = {
+        "artifact_id": predictor.artifact_id,
+        "predictions": [
+            {"request": request, **prediction_payload(p, gaz, top_k=args.top_k)}
+            for request, p in zip(
+                requests, predictor.predict_batch(specs)
+            )
+        ],
+    }
+    text = json.dumps(payload, indent=2)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {len(specs)} predictions -> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import make_server
+
+    predictor = _load_predictor(args.artifact, cache_size=args.cache_size)
+    server = make_server(
+        predictor, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving artifact {predictor.artifact_id} "
+        f"({predictor.dataset.n_users} users) on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -364,6 +548,8 @@ _COMMANDS = {
     "fit": cmd_fit,
     "evaluate": cmd_evaluate,
     "reproduce": cmd_reproduce,
+    "predict": cmd_predict,
+    "serve": cmd_serve,
 }
 
 

@@ -32,10 +32,25 @@ class InferenceRun:
     sampler: GibbsSampler
     trace: ConvergenceTrace
     law_history: list[PowerLaw] = field(default_factory=list)
+    #: Sum of post-burn-in venue-side count snapshots (``phi_{l,v}``)
+    #: and how many were taken; the venue analogue of the theta
+    #: accumulator in :class:`~repro.core.state.GibbsState`.
+    venue_count_accumulator: np.ndarray | None = None
+    venue_samples: int = 0
 
     @property
     def final_law(self) -> PowerLaw:
         return self.law_history[-1]
+
+    def mean_venue_counts(self) -> np.ndarray:
+        """Averaged venue-side counts over recorded snapshots.
+
+        This is the frozen TL table serving fold-in needs: psi_l is
+        read as ``(mean_counts[l, v] + delta) / (row_sum + delta * V)``.
+        """
+        if self.venue_count_accumulator is None or self.venue_samples == 0:
+            raise RuntimeError("no venue count snapshots recorded")
+        return self.venue_count_accumulator / self.venue_samples
 
 
 def run_inference(
@@ -97,9 +112,22 @@ def run_inference(
             laws.append(law)
             sampler.set_following_law(law)
 
+    venue_acc = np.zeros(
+        (len(dataset.gazetteer), len(dataset.gazetteer.venue_vocabulary)),
+        dtype=np.float64,
+    )
+    venue_samples = 0
     for _ in range(params.n_iterations - params.burn_in):
         record(sampler.sweep())
         sampler.state.accumulate_theta_snapshot()
         sampler.state.record_edge_snapshot()
+        sampler.tweeting_model.add_counts_into(venue_acc)
+        venue_samples += 1
 
-    return InferenceRun(sampler=sampler, trace=trace, law_history=laws)
+    return InferenceRun(
+        sampler=sampler,
+        trace=trace,
+        law_history=laws,
+        venue_count_accumulator=venue_acc,
+        venue_samples=venue_samples,
+    )

@@ -42,6 +42,11 @@ class MLPResult:
     #: Multi-chain runs only: the pooled posterior with per-chain
     #: results and R-hat convergence diagnostics (None otherwise).
     posterior: "object | None" = None
+    #: Frozen venue-side posterior table: post-burn-in mean of the
+    #: collapsed TL counts ``phi_{l,v}`` (pooled across chains when
+    #: ``n_chains > 1``).  Serving fold-in reads psi from it; None on
+    #: results produced before this field existed.
+    venue_counts: np.ndarray | None = None
 
     @property
     def fitted_law(self) -> PowerLaw:
@@ -148,6 +153,7 @@ class MLPModel:
             tweet_explanations=tweet_explanations,
             trace=run.trace,
             law_history=tuple(run.law_history),
+            venue_counts=run.mean_venue_counts(),
         )
 
     def _fit_pooled(
@@ -188,6 +194,7 @@ class MLPModel:
             trace=first.trace,
             law_history=first.law_history,
             posterior=posterior,
+            venue_counts=posterior.pooled_mean_venue_counts(),
         )
 
     def _profiles_from_counts(

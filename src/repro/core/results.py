@@ -8,7 +8,7 @@ location assignments that explain it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.geo.gazetteer import Gazetteer
 
@@ -25,6 +25,12 @@ class LocationProfile:
 
     user_id: int
     entries: tuple[tuple[int, float], ...]
+    #: Lazily built location -> probability index backing
+    #: :meth:`probability_of`; excluded from equality/repr so profiles
+    #: compare by content alone.
+    _prob_index: dict[int, float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         probs = [p for _, p in self.entries]
@@ -47,11 +53,15 @@ class LocationProfile:
         return [loc for loc, p in self.entries if p > threshold]
 
     def probability_of(self, location_id: int) -> float:
-        """Probability mass of a specific location (0 if absent)."""
-        for loc, p in self.entries:
-            if loc == location_id:
-                return p
-        return 0.0
+        """Probability mass of a specific location (0 if absent).
+
+        O(1) after the first call: a location -> probability dict is
+        built lazily, so repeated serving lookups never rescan the
+        entry tuple.
+        """
+        if self._prob_index is None:
+            object.__setattr__(self, "_prob_index", dict(self.entries))
+        return self._prob_index.get(location_id, 0.0)
 
     def describe(self, gazetteer: Gazetteer, k: int = 3) -> str:
         """Human-readable top-k summary like "Los Angeles, CA (0.62); ..."."""

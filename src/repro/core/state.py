@@ -139,6 +139,62 @@ class EdgeAssignmentTally:
         self._nu_noise += other._nu_noise
         self._samples += other._samples
 
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the tally into plain arrays (serving artifact hook).
+
+        Following tallies become parallel ``(edge, x, y, count)``
+        columns, tweeting tallies ``(edge, z, count)`` columns, both in
+        deterministic (edge, key) order; scalars ride in 1-element
+        arrays.  :meth:`from_arrays` inverts this exactly.
+        """
+        f_edge, f_x, f_y, f_count = [], [], [], []
+        for s, tally in enumerate(self._xy):
+            for (x, y), count in sorted(tally.items()):
+                f_edge.append(s)
+                f_x.append(x)
+                f_y.append(y)
+                f_count.append(count)
+        z_edge, z_z, z_count = [], [], []
+        for k, tally_z in enumerate(self._z):
+            for z, count in sorted(tally_z.items()):
+                z_edge.append(k)
+                z_z.append(z)
+                z_count.append(count)
+        return {
+            "f_edge": np.array(f_edge, dtype=np.int64),
+            "f_x": np.array(f_x, dtype=np.int64),
+            "f_y": np.array(f_y, dtype=np.int64),
+            "f_count": np.array(f_count, dtype=np.int64),
+            "z_edge": np.array(z_edge, dtype=np.int64),
+            "z_z": np.array(z_z, dtype=np.int64),
+            "z_count": np.array(z_count, dtype=np.int64),
+            "mu_noise": self._mu_noise.copy(),
+            "nu_noise": self._nu_noise.copy(),
+            "samples": np.array([self._samples], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "EdgeAssignmentTally":
+        """Rebuild a tally from :meth:`to_arrays` output."""
+        tally = cls(len(arrays["mu_noise"]), len(arrays["nu_noise"]))
+        for s, x, y, count in zip(
+            arrays["f_edge"].tolist(),
+            arrays["f_x"].tolist(),
+            arrays["f_y"].tolist(),
+            arrays["f_count"].tolist(),
+        ):
+            tally._xy[s][(x, y)] = count
+        for k, z, count in zip(
+            arrays["z_edge"].tolist(),
+            arrays["z_z"].tolist(),
+            arrays["z_count"].tolist(),
+        ):
+            tally._z[k][z] = count
+        tally._mu_noise = arrays["mu_noise"].astype(np.int64).copy()
+        tally._nu_noise = arrays["nu_noise"].astype(np.int64).copy()
+        tally._samples = int(arrays["samples"][0])
+        return tally
+
     def modal_following(
         self, edge_index: int
     ) -> tuple[int, int, float] | None:

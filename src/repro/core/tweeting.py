@@ -75,6 +75,16 @@ class CollapsedTweetingModel:
         """Snapshot of the raw count matrix (tests, diagnostics)."""
         return self._phi.copy()
 
+    def add_counts_into(self, accumulator: np.ndarray) -> None:
+        """Accumulate a snapshot: ``accumulator += phi``.
+
+        The venue-side analogue of
+        :meth:`~repro.core.state.UserLocationCounts.add_into`; the
+        inference driver averages these post-burn-in snapshots into the
+        frozen psi table that serving fold-in scores against.
+        """
+        accumulator += self._phi
+
     def repack_flat(self) -> np.ndarray:
         """Repack counts into one flat arena ``[phi.ravel() | totals]``.
 

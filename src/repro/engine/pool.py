@@ -68,6 +68,9 @@ class ChainResult:
     #: Final assignment arrays (mu, x, y, nu, z) -- the chain's last
     #: state, used by determinism tests and diagnostics.
     final_state: dict[str, np.ndarray]
+    #: Post-burn-in mean of the venue-side counts ``phi_{l,v}`` -- the
+    #: chain's frozen TL table (serving fold-in pools these).
+    mean_venue_counts: np.ndarray | None = None
 
 
 def _run_chain(payload) -> ChainResult:
@@ -97,6 +100,7 @@ def _run_chain(payload) -> ChainResult:
             "nu": state.nu.copy(),
             "z": state.z.copy(),
         },
+        mean_venue_counts=run.mean_venue_counts(),
     )
 
 
@@ -115,6 +119,17 @@ class PooledPosterior:
         """Cross-chain average of the mean theta count matrices."""
         stacked = np.stack([c.mean_theta_counts for c in self.chains])
         return stacked.mean(axis=0)
+
+    def pooled_mean_venue_counts(self) -> np.ndarray | None:
+        """Cross-chain average of the mean venue count matrices.
+
+        None when any chain predates the venue accumulator (old
+        artifacts round-tripped through the serving store).
+        """
+        tables = [c.mean_venue_counts for c in self.chains]
+        if any(t is None for t in tables):
+            return None
+        return np.stack(tables).mean(axis=0)
 
     def merged_edge_tally(self) -> EdgeAssignmentTally | None:
         """Sum of every chain's per-edge tallies (None if untracked)."""

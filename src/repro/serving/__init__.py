@@ -1,0 +1,64 @@
+"""Serving layer: persistent model artifacts + online fold-in inference.
+
+This package turns a fitted :class:`~repro.core.model.MLPResult` from a
+process-lifetime object into a served product:
+
+- :mod:`repro.serving.artifacts` -- versioned compressed ``.mlp.npz``
+  artifacts that round-trip a result (multi-chain posteriors included)
+  bit-for-bit;
+- :mod:`repro.serving.foldin` -- deterministic collapsed fold-in
+  scoring of *new* users against the frozen posterior, with an LRU
+  result cache;
+- :mod:`repro.serving.cache` -- the thread-safe LRU map behind it;
+- :mod:`repro.serving.server` -- a stdlib JSON-over-HTTP inference
+  server (``repro serve``) exposing predict-home / profile /
+  explain-edge.
+
+Typical flow::
+
+    result = MLPModel(params).fit(dataset)
+    artifact_id = save_result(result, "model.mlp.npz")
+
+    predictor = FoldInPredictor(
+        load_result("model.mlp.npz"), artifact_id=artifact_id
+    )
+    spec = UserSpec(friends=(3, 17), venues=(42,))
+    predictor.predict(spec).home
+
+    make_server(predictor, port=8000).serve_forever()
+"""
+
+from repro.serving.artifacts import (
+    ARTIFACT_SUFFIX,
+    ARTIFACT_VERSION,
+    ArtifactError,
+    artifact_metadata,
+    load_result,
+    save_result,
+)
+from repro.serving.cache import LRUCache
+from repro.serving.foldin import (
+    FoldInEdgeExplanation,
+    FoldInPrediction,
+    FoldInPredictor,
+    UserSpec,
+    prediction_payload,
+)
+from repro.serving.server import ServingServer, make_server
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "FoldInEdgeExplanation",
+    "FoldInPrediction",
+    "FoldInPredictor",
+    "LRUCache",
+    "ServingServer",
+    "UserSpec",
+    "artifact_metadata",
+    "load_result",
+    "make_server",
+    "prediction_payload",
+    "save_result",
+]

@@ -1,0 +1,78 @@
+"""A small thread-safe LRU cache for serving results.
+
+The inference server answers repeated queries for the same user
+signature (dashboards, retries, crawler refreshes), and a fold-in
+solve -- cheap as it is -- still costs a few hundred microseconds of
+linear algebra.  The predictor memoizes finished predictions keyed by
+``(artifact id, user signature)``; this module provides the bounded,
+thread-safe map behind that.
+
+Implemented on :class:`collections.OrderedDict` with a lock around
+every operation: the stdlib HTTP server handles each request on its own
+thread, so gets and puts race by design.  Hit/miss counters feed the
+``/healthz`` endpoint and the serving benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, max_size: int = 1024):
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the oldest entry if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size snapshot for health endpoints and benchmarks."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._data),
+                "max_size": self.max_size,
+            }

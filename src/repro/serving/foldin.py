@@ -1,0 +1,517 @@
+"""Fold-in inference: score new, unseen users against a frozen posterior.
+
+Training (Sec. 4.5) jointly samples every user's assignments.  Serving
+cannot re-run that for each query; instead a new user ``u`` is
+**folded in**: the fitted posterior is frozen -- neighbour profiles
+``theta_j`` (Eq. 10 over the pooled mean counts), the venue-side TL
+table ``psi_l``, the fitted power law and the empirical noise models
+FR/TR -- and only ``u``'s own assignments are inferred from ``u``'s
+relationships.
+
+Instead of re-sampling, the fold-in iterates the *expected* collapsed
+Gibbs conditionals to a fixed point (a Rao-Blackwellized mean-field
+pass over exactly the blocked conditionals of
+:mod:`repro.core.gibbs`):
+
+- following edge to neighbour ``j``:
+  ``P(mu=0, x=l | rest) ∝ (1-rho_f) * w_u(l) * K_j(l) / T_u`` with
+  ``K_j(l) = sum_e theta_j(e) * beta * d(l, e)**alpha`` precomputed per
+  edge, against ``P(mu=1) ∝ rho_f * FR``;
+- venue mention ``v``:
+  ``P(nu=0, z=l | rest) ∝ (1-rho_t) * w_u(l) * psi_l(v) / T_u`` against
+  ``rho_t * TR(v)``;
+
+where ``w_u(l) = phi_u(l) + gamma_u(l)`` and ``T_u = phi_u + sum
+gamma_u`` use *expected* counts: each relationship contributes its
+location-branch responsibility, split over candidates in proportion to
+the joint weights.  Candidacy vectors and ``gamma_u`` are built exactly
+as in training (:mod:`repro.core.priors`), so folding in a user that
+was *in* the training set reproduces the training-time prior, and --
+because the frozen neighbour profiles are the training posterior means
+-- converges to the training home prediction (exactly so for labeled
+users, whose boosted prior pins the mode; a strongly multimodal
+*unlabeled* user can resolve to a different posterior mode than the
+chain average, which the tests quantify at a few percent).
+
+Everything is deterministic (no RNG), vectorized over all of a user's
+relationships at once, and memoized through an LRU cache keyed by
+``(artifact id, user signature)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.model import MLPResult
+from repro.core.priors import venue_referent_map
+from repro.core.results import LocationProfile
+from repro.core.tweeting import RandomTweetingModel
+from repro.geo.gazetteer import normalize_place_name
+from repro.serving.cache import LRUCache
+
+
+@dataclass(frozen=True, slots=True)
+class UserSpec:
+    """Everything the model may know about a user to be scored.
+
+    ``friends`` are training-set user ids this user follows,
+    ``followers`` training-set users following them, ``venues`` venue
+    ids mentioned (repeats count, as in training), and
+    ``observed_location`` an optional self-reported home (boosted in
+    the prior exactly like a labeled training user).
+    """
+
+    friends: tuple[int, ...] = ()
+    followers: tuple[int, ...] = ()
+    venues: tuple[int, ...] = ()
+    observed_location: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "friends", tuple(int(v) for v in self.friends))
+        object.__setattr__(
+            self, "followers", tuple(int(v) for v in self.followers)
+        )
+        object.__setattr__(self, "venues", tuple(int(v) for v in self.venues))
+
+    @property
+    def n_relationships(self) -> int:
+        return len(self.friends) + len(self.followers) + len(self.venues)
+
+    def signature(self) -> str:
+        """Canonical content hash -- the cache key component.
+
+        Relationship *multisets* are order-insensitive, so permuted
+        requests share a cache entry.
+        """
+        canonical = json.dumps(
+            {
+                "f": sorted(self.friends),
+                "w": sorted(self.followers),
+                "v": sorted(self.venues),
+                "o": self.observed_location,
+            },
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True, slots=True)
+class FoldInPrediction:
+    """One scored user: profile, home, and solver diagnostics."""
+
+    profile: LocationProfile
+    iterations: int
+    converged: bool
+    from_cache: bool = False
+
+    @property
+    def home(self) -> int | None:
+        return self.profile.home
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeScore:
+    """One candidate assignment pair of a folded-in edge.
+
+    ``x`` is the follower-side location, ``y`` the friend-side, as in
+    :class:`~repro.core.results.EdgeExplanation`.
+    """
+
+    x: int
+    y: int
+    probability: float
+
+
+@dataclass(frozen=True, slots=True)
+class FoldInEdgeExplanation:
+    """Explanation of one edge between a folded-in user and a neighbour."""
+
+    neighbor: int
+    direction: str
+    noise_probability: float
+    pairs: tuple[EdgeScore, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class _Solution:
+    """Internal solver output (cached; rendered lazily)."""
+
+    candidates: np.ndarray
+    gamma: np.ndarray
+    phi: np.ndarray
+    theta: np.ndarray
+    iterations: int
+    converged: bool
+
+
+class FoldInPredictor:
+    """Online scorer over one frozen fitted posterior.
+
+    Parameters
+    ----------
+    result:
+        A fitted :class:`~repro.core.model.MLPResult` -- typically
+        loaded from an artifact
+        (:func:`repro.serving.artifacts.load_result`).  Must carry the
+        frozen venue table (``result.venue_counts``); results saved by
+        this codebase always do.
+    artifact_id:
+        Identity of the underlying artifact, used in cache keys; pass
+        the id returned by ``save_result``/``artifact_metadata``.
+    max_iterations, tolerance:
+        Fixed-point schedule of the expected-count iteration.
+    cache_size:
+        Capacity of the LRU prediction cache.
+    """
+
+    def __init__(
+        self,
+        result: MLPResult,
+        artifact_id: str = "unsaved",
+        max_iterations: int = 200,
+        tolerance: float = 1e-9,
+        cache_size: int = 1024,
+    ):
+        if result.venue_counts is None:
+            raise ValueError(
+                "result has no frozen venue table (venue_counts is None); "
+                "refit with this version or re-save the artifact"
+            )
+        self.result = result
+        self.dataset = result.dataset
+        self.params = result.params
+        self.artifact_id = artifact_id
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.cache = LRUCache(cache_size)
+
+        dataset = result.dataset
+        gaz = dataset.gazetteer
+        self.n_locations = len(gaz)
+        self.n_venues = len(gaz.venue_vocabulary)
+        #: Eq. 1 over every location pair under the *fitted* law
+        #: (beta included -- the selector balance needs it).
+        self._law_matrix = result.fitted_law(gaz.distance_matrix)
+        #: Frozen psi: smoothed venue multinomial per location.
+        delta = result.params.delta
+        totals = result.venue_counts.sum(axis=1)
+        self._psi = (result.venue_counts + delta) / (
+            totals + delta * self.n_venues
+        )[:, None]
+        self._fr_noise = result.params.rho_f * (
+            dataset.n_following / float(dataset.n_users * dataset.n_users)
+        )
+        self._tr_probs = RandomTweetingModel.from_dataset(
+            dataset
+        ).venue_probabilities
+        self._referents = venue_referent_map(dataset)
+        #: Sparse frozen neighbour profiles as parallel arrays.
+        self._profile_locs = [
+            np.array([loc for loc, _ in p.entries], dtype=np.int64)
+            for p in result.profiles
+        ]
+        self._profile_probs = [
+            np.array([pr for _, pr in p.entries], dtype=np.float64)
+            for p in result.profiles
+        ]
+
+    # -- spec construction -------------------------------------------------
+
+    def spec_for_training_user(self, user_id: int) -> UserSpec:
+        """The spec that replays a training user's exact evidence."""
+        dataset = self.dataset
+        if not 0 <= user_id < dataset.n_users:
+            raise ValueError(f"user {user_id} not in the training set")
+        return UserSpec(
+            friends=dataset.friends_of[user_id],
+            followers=dataset.followers_of[user_id],
+            venues=dataset.venues_of[user_id],
+            observed_location=dataset.observed_locations.get(user_id),
+        )
+
+    def resolve_request(self, payload: dict) -> UserSpec:
+        """Build a spec from a JSON request body.
+
+        ``{"user_id": n}`` replays training user ``n``; otherwise the
+        payload may carry ``friends``, ``followers``, ``venues`` (venue
+        ids), ``venue_names`` (resolved through the gazetteer
+        vocabulary) and ``observed_location``.  Unknown ids or names
+        raise ``ValueError`` with the offending value named.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("user spec must be a JSON object")
+        if "user_id" in payload:
+            extras = {
+                "friends",
+                "followers",
+                "venues",
+                "venue_names",
+                "observed_location",
+            } & payload.keys()
+            if extras:
+                # Silently dropping the extra evidence would score a
+                # different user than the caller described.
+                raise ValueError(
+                    '"user_id" replays a training user and cannot be '
+                    f"combined with explicit evidence ({sorted(extras)})"
+                )
+            return self.spec_for_training_user(int(payload["user_id"]))
+        venues = [int(v) for v in payload.get("venues", ())]
+        index = self.dataset.gazetteer.venue_index
+        for name in payload.get("venue_names", ()):
+            key = normalize_place_name(str(name))
+            if key not in index:
+                raise ValueError(f"unknown venue name {name!r}")
+            venues.append(index[key])
+        spec = UserSpec(
+            friends=tuple(int(u) for u in payload.get("friends", ())),
+            followers=tuple(int(u) for u in payload.get("followers", ())),
+            venues=tuple(venues),
+            observed_location=(
+                int(payload["observed_location"])
+                if payload.get("observed_location") is not None
+                else None
+            ),
+        )
+        self._validate(spec)
+        return spec
+
+    def _validate(self, spec: UserSpec) -> None:
+        n = self.dataset.n_users
+        for uid in spec.friends + spec.followers:
+            if not 0 <= uid < n:
+                raise ValueError(f"unknown neighbour user id {uid}")
+        for vid in spec.venues:
+            if not 0 <= vid < self.n_venues:
+                raise ValueError(f"unknown venue id {vid}")
+        if spec.observed_location is not None and not (
+            0 <= spec.observed_location < self.n_locations
+        ):
+            raise ValueError(
+                f"unknown observed location {spec.observed_location}"
+            )
+
+    # -- prior construction (mirrors core.priors) --------------------------
+
+    def _candidates_for(self, spec: UserSpec) -> tuple[np.ndarray, np.ndarray]:
+        """Candidacy vector and gamma prior, exactly as in training."""
+        params = self.params
+        observed = self.dataset.observed_locations
+        cand_set: set[int] = set()
+        if params.use_candidacy:
+            if spec.observed_location is not None:
+                cand_set.add(spec.observed_location)
+            if params.use_following:
+                for nb in set(spec.friends) | set(spec.followers):
+                    loc = observed.get(nb)
+                    if loc is not None:
+                        cand_set.add(loc)
+            if params.use_tweeting:
+                for vid in set(spec.venues):
+                    cand_set.update(self._referents[vid])
+        if cand_set:
+            cand = np.array(sorted(cand_set), dtype=np.int64)
+        else:
+            cand = np.arange(self.n_locations, dtype=np.int64)
+        gamma = np.full(cand.size, params.tau, dtype=np.float64)
+        if spec.observed_location is not None:
+            pos = int(np.searchsorted(cand, spec.observed_location))
+            if pos < cand.size and cand[pos] == spec.observed_location:
+                gamma[pos] += params.boost
+        return cand, gamma
+
+    # -- the fold-in solve -------------------------------------------------
+
+    def _relationship_rows(
+        self, spec: UserSpec, cand: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Frozen per-relationship weight rows over the candidate set.
+
+        Returns ``(M, noise, loc_factor)``: row ``r`` of ``M`` is the
+        location-branch weight of relationship ``r`` at each candidate,
+        ``noise[r]`` the absolute noise-branch weight, ``loc_factor[r]``
+        the ``(1 - rho)`` prefactor.
+        """
+        params = self.params
+        rows: list[np.ndarray] = []
+        noise: list[float] = []
+        factor: list[float] = []
+        if params.use_following:
+            for nb in spec.friends + spec.followers:
+                locs = self._profile_locs[nb]
+                probs = self._profile_probs[nb]
+                rows.append(self._law_matrix[np.ix_(cand, locs)] @ probs)
+                noise.append(self._fr_noise)
+                factor.append(1.0 - params.rho_f)
+        if params.use_tweeting:
+            for vid in spec.venues:
+                rows.append(self._psi[cand, vid])
+                noise.append(params.rho_t * float(self._tr_probs[vid]))
+                factor.append(1.0 - params.rho_t)
+        if not rows:
+            zero = np.zeros(0, dtype=np.float64)
+            return np.zeros((0, cand.size)), zero, zero
+        return np.stack(rows), np.array(noise), np.array(factor)
+
+    def _solve(self, spec: UserSpec) -> _Solution:
+        self._validate(spec)
+        cand, gamma = self._candidates_for(spec)
+        gamma_sum = float(gamma.sum())
+        M, noise, factor = self._relationship_rows(spec, cand)
+        phi = np.zeros(cand.size, dtype=np.float64)
+        iterations = 0
+        converged = True
+        if len(M):
+            converged = False
+            for iterations in range(1, self.max_iterations + 1):
+                w = phi + gamma
+                total = float(phi.sum()) + gamma_sum
+                joint = M * w  # (R, C)
+                sums = joint.sum(axis=1)
+                p_loc = factor * sums / total
+                denom = p_loc + noise
+                resp = np.divide(
+                    p_loc, denom, out=np.zeros_like(p_loc), where=denom > 0
+                )
+                scale = np.divide(
+                    resp, sums, out=np.zeros_like(sums), where=sums > 0
+                )
+                phi_new = joint.T @ scale
+                drift = float(np.max(np.abs(phi_new - phi)))
+                phi = phi_new
+                if drift < self.tolerance:
+                    converged = True
+                    break
+        theta = (phi + gamma) / (float(phi.sum()) + gamma_sum)
+        return _Solution(
+            candidates=cand,
+            gamma=gamma,
+            phi=phi,
+            theta=theta,
+            iterations=iterations,
+            converged=converged,
+        )
+
+    def _render(self, solution: _Solution) -> FoldInPrediction:
+        cand = solution.candidates
+        theta = solution.theta
+        # Same ordering contract as training profiles: descending
+        # probability, ties to the lower location id.
+        order = np.lexsort((cand, -theta))
+        entries = tuple(
+            (int(cand[i]), float(theta[i])) for i in order
+        )
+        return FoldInPrediction(
+            profile=LocationProfile(user_id=-1, entries=entries),
+            iterations=solution.iterations,
+            converged=solution.converged,
+        )
+
+    # -- public scoring ----------------------------------------------------
+
+    def predict(self, spec: UserSpec, use_cache: bool = True) -> FoldInPrediction:
+        """Score one user; served from the LRU cache when possible."""
+        key = (self.artifact_id, spec.signature())
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return replace(cached, from_cache=True)
+        prediction = self._render(self._solve(spec))
+        if use_cache:
+            self.cache.put(key, prediction)
+        return prediction
+
+    def predict_batch(
+        self, specs: list[UserSpec] | tuple[UserSpec, ...], use_cache: bool = True
+    ) -> list[FoldInPrediction]:
+        """Score many users through one call.
+
+        Each spec is solved (or cache-served) in turn -- the
+        vectorization lives *inside* a solve, across a user's
+        relationships; there is no cross-user batching of the linear
+        algebra.  Duplicate specs within the batch hit the cache.
+        """
+        return [self.predict(spec, use_cache=use_cache) for spec in specs]
+
+    def predict_home(self, spec: UserSpec) -> int | None:
+        """Just the argmax home location of a folded-in user."""
+        return self.predict(spec).home
+
+    def explain_edge(
+        self,
+        spec: UserSpec,
+        neighbor: int,
+        direction: str = "out",
+        top: int = 5,
+    ) -> FoldInEdgeExplanation:
+        """Explain one edge between a folded-in user and a neighbour.
+
+        ``direction="out"`` means the folded-in user follows
+        ``neighbor`` (the user is the ``x`` side); ``"in"`` the
+        reverse.  Pairs are the top joint assignments of the blocked
+        conditional at the solved profile, normalized over the
+        location branch.
+        """
+        if direction not in ("out", "in"):
+            raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+        if not 0 <= neighbor < self.dataset.n_users:
+            raise ValueError(f"unknown neighbour user id {neighbor}")
+        solution = self._solve(spec)
+        cand = solution.candidates
+        w = solution.phi + solution.gamma
+        total = float(solution.phi.sum()) + float(solution.gamma.sum())
+        locs = self._profile_locs[neighbor]
+        probs = self._profile_probs[neighbor]
+        joint = (
+            w[:, None] * probs[None, :] * self._law_matrix[np.ix_(cand, locs)]
+        )
+        joint_sum = float(joint.sum())
+        p_loc = (1.0 - self.params.rho_f) * joint_sum / total
+        denom = p_loc + self._fr_noise
+        noise_probability = self._fr_noise / denom if denom > 0 else 1.0
+        pairs: list[EdgeScore] = []
+        if joint_sum > 0:
+            flat = joint.ravel() / joint_sum
+            order = np.argsort(-flat, kind="stable")[:top]
+            n_locs = locs.size
+            for idx in order.tolist():
+                u_loc = int(cand[idx // n_locs])
+                nb_loc = int(locs[idx % n_locs])
+                x, y = (
+                    (u_loc, nb_loc) if direction == "out" else (nb_loc, u_loc)
+                )
+                pairs.append(
+                    EdgeScore(x=x, y=y, probability=float(flat[idx]))
+                )
+        return FoldInEdgeExplanation(
+            neighbor=neighbor,
+            direction=direction,
+            noise_probability=noise_probability,
+            pairs=tuple(pairs),
+        )
+
+
+def prediction_payload(
+    prediction: FoldInPrediction, gazetteer, top_k: int = 3
+) -> dict:
+    """JSON-ready rendering of a prediction (server + CLI share this)."""
+    home = prediction.home
+    return {
+        "home": home,
+        "home_name": gazetteer.by_id(home).name if home is not None else None,
+        "profile": [
+            {
+                "location": loc,
+                "name": gazetteer.by_id(loc).name,
+                "probability": prob,
+            }
+            for loc, prob in prediction.profile.entries[:top_k]
+        ],
+        "iterations": prediction.iterations,
+        "converged": prediction.converged,
+        "cached": prediction.from_cache,
+    }

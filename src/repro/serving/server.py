@@ -1,0 +1,236 @@
+"""The inference server: JSON-over-HTTP serving of a frozen artifact.
+
+A deliberately dependency-free server (stdlib ``http.server``,
+threaded) exposing the three serving tasks of the paper's problem
+statement as endpoints:
+
+- ``POST /predict-home``   -- fold-in home prediction for one or many
+  user specs (``{"users": [...], "top_k": k}``); each spec is either
+  ``{"user_id": n}`` (replay a training user) or explicit evidence
+  (``friends``/``followers``/``venues``/``venue_names``/
+  ``observed_location``);
+- ``POST /profile``        -- the *stored* posterior profile of a
+  training user (``{"user_id": n, "top_k": k}``), no fold-in;
+- ``POST /explain-edge``   -- the blocked-conditional explanation of
+  one edge between a spec'd user and a training neighbour
+  (``{"user": {...}, "neighbor": j, "direction": "out"|"in"}``);
+- ``GET /healthz``         -- liveness plus cache hit/miss counters;
+- ``GET /artifact``        -- the artifact's identity and parameters.
+
+Requests and responses are JSON; errors come back as
+``{"error": ...}`` with a 400 (bad request) or 404 (unknown route).
+Each connection is handled on its own thread -- the predictor's LRU
+cache is the only shared mutable state and is lock-protected.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.foldin import FoldInPredictor, prediction_payload
+
+#: Cap on accepted request bodies (1 MiB): a serving endpoint should
+#: never need more, and the cap bounds memory per connection.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServingServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` owning the predictor it serves."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, predictor: FoldInPredictor, quiet: bool = True):
+        self.predictor = predictor
+        self.quiet = quiet
+        super().__init__(address, ServingHandler)
+
+
+class _RequestError(ValueError):
+    """A client error that maps to a 400 response."""
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Routes serving requests to the predictor."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client that declares a Content-Length it never
+    #: delivers must not pin a handler thread forever.
+    timeout = 30
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell keep-alive clients the socket is going away (set on
+            # error paths that leave the request body unread).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _RequestError("request body required")
+        if length > MAX_BODY_BYTES:
+            # The body stays unread; drop the connection so the bytes
+            # cannot be parsed as the next request line.
+            self.close_connection = True
+            raise _RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _RequestError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _RequestError("request body must be a JSON object")
+        return payload
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        predictor = self.server.predictor
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "artifact_id": predictor.artifact_id,
+                    "users": predictor.dataset.n_users,
+                    "cache": predictor.cache.stats(),
+                },
+            )
+        elif self.path == "/artifact":
+            dataset = predictor.dataset
+            self._send_json(
+                200,
+                {
+                    "artifact_id": predictor.artifact_id,
+                    "params": asdict(predictor.params),
+                    "users": dataset.n_users,
+                    "following": dataset.n_following,
+                    "tweeting": dataset.n_tweeting,
+                    "locations": len(dataset.gazetteer),
+                    "venues": len(dataset.gazetteer.venue_vocabulary),
+                    "fitted_law": {
+                        "alpha": predictor.result.fitted_law.alpha,
+                        "beta": predictor.result.fitted_law.beta,
+                    },
+                },
+            )
+        else:
+            self._send_json(404, {"error": f"unknown route {self.path}"})
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        routes = {
+            "/predict-home": self._predict_home,
+            "/profile": self._profile,
+            "/explain-edge": self._explain_edge,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            # The request body was never read: close instead of letting
+            # a keep-alive client desync on the leftover bytes.
+            self.close_connection = True
+            self._send_json(404, {"error": f"unknown route {self.path}"})
+            return
+        try:
+            payload = self._read_json()
+            self._send_json(200, handler(payload))
+        except (_RequestError, ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _predict_home(self, payload: dict) -> dict:
+        predictor = self.server.predictor
+        users = payload.get("users")
+        if not isinstance(users, list) or not users:
+            raise _RequestError('"users" must be a non-empty list of specs')
+        top_k = int(payload.get("top_k", 3))
+        specs = [predictor.resolve_request(entry) for entry in users]
+        predictions = predictor.predict_batch(specs)
+        gaz = predictor.dataset.gazetteer
+        return {
+            "artifact_id": predictor.artifact_id,
+            "predictions": [
+                prediction_payload(p, gaz, top_k=top_k) for p in predictions
+            ],
+        }
+
+    def _profile(self, payload: dict) -> dict:
+        predictor = self.server.predictor
+        if "user_id" not in payload:
+            raise _RequestError('"user_id" is required')
+        user_id = int(payload["user_id"])
+        if not 0 <= user_id < predictor.dataset.n_users:
+            raise _RequestError(f"user {user_id} not in the training set")
+        top_k = int(payload.get("top_k", 3))
+        profile = predictor.result.profile_of(user_id)
+        gaz = predictor.dataset.gazetteer
+        return {
+            "artifact_id": predictor.artifact_id,
+            "user_id": user_id,
+            "home": profile.home,
+            "home_name": (
+                gaz.by_id(profile.home).name if profile.home is not None else None
+            ),
+            "profile": [
+                {
+                    "location": loc,
+                    "name": gaz.by_id(loc).name,
+                    "probability": prob,
+                }
+                for loc, prob in profile.entries[:top_k]
+            ],
+        }
+
+    def _explain_edge(self, payload: dict) -> dict:
+        predictor = self.server.predictor
+        if "user" not in payload or "neighbor" not in payload:
+            raise _RequestError('"user" and "neighbor" are required')
+        spec = predictor.resolve_request(payload["user"])
+        explanation = predictor.explain_edge(
+            spec,
+            neighbor=int(payload["neighbor"]),
+            direction=payload.get("direction", "out"),
+            top=int(payload.get("top", 5)),
+        )
+        gaz = predictor.dataset.gazetteer
+        return {
+            "artifact_id": predictor.artifact_id,
+            "neighbor": explanation.neighbor,
+            "direction": explanation.direction,
+            "noise_probability": explanation.noise_probability,
+            "pairs": [
+                {
+                    "x": pair.x,
+                    "x_name": gaz.by_id(pair.x).name,
+                    "y": pair.y,
+                    "y_name": gaz.by_id(pair.y).name,
+                    "probability": pair.probability,
+                }
+                for pair in explanation.pairs
+            ],
+        }
+
+
+def make_server(
+    predictor: FoldInPredictor,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    quiet: bool = True,
+) -> ServingServer:
+    """Bind a serving server (``port=0`` picks a free port -- tests)."""
+    return ServingServer((host, port), predictor, quiet=quiet)

@@ -63,6 +63,25 @@ class TestParser:
         assert "--chains" in out
         assert "vectorized" in out
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "model.mlp.npz"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.cache_size == 1024
+
+    def test_predict_flags(self):
+        args = build_parser().parse_args(
+            ["predict", "model.mlp.npz", "--users", "1", "2", "--top-k", "5"]
+        )
+        assert args.users == [1, 2]
+        assert args.top_k == 5
+
+    def test_fit_save_artifact_flag(self):
+        args = build_parser().parse_args(
+            ["fit", "world.json", "--save-artifact", "m.mlp.npz"]
+        )
+        assert str(args.save_artifact) == "m.mlp.npz"
+
 
 class TestGenerate:
     def test_writes_loadable_dataset(self, saved_world):
@@ -185,6 +204,83 @@ class TestFit:
         )
         assert rc == 0
         assert "not in dataset" in capsys.readouterr().err
+
+
+class TestServingCommands:
+    @pytest.fixture(scope="class")
+    def artifact(self, saved_world, tmp_path_factory):
+        path = tmp_path_factory.mktemp("artifact") / "model.mlp.npz"
+        rc = main(
+            [
+                "fit",
+                str(saved_world),
+                "--iterations",
+                "6",
+                "--burn-in",
+                "2",
+                "--save-artifact",
+                str(path),
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_fit_save_artifact_writes_file(self, artifact, capsys):
+        assert artifact.exists()
+        from repro.serving.artifacts import artifact_metadata
+
+        assert artifact_metadata(artifact)["n_users"] == 120
+
+    def test_predict_training_users(self, artifact, capsys):
+        rc = main(["predict", str(artifact), "--users", "0", "1"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["predictions"]) == 2
+        assert all("home_name" in p for p in payload["predictions"])
+
+    def test_predict_requests_file(self, artifact, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"friends": [0, 1]}]))
+        out = tmp_path / "out.json"
+        rc = main(
+            [
+                "predict",
+                str(artifact),
+                "--requests",
+                str(requests),
+                "--output",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["predictions"][0]["request"] == {"friends": [0, 1]}
+
+    def test_predict_without_inputs_errors(self, artifact, capsys):
+        rc = main(["predict", str(artifact)])
+        assert rc == 2
+        assert "nothing to score" in capsys.readouterr().err
+
+    def test_predict_bad_request_errors(self, artifact, capsys):
+        rc = main(["predict", str(artifact), "--users", "99999"])
+        assert rc == 2
+        assert "99999" in capsys.readouterr().err
+
+    def test_predict_matches_fit_profile_for_labeled_user(
+        self, artifact, capsys
+    ):
+        """fit -> save -> predict reproduces the fitted home downstream."""
+        from repro.serving.artifacts import load_result
+
+        result = load_result(artifact)
+        labeled = result.dataset.labeled_user_ids[0]
+        rc = main(["predict", str(artifact), "--users", str(labeled)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert (
+            payload["predictions"][0]["home"]
+            == result.predicted_home(labeled)
+        )
 
 
 class TestEvaluate:

@@ -131,6 +131,22 @@ class TestLocationProfileType:
         assert p.probability_of(3) == 0.7
         assert p.probability_of(99) == 0.0
 
+    def test_probability_of_uses_lazy_index(self):
+        p = LocationProfile(user_id=0, entries=((3, 0.7), (1, 0.3)))
+        assert p._prob_index is None
+        assert p.probability_of(1) == 0.3
+        assert p._prob_index == {3: 0.7, 1: 0.3}
+        # Repeated lookups hit the same dict (no rebuild).
+        index = p._prob_index
+        assert p.probability_of(3) == 0.7
+        assert p._prob_index is index
+
+    def test_lazy_index_excluded_from_equality(self):
+        a = LocationProfile(user_id=0, entries=((3, 0.7), (1, 0.3)))
+        b = LocationProfile(user_id=0, entries=((3, 0.7), (1, 0.3)))
+        a.probability_of(3)  # builds a's index, not b's
+        assert a == b
+
     def test_above_threshold(self):
         p = LocationProfile(user_id=0, entries=((3, 0.7), (1, 0.3)))
         assert p.above_threshold(0.5) == [3]

@@ -1,11 +1,18 @@
 """Round-trip tests for dataset persistence."""
 
+import gzip
 import json
 
 import pytest
 
 from repro.data.generator import SyntheticWorldConfig, generate_world
-from repro.data.io import FORMAT_VERSION, load_dataset, save_dataset
+from repro.data.io import (
+    FORMAT_VERSION,
+    dataset_from_payload,
+    dataset_to_payload,
+    load_dataset,
+    save_dataset,
+)
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +64,66 @@ class TestRoundTrip:
         loaded = load_dataset(path)
         assert loaded.friends_of == world.friends_of
         assert loaded.venues_of == world.venues_of
+
+
+class TestGzip:
+    def test_gz_round_trip(self, world, tmp_path):
+        path = tmp_path / "ds.json.gz"
+        save_dataset(world, path)
+        loaded = load_dataset(path)
+        assert loaded.users == world.users
+        assert loaded.following == world.following
+        assert loaded.tweeting == world.tweeting
+        assert loaded.tweets == world.tweets
+
+    def test_gz_file_is_actually_compressed(self, world, tmp_path):
+        plain = tmp_path / "ds.json"
+        packed = tmp_path / "ds.json.gz"
+        save_dataset(world, plain)
+        save_dataset(world, packed)
+        # Valid gzip magic and a real size win over plain JSON.
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_gz_payload_identical_to_plain(self, world, tmp_path):
+        plain = tmp_path / "ds.json"
+        packed = tmp_path / "ds.json.gz"
+        save_dataset(world, plain)
+        save_dataset(world, packed)
+        with gzip.open(packed, "rt", encoding="utf-8") as fh:
+            assert fh.read() == plain.read_text()
+
+    def test_gz_deterministic(self, world, tmp_path):
+        a = tmp_path / "a.json.gz"
+        b = tmp_path / "b.json.gz"
+        save_dataset(world, a)
+        save_dataset(world, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_gz_version_check_applies(self, world, tmp_path):
+        path = tmp_path / "ds.json.gz"
+        save_dataset(world, path)
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["version"] = 999
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+
+class TestPayloadHooks:
+    def test_payload_round_trip(self, world):
+        rebuilt = dataset_from_payload(dataset_to_payload(world))
+        assert rebuilt.users == world.users
+        assert rebuilt.following == world.following
+        assert rebuilt.tweeting == world.tweeting
+
+    def test_payload_rejects_unknown_version(self, world):
+        payload = dataset_to_payload(world)
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            dataset_from_payload(payload)
 
 
 class TestVersioning:

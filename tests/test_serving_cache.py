@@ -1,0 +1,106 @@
+"""LRU cache tests: bounded size, recency, accounting, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.serving.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_put(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_len_and_contains(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        assert "a" in cache
+        assert "z" not in cache
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_size=0)
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+
+class TestEviction:
+    def test_oldest_entry_evicted(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" is now most recent; "b" should evict next
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["max_size"] == 4
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        """Hammer one small cache from many threads; no corruption."""
+        cache = LRUCache(max_size=16)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(300):
+                    key = (base + i) % 23
+                    cache.put(key, key)
+                    value = cache.get(key)
+                    assert value is None or value == key
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -1,0 +1,242 @@
+"""Inference server tests: live HTTP round-trips against a real socket."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.model import MLPModel
+from repro.core.params import MLPParams
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.serving.foldin import FoldInPredictor
+from repro.serving.server import make_server
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(SyntheticWorldConfig(n_users=80, seed=6))
+
+
+@pytest.fixture(scope="module")
+def predictor(world):
+    params = MLPParams(n_iterations=10, burn_in=4, seed=0, engine="vectorized")
+    result = MLPModel(params).fit(world)
+    return FoldInPredictor(result, artifact_id="server-test")
+
+
+@pytest.fixture(scope="module")
+def base_url(predictor):
+    server = make_server(predictor, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url: str, payload) -> tuple[int, dict]:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHealthAndMetadata:
+    def test_healthz(self, base_url):
+        status, payload = _get(f"{base_url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["artifact_id"] == "server-test"
+        assert set(payload["cache"]) == {"hits", "misses", "size", "max_size"}
+
+    def test_artifact_metadata(self, base_url, world):
+        status, payload = _get(f"{base_url}/artifact")
+        assert status == 200
+        assert payload["users"] == world.n_users
+        assert payload["params"]["engine"] == "vectorized"
+        assert payload["fitted_law"]["alpha"] < 0
+
+    def test_unknown_get_route_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base_url}/nope")
+        assert excinfo.value.code == 404
+
+
+class TestPredictHome:
+    def test_training_user(self, base_url, predictor):
+        status, payload = _post(
+            f"{base_url}/predict-home", {"users": [{"user_id": 3}], "top_k": 2}
+        )
+        assert status == 200
+        (prediction,) = payload["predictions"]
+        expected = predictor.predict(predictor.spec_for_training_user(3))
+        assert prediction["home"] == expected.home
+        assert len(prediction["profile"]) <= 2
+        assert prediction["home_name"]
+
+    def test_new_user_spec(self, base_url, world):
+        labeled = list(world.labeled_user_ids[:2])
+        status, payload = _post(
+            f"{base_url}/predict-home",
+            {"users": [{"friends": labeled}]},
+        )
+        assert status == 200
+        (prediction,) = payload["predictions"]
+        observed = {world.observed_locations[u] for u in labeled}
+        assert prediction["home"] in observed
+
+    def test_batch_and_cache_flag(self, base_url):
+        request = {"users": [{"user_id": 11}, {"user_id": 12}]}
+        _post(f"{base_url}/predict-home", request)
+        status, payload = _post(f"{base_url}/predict-home", request)
+        assert status == 200
+        assert all(p["cached"] for p in payload["predictions"])
+
+    def test_empty_users_rejected(self, base_url):
+        status, payload = _post(f"{base_url}/predict-home", {"users": []})
+        assert status == 400
+        assert "users" in payload["error"]
+
+    def test_unknown_neighbor_rejected(self, base_url):
+        status, payload = _post(
+            f"{base_url}/predict-home", {"users": [{"friends": [99999]}]}
+        )
+        assert status == 400
+        assert "99999" in payload["error"]
+
+    def test_invalid_json_rejected(self, base_url):
+        request = urllib.request.Request(
+            f"{base_url}/predict-home", data=b"{nope", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestProfile:
+    def test_stored_profile_served(self, base_url, predictor):
+        status, payload = _post(
+            f"{base_url}/profile", {"user_id": 5, "top_k": 3}
+        )
+        assert status == 200
+        profile = predictor.result.profile_of(5)
+        assert payload["home"] == profile.home
+        served = [
+            (entry["location"], entry["probability"])
+            for entry in payload["profile"]
+        ]
+        assert tuple(served) == profile.entries[:3]
+
+    def test_out_of_range_user_rejected(self, base_url):
+        status, payload = _post(f"{base_url}/profile", {"user_id": 9999})
+        assert status == 400
+        assert "9999" in payload["error"]
+
+
+class TestExplainEdge:
+    def test_explains_training_edge(self, base_url, world):
+        edge = world.following[0]
+        status, payload = _post(
+            f"{base_url}/explain-edge",
+            {
+                "user": {"user_id": edge.follower},
+                "neighbor": edge.friend,
+                "direction": "out",
+                "top": 3,
+            },
+        )
+        assert status == 200
+        assert payload["neighbor"] == edge.friend
+        assert 0.0 <= payload["noise_probability"] <= 1.0
+        assert payload["pairs"]
+        assert all("x_name" in pair for pair in payload["pairs"])
+
+    def test_missing_fields_rejected(self, base_url):
+        status, payload = _post(f"{base_url}/explain-edge", {"user": {}})
+        assert status == 400
+        assert "neighbor" in payload["error"]
+
+    def test_unknown_post_route_404(self, base_url):
+        status, payload = _post(f"{base_url}/predict", {"users": []})
+        assert status == 404
+
+
+class TestKeepAlive:
+    def test_connection_survives_request_sequence(self, base_url):
+        """Several requests over one persistent HTTP/1.1 connection."""
+        import http.client
+
+        host, port = base_url.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            body = json.dumps({"users": [{"user_id": 1}]})
+            for _ in range(3):
+                conn.request("POST", "/predict-home", body=body)
+                response = conn.getresponse()
+                assert response.status == 200
+                json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_unread_body_does_not_desync_next_request(self, base_url):
+        """A 404'd POST body must not be parsed as the next request."""
+        import http.client
+
+        host, port = base_url.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.request(
+                "POST", "/nope", body=json.dumps({"users": [{"user_id": 1}]})
+            )
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()
+            # The server closed the connection rather than desync;
+            # http.client transparently reconnects on the same object.
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            conn.close()
+
+
+class TestConcurrency:
+    def test_parallel_requests(self, base_url):
+        """Threaded server: concurrent fold-ins all succeed."""
+        results = []
+        errors = []
+
+        def hit(uid: int) -> None:
+            try:
+                status, payload = _post(
+                    f"{base_url}/predict-home", {"users": [{"user_id": uid}]}
+                )
+                results.append((status, payload["predictions"][0]["home"]))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(uid,)) for uid in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 12
+        assert all(status == 200 for status, _ in results)
