@@ -13,10 +13,11 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## fast benchmark pass: component micro-benches + engine head-to-head
-## + serving throughput, writes benchmarks/results/bench_run.json
+## + serving throughput + columnar-world compile/fit scaling,
+## writes benchmarks/results/bench_run.json
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
-		$(PYTHON) -m pytest bench_components.py bench_serving.py -q
+		$(PYTHON) -m pytest bench_components.py bench_serving.py bench_columnar.py -q
 
 ## fail if any public module lacks a module docstring
 docs-check:

@@ -33,14 +33,20 @@ Package map::
 from repro.core.model import MLPModel, MLPResult, mlp_c_params, mlp_u_params
 from repro.core.params import MLPParams
 from repro.core.results import EdgeExplanation, LocationProfile
-from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.data.columnar import ColumnarWorld, compile_world
+from repro.data.generator import (
+    SyntheticWorldConfig,
+    generate_columnar_world,
+    generate_world,
+)
 from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
 from repro.geo.gazetteer import Gazetteer, Location
 from repro.geo.us_cities import builtin_gazetteer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ColumnarWorld",
     "Dataset",
     "EdgeExplanation",
     "FollowingEdge",
@@ -54,6 +60,8 @@ __all__ = [
     "TweetingEdge",
     "User",
     "builtin_gazetteer",
+    "compile_world",
+    "generate_columnar_world",
     "generate_world",
     "mlp_c_params",
     "mlp_u_params",

@@ -12,7 +12,9 @@ Commands:
 - ``predict``   -- offline batch fold-in scoring against a saved
   artifact;
 - ``serve``     -- the JSON-over-HTTP inference server over a saved
-  artifact.
+  artifact;
+- ``info``      -- build/runtime versions (package, engines, numpy,
+  artifact format), for triaging served artifacts.
 
 All commands are deterministic given ``--seed``.  ``fit``, ``evaluate``
 and ``reproduce`` accept the engine knobs shared by every inference in
@@ -110,6 +112,15 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument(
         "--render-tweets", action="store_true", help="emit raw tweet text"
+    )
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="use the sharded columnar generator with N shards "
+        "(array-native, scales to very large worlds; different RNG "
+        "stream than the default object-graph generator)",
     )
 
 
@@ -264,6 +275,19 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_info(sub: argparse._SubParsersAction) -> None:
+    sub.add_parser(
+        "info",
+        help="print version and runtime information as JSON",
+        description=(
+            "Print the package version, available Gibbs engines, numpy "
+            "version and the artifact format version this build reads "
+            "and writes -- the first things to check when a served "
+            "artifact misbehaves."
+        ),
+    )
+
+
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "evaluate",
@@ -335,7 +359,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reproduce(sub)
     _add_predict(sub)
     _add_serve(sub)
+    _add_info(sub)
     return parser
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import platform
+
+    import numpy as np
+
+    import repro
+    from repro.engine import ENGINES
+    from repro.serving.artifacts import (
+        ARTIFACT_VERSION,
+        SUPPORTED_ARTIFACT_VERSIONS,
+    )
+
+    print(
+        json.dumps(
+            {
+                "version": repro.__version__,
+                "engines": sorted(ENGINES),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "artifact_format_version": ARTIFACT_VERSION,
+                "artifact_format_reads": list(SUPPORTED_ARTIFACT_VERSIONS),
+            },
+            indent=2,
+        )
+    )
+    return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -350,7 +403,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         mean_venues=args.mean_venues,
         render_tweets=args.render_tweets,
     )
-    dataset = generate_world(config)
+    dataset = generate_world(config, shards=args.shards)
     save_dataset(dataset, args.output)
     print(f"wrote {dataset} -> {args.output}")
     return 0
@@ -550,6 +603,7 @@ _COMMANDS = {
     "reproduce": cmd_reproduce,
     "predict": cmd_predict,
     "serve": cmd_serve,
+    "info": cmd_info,
 }
 
 

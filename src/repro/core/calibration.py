@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.params import MLPParams
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 from repro.mathx.buckets import log_spaced_bucket_following_pairs
 from repro.mathx.powerlaw import PowerLaw, fit_power_law
@@ -32,7 +33,7 @@ _MIN_DECAY = -0.05
 
 
 def fit_initial_power_law(
-    dataset: Dataset,
+    dataset: Dataset | ColumnarWorld,
     params: MLPParams,
     max_users: int = 2000,
     n_buckets: int = 30,
@@ -48,19 +49,18 @@ def fit_initial_power_law(
     Falls back to ``params``' built-in values when the labeled set is
     too small to produce a usable curve.
     """
+    world = compile_world(dataset)
     rng = rng if rng is not None else np.random.default_rng(params.seed)
     fallback = PowerLaw(
         alpha=params.alpha, beta=params.beta, min_x=params.min_distance_miles
     )
-    labeled = np.array(dataset.labeled_user_ids, dtype=np.int64)
-    if labeled.size < 10 or dataset.n_following == 0:
+    labeled = np.flatnonzero(world.labeled_mask)
+    if labeled.size < 10 or world.n_following == 0:
         return fallback
     if labeled.size > max_users:
         labeled = rng.choice(labeled, size=max_users, replace=False)
-    chosen = set(int(u) for u in labeled)
-    observed = dataset.observed_locations
-    locs = np.array([observed[int(u)] for u in labeled], dtype=np.int64)
-    dmat = dataset.gazetteer.distance_matrix
+    locs = world.observed_location[labeled]
+    dmat = world.gazetteer.distance_matrix
 
     # Pair distances over the sample (ordered pairs, no self-pairs).
     pair_d = dmat[locs][:, locs]
@@ -68,12 +68,15 @@ def fit_initial_power_law(
     off_diag = ~np.eye(n, dtype=bool)
     distances = pair_d[off_diag]
 
-    # Which sampled pairs are edges?
-    index_of = {int(u): k for k, u in enumerate(labeled)}
+    # Which sampled pairs are edges?  One vectorized membership pass
+    # over the flat edge arena instead of the old object-graph walk.
+    index_of = np.full(world.n_users, -1, dtype=np.int64)
+    index_of[labeled] = np.arange(n, dtype=np.int64)
+    src_idx = index_of[world.edge_src]
+    dst_idx = index_of[world.edge_dst]
+    both = (src_idx >= 0) & (dst_idx >= 0)
     has_edge = np.zeros((n, n), dtype=bool)
-    for e in dataset.following:
-        if e.follower in chosen and e.friend in chosen:
-            has_edge[index_of[e.follower], index_of[e.friend]] = True
+    has_edge[src_idx[both], dst_idx[both]] = True
     edges = has_edge[off_diag]
 
     buckets = log_spaced_bucket_following_pairs(
@@ -99,7 +102,7 @@ def fit_initial_power_law(
 
 
 def refit_power_law(
-    dataset: Dataset,
+    dataset: Dataset | ColumnarWorld,
     sampler: GibbsSampler,
     params: MLPParams,
     max_users: int = 2000,
@@ -114,17 +117,18 @@ def refit_power_law(
     user subsample placed at their current provisional home estimates
     and scaled up to N^2.
     """
+    world = compile_world(dataset)
     rng = rng if rng is not None else np.random.default_rng(params.seed + 1)
     previous = sampler.following_model.law
     state = sampler.state
     mask = state.mu == 0
     if int(mask.sum()) < 20:
         return previous
-    dmat = dataset.gazetteer.distance_matrix
+    dmat = world.gazetteer.distance_matrix
     edge_d = dmat[state.x[mask], state.y[mask]]
 
     homes = sampler.current_home_estimates()
-    n = dataset.n_users
+    n = world.n_users
     sample_n = min(max_users, n)
     chosen = rng.choice(n, size=sample_n, replace=False)
     locs = homes[chosen]

@@ -60,6 +60,14 @@ class RandomFollowingModel:
     edge_probability: float
 
     @classmethod
+    def from_world(cls, world) -> "RandomFollowingModel":
+        """Build from a compiled :class:`~repro.data.columnar.ColumnarWorld`."""
+        n = world.n_users
+        if n == 0:
+            raise ValueError("empty dataset")
+        return cls(edge_probability=world.n_following / float(n * n))
+
+    @classmethod
     def from_dataset(cls, dataset: Dataset) -> "RandomFollowingModel":
         n = dataset.n_users
         if n == 0:

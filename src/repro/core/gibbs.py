@@ -48,6 +48,7 @@ from repro.core.params import MLPParams
 from repro.core.priors import UserPriors, build_user_priors
 from repro.core.state import GibbsState
 from repro.core.tweeting import CollapsedTweetingModel, RandomTweetingModel
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 
 #: Sentinel for "no assignment" (noise-selected relationship).
@@ -73,7 +74,11 @@ class GibbsSampler:
     Parameters
     ----------
     dataset:
-        The profiling problem.
+        The profiling problem: a :class:`Dataset` (compiled to the
+        shared :class:`~repro.data.columnar.ColumnarWorld` through the
+        memoized ``compile_world``) or an already-compiled world.  All
+        sweep-side structures read the compiled arrays; the object
+        graph is only materialized if :attr:`dataset` is accessed.
     params:
         Hyper-parameters; ``use_following`` / ``use_tweeting`` implement
         the MLP_U / MLP_C ablations by excluding a relationship type
@@ -87,16 +92,22 @@ class GibbsSampler:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Dataset | ColumnarWorld,
         params: MLPParams,
         priors: UserPriors | None = None,
         alpha: float | None = None,
         beta: float | None = None,
     ):
-        self.dataset = dataset
+        world = compile_world(dataset)
+        self.world = world
+        # Keep the input dataset alive for the sampler's lifetime (the
+        # compile memo and the world's backref are both weak): callers
+        # read `.dataset` expecting the original object graph, ground
+        # truth and all, not a stripped re-materialization.
+        self._source_dataset = dataset if isinstance(dataset, Dataset) else None
         self.params = params
         self.priors = (
-            priors if priors is not None else build_user_priors(dataset, params)
+            priors if priors is not None else build_user_priors(world, params)
         )
         self.rng = np.random.default_rng(params.seed)
 
@@ -107,52 +118,52 @@ class GibbsSampler:
             # learned from this dataset's labeled pairs (Sec. 4.1).
             from repro.core.calibration import fit_initial_power_law
 
-            law = fit_initial_power_law(dataset, params)
+            law = fit_initial_power_law(world, params)
             alpha, beta = law.alpha, law.beta
         self.following_model = LocationFollowingModel.from_gazetteer(
-            dataset.gazetteer,
+            world.gazetteer,
             alpha=alpha if alpha is not None else params.alpha,
             beta=beta if beta is not None else params.beta,
             min_distance=params.min_distance_miles,
         )
-        self.random_following = RandomFollowingModel.from_dataset(dataset)
-        self.random_tweeting = RandomTweetingModel.from_dataset(dataset)
+        self.random_following = RandomFollowingModel.from_world(world)
+        self.random_tweeting = RandomTweetingModel.from_world(world)
         self.tweeting_model = CollapsedTweetingModel(
-            n_locations=len(dataset.gazetteer),
-            n_venues=len(dataset.gazetteer.venue_vocabulary),
+            n_locations=world.n_locations,
+            n_venues=world.n_venues,
             delta=params.delta,
         )
 
-        # Edge arrays (empty when the ablation disables a type).
+        # Edge arenas, shared read-only with the compiled world (empty
+        # when the ablation disables a type).
         if params.use_following:
-            self._followers = np.array(
-                [e.follower for e in dataset.following], dtype=np.int64
-            )
-            self._friends = np.array(
-                [e.friend for e in dataset.following], dtype=np.int64
-            )
+            self._followers = world.edge_src
+            self._friends = world.edge_dst
         else:
             self._followers = np.empty(0, dtype=np.int64)
             self._friends = np.empty(0, dtype=np.int64)
         if params.use_tweeting:
-            self._tw_users = np.array(
-                [t.user for t in dataset.tweeting], dtype=np.int64
-            )
-            self._tw_venues = np.array(
-                [t.venue_id for t in dataset.tweeting], dtype=np.int64
-            )
+            self._tw_users = world.tweet_user
+            self._tw_venues = world.tweet_venue
         else:
             self._tw_users = np.empty(0, dtype=np.int64)
             self._tw_venues = np.empty(0, dtype=np.int64)
 
         self.state = GibbsState(
-            n_users=dataset.n_users,
-            n_locations=len(dataset.gazetteer),
+            n_users=world.n_users,
+            n_locations=world.n_locations,
             n_following=len(self._followers),
             n_tweeting=len(self._tw_users),
             track_edges=params.track_edge_assignments,
         )
         self._initialized = False
+
+    @property
+    def dataset(self) -> Dataset:
+        """The object-graph view (materialized from the world if needed)."""
+        if self._source_dataset is not None:
+            return self._source_dataset
+        return self.world.require_dataset()
 
     # -- setup -----------------------------------------------------------
 
@@ -370,7 +381,7 @@ class GibbsSampler:
     def set_following_law(self, law) -> None:
         """Swap in refined (alpha, beta) between Gibbs-EM rounds."""
         self.following_model = LocationFollowingModel(
-            law=law, distance_matrix=self.dataset.gazetteer.distance_matrix
+            law=law, distance_matrix=self.world.gazetteer.distance_matrix
         )
 
     # -- estimates -------------------------------------------------------------
@@ -388,8 +399,8 @@ class GibbsSampler:
         Cheap enough to run every sweep; used by convergence probes.
         """
         phi = self.state.user_counts.phi
-        homes = np.empty(self.dataset.n_users, dtype=np.int64)
-        for uid in range(self.dataset.n_users):
+        homes = np.empty(self.world.n_users, dtype=np.int64)
+        for uid in range(self.world.n_users):
             cand = self.priors.candidates[uid]
             weights = phi[uid, cand] + self.priors.gamma[uid]
             homes[uid] = cand[int(np.argmax(weights))]

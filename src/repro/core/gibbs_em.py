@@ -21,6 +21,7 @@ from repro.core.convergence import ConvergenceTrace, IterationStats
 from repro.core.gibbs import GibbsSampler
 from repro.core.params import MLPParams
 from repro.core.priors import UserPriors, build_user_priors
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 from repro.mathx.powerlaw import PowerLaw
 
@@ -54,7 +55,7 @@ class InferenceRun:
 
 
 def run_inference(
-    dataset: Dataset,
+    dataset: Dataset | ColumnarWorld,
     params: MLPParams,
     priors: UserPriors | None = None,
     metric_callback=None,
@@ -65,21 +66,26 @@ def run_inference(
     ``burn_in`` sweeps of pure burn-in, then ``em_rounds`` refits of
     (alpha, beta) spread immediately after burn-in, then accumulation
     sweeps that feed theta estimation and edge tallies.
+
+    The dataset is compiled once (memoized) to the shared
+    :class:`~repro.data.columnar.ColumnarWorld`; calibration, priors
+    and the sampler all run on the same compiled arrays.
     """
     # Engine dispatch lives in repro.engine; imported lazily because the
     # engine package layers on top of this module.
     from repro.engine.factory import make_sampler
 
-    priors = priors if priors is not None else build_user_priors(dataset, params)
+    world = compile_world(dataset)
+    priors = priors if priors is not None else build_user_priors(world, params)
     if params.fit_alpha_beta and params.use_following:
-        law = fit_initial_power_law(dataset, params)
+        law = fit_initial_power_law(world, params)
     else:
         law = PowerLaw(
             alpha=params.alpha, beta=params.beta, min_x=params.min_distance_miles
         )
     laws = [law]
     sampler = make_sampler(
-        dataset, params, priors=priors, alpha=law.alpha, beta=law.beta
+        world, params, priors=priors, alpha=law.alpha, beta=law.beta
     )
     sampler.initialize()
     trace = ConvergenceTrace()
@@ -108,13 +114,12 @@ def run_inference(
 
     if params.fit_alpha_beta and params.use_following:
         for _ in range(params.em_rounds):
-            law = refit_power_law(dataset, sampler, params)
+            law = refit_power_law(world, sampler, params)
             laws.append(law)
             sampler.set_following_law(law)
 
     venue_acc = np.zeros(
-        (len(dataset.gazetteer), len(dataset.gazetteer.venue_vocabulary)),
-        dtype=np.float64,
+        (world.n_locations, world.n_venues), dtype=np.float64
     )
     venue_samples = 0
     for _ in range(params.n_iterations - params.burn_in):

@@ -24,6 +24,7 @@ from repro.core.gibbs_em import run_inference
 from repro.core.params import MLPParams
 from repro.core.priors import UserPriors, build_user_priors
 from repro.core.results import EdgeExplanation, LocationProfile, TweetExplanation
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 from repro.mathx.powerlaw import PowerLaw
 
@@ -116,13 +117,18 @@ class MLPModel:
 
     def fit(
         self,
-        dataset: Dataset,
+        dataset: Dataset | ColumnarWorld,
         metric_callback=None,
     ) -> MLPResult:
-        """Run full inference on a dataset.
+        """Run full inference on a dataset (or a pre-compiled world).
 
         ``metric_callback(sampler, iteration) -> float`` is recorded in
         the convergence trace each sweep (used by the Fig. 5 driver).
+
+        The dataset is compiled exactly once to the shared
+        :class:`~repro.data.columnar.ColumnarWorld`; priors,
+        calibration, every chain and (through the memo) a later serving
+        fold-in all reuse that compiled form.
 
         With ``params.n_chains > 1`` the fit runs a
         :class:`~repro.engine.pool.ChainPool`: profiles come from the
@@ -132,21 +138,22 @@ class MLPModel:
         chain 0's (whose seed is the base seed, so a one-chain pool
         reproduces the plain fit exactly).
         """
-        priors = build_user_priors(dataset, self.params)
+        world = compile_world(dataset)
+        priors = build_user_priors(world, self.params)
         if self.params.n_chains > 1:
-            return self._fit_pooled(dataset, priors, metric_callback)
+            return self._fit_pooled(world, priors, metric_callback)
         run = run_inference(
-            dataset, self.params, priors=priors, metric_callback=metric_callback
+            world, self.params, priors=priors, metric_callback=metric_callback
         )
         mean_counts = run.sampler.state.mean_theta_counts()
-        profiles = self._profiles_from_counts(dataset, mean_counts, priors)
+        profiles = self._profiles_from_counts(world, mean_counts, priors)
         explanations, tweet_explanations = self._explanations_from(
-            dataset,
+            world,
             run.sampler.state.edge_tally,
             lambda: run.sampler.current_home_estimates(),
         )
         return MLPResult(
-            dataset=dataset,
+            dataset=world.require_dataset(),
             params=self.params,
             profiles=profiles,
             explanations=explanations,
@@ -157,7 +164,7 @@ class MLPModel:
         )
 
     def _fit_pooled(
-        self, dataset: Dataset, priors: UserPriors, metric_callback
+        self, world: ColumnarWorld, priors: UserPriors, metric_callback
     ) -> MLPResult:
         """K-chain inference via the engine's ChainPool."""
         # Lazy import: the engine package layers on top of core.
@@ -171,22 +178,22 @@ class MLPModel:
                 "(chains may run in worker processes)"
             )
         pool = ChainPool(
-            dataset,
+            world,
             self.params,
             processes=min(self.params.n_chains, os.cpu_count() or 1),
             priors=priors,
         )
         posterior = pool.run()
         mean_counts = posterior.pooled_mean_counts()
-        profiles = self._profiles_from_counts(dataset, mean_counts, priors)
+        profiles = self._profiles_from_counts(world, mean_counts, priors)
         explanations, tweet_explanations = self._explanations_from(
-            dataset,
+            world,
             posterior.merged_edge_tally(),
             lambda: _homes_from_counts(mean_counts, priors),
         )
         first = posterior.chains[0]
         return MLPResult(
-            dataset=dataset,
+            dataset=world.require_dataset(),
             params=self.params,
             profiles=profiles,
             explanations=explanations,
@@ -198,11 +205,11 @@ class MLPModel:
         )
 
     def _profiles_from_counts(
-        self, dataset: Dataset, mean_counts: np.ndarray, priors: UserPriors
+        self, world: ColumnarWorld, mean_counts: np.ndarray, priors: UserPriors
     ) -> tuple[LocationProfile, ...]:
         """Eq. 10 over averaged post-burn-in counts, per user."""
         profiles = []
-        for uid in range(dataset.n_users):
+        for uid in range(world.n_users):
             cand = priors.candidates[uid]
             weights = mean_counts[uid, cand] + priors.gamma[uid]
             probs = weights / weights.sum()
@@ -214,7 +221,7 @@ class MLPModel:
         return tuple(profiles)
 
     def _explanations_from(
-        self, dataset: Dataset, tally, homes_factory
+        self, world: ColumnarWorld, tally, homes_factory
     ) -> tuple[tuple[EdgeExplanation, ...], tuple[TweetExplanation, ...]]:
         if tally is None or tally.n_samples == 0:
             return (), ()
@@ -224,12 +231,14 @@ class MLPModel:
         provisional_homes = homes_factory()
         explanations = []
         if self.params.use_following:
-            for s, edge in enumerate(dataset.following):
+            for s, (follower, friend) in enumerate(
+                zip(world.edge_src.tolist(), world.edge_dst.tolist())
+            ):
                 modal = tally.modal_following(s)
                 if modal is None:
                     x, y, support = (
-                        int(provisional_homes[edge.follower]),
-                        int(provisional_homes[edge.friend]),
+                        int(provisional_homes[follower]),
+                        int(provisional_homes[friend]),
                         0.0,
                     )
                 else:
@@ -237,8 +246,8 @@ class MLPModel:
                 explanations.append(
                     EdgeExplanation(
                         edge_index=s,
-                        follower=edge.follower,
-                        friend=edge.friend,
+                        follower=follower,
+                        friend=friend,
                         x=x,
                         y=y,
                         support=support,
@@ -247,17 +256,19 @@ class MLPModel:
                 )
         tweet_explanations = []
         if self.params.use_tweeting:
-            for k, tw in enumerate(dataset.tweeting):
+            for k, (user, venue_id) in enumerate(
+                zip(world.tweet_user.tolist(), world.tweet_venue.tolist())
+            ):
                 modal_z = tally.modal_tweeting(k)
                 if modal_z is None:
-                    z, support = int(provisional_homes[tw.user]), 0.0
+                    z, support = int(provisional_homes[user]), 0.0
                 else:
                     z, support = modal_z
                 tweet_explanations.append(
                     TweetExplanation(
                         edge_index=k,
-                        user=tw.user,
-                        venue_id=tw.venue_id,
+                        user=user,
+                        venue_id=venue_id,
                         z=z,
                         support=support,
                         noise_probability=tally.noise_probability_tweeting(k),

@@ -18,19 +18,48 @@ Implements Sec. 4.3 of the paper:
 
 The sampler consumes the result in sparse form: per user, an array of
 candidate location ids and a parallel array of gamma values.
+Construction runs on the shared :class:`~repro.data.columnar.ColumnarWorld`
+substrate: the default full-signal candidacy is a precompiled slice,
+ablation variants are assembled from the world's CSR tables, and the
+packed arena layout the vectorized engine needs is built once per
+priors instance (:meth:`UserPriors.packed`) and shared read-only by
+every chain.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.params import MLPParams
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
+class PackedPriors:
+    """The priors' flat arena layout, shared read-only across chains.
+
+    ``offsets[u]:offsets[u+1]`` is user ``u``'s slot range in the
+    packed candidate arena; ``flat_candidates`` holds the candidate
+    location ids slot by slot, ``slot_user`` the owning user of each
+    slot, ``flat_gamma`` the parallel gamma values and ``gamma_list``
+    their Python-float mirror (the sweep hot loop reads scalars).
+    """
+
+    offsets: np.ndarray
+    flat_candidates: np.ndarray
+    slot_user: np.ndarray
+    flat_gamma: np.ndarray
+    gamma_list: list[float]
+
+    @property
+    def total_slots(self) -> int:
+        return int(self.offsets[-1])
+
+
+@dataclass(frozen=True, slots=True, eq=False)
 class UserPriors:
     """Sparse per-user Dirichlet priors over candidate locations.
 
@@ -42,6 +71,9 @@ class UserPriors:
     candidates: tuple[np.ndarray, ...]
     gamma: tuple[np.ndarray, ...]
     gamma_sum: np.ndarray
+    _packed: "PackedPriors | None" = field(
+        default=None, init=False, repr=False
+    )
 
     @property
     def n_users(self) -> int:
@@ -50,6 +82,38 @@ class UserPriors:
     def candidate_count(self) -> np.ndarray:
         """Number of candidate locations per user."""
         return np.array([c.size for c in self.candidates])
+
+    def packed(self) -> PackedPriors:
+        """The flat arena layout, built lazily once and then shared.
+
+        A K-chain pool hands the same ``UserPriors`` to every chain, so
+        the vectorized engine's per-fit arena construction collapses to
+        one build per priors instance instead of one per sampler.
+        """
+        if self._packed is None:
+            n = self.n_users
+            counts = np.fromiter(
+                (c.size for c in self.candidates), dtype=np.int64, count=n
+            )
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            flat_candidates = (
+                np.concatenate(self.candidates)
+                if n
+                else np.empty(0, dtype=np.int64)
+            )
+            flat_gamma = (
+                np.concatenate(self.gamma) if n else np.empty(0, dtype=np.float64)
+            )
+            packed = PackedPriors(
+                offsets=offsets,
+                flat_candidates=flat_candidates,
+                slot_user=np.repeat(np.arange(n, dtype=np.int64), counts),
+                flat_gamma=flat_gamma,
+                gamma_list=flat_gamma.tolist(),
+            )
+            object.__setattr__(self, "_packed", packed)
+        return self._packed
 
 
 def venue_referent_map(dataset: Dataset) -> dict[int, tuple[int, ...]]:
@@ -75,6 +139,10 @@ def candidate_locations_for(
     it, or a venue the user tweeted has it among its referent cities.
     The user's own observed location, when present, is always a
     candidate (the boost term of Eq. 3 presumes it is in play).
+
+    This is the object-graph reference implementation;
+    :func:`build_user_priors` computes the same sets from the compiled
+    world's CSR tables.
     """
     observed = dataset.observed_locations
     candidates: set[int] = set()
@@ -92,7 +160,29 @@ def candidate_locations_for(
     return candidates
 
 
-def build_user_priors(dataset: Dataset, params: MLPParams) -> UserPriors:
+def _variant_candidates(
+    world: ColumnarWorld, user_id: int, params: MLPParams
+) -> np.ndarray:
+    """Candidacy under ablation flags, from the world's CSR tables."""
+    observed = world.observed_location
+    parts: list[np.ndarray] = []
+    own = int(observed[user_id])
+    if own >= 0:
+        parts.append(np.array([own], dtype=np.int64))
+    if params.use_following:
+        nbr_obs = observed[world.neighbors_of(user_id)]
+        parts.append(nbr_obs[nbr_obs >= 0])
+    if params.use_tweeting:
+        vids = np.unique(world.venues_of(user_id))
+        parts.extend(world.referents_of(int(v)) for v in vids)
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+def build_user_priors(
+    dataset: Dataset | ColumnarWorld, params: MLPParams
+) -> UserPriors:
     """Build candidacy vectors and gamma_i for every user (Eq. 3).
 
     For a labeled user the observed home location receives
@@ -100,34 +190,37 @@ def build_user_priors(dataset: Dataset, params: MLPParams) -> UserPriors:
     Users with an empty candidacy set (isolated, no usable signal) fall
     back to the full gazetteer with a flat ``tau`` prior -- the model
     can still place them via whatever relationships they do have.
+
+    Accepts either a :class:`Dataset` (compiled through the memoized
+    :func:`~repro.data.columnar.compile_world`) or an
+    already-compiled :class:`ColumnarWorld`.  The default full-signal
+    parameterization reads the world's precompiled candidate CSR
+    directly; ablations recombine the same tables.
     """
-    referents = venue_referent_map(dataset)
-    n_loc = len(dataset.gazetteer)
+    world = compile_world(dataset)
+    n_loc = world.n_locations
     all_locations = np.arange(n_loc, dtype=np.int64)
-    observed = dataset.observed_locations
+    observed = world.observed_location
+    full_signal = params.use_following and params.use_tweeting
 
     candidates_out: list[np.ndarray] = []
     gamma_out: list[np.ndarray] = []
-    sums = np.empty(dataset.n_users, dtype=np.float64)
+    sums = np.empty(world.n_users, dtype=np.float64)
 
-    for user in dataset.users:
+    for uid in range(world.n_users):
         if params.use_candidacy:
-            cand_set = candidate_locations_for(
-                dataset,
-                user.user_id,
-                referents,
-                use_following=params.use_following,
-                use_tweeting=params.use_tweeting,
+            cand = (
+                world.candidates_of(uid)
+                if full_signal
+                else _variant_candidates(world, uid, params)
             )
         else:
-            cand_set = set()  # ablation: fall through to full gazetteer
-        if cand_set:
-            cand = np.array(sorted(cand_set), dtype=np.int64)
-        else:
+            cand = np.empty(0, dtype=np.int64)  # ablation: full gazetteer
+        if cand.size == 0:
             cand = all_locations
         gamma = np.full(cand.size, params.tau, dtype=np.float64)
-        own = observed.get(user.user_id)
-        if own is not None:
+        own = int(observed[uid])
+        if own >= 0:
             pos = int(np.searchsorted(cand, own))
             # own observed location is guaranteed in cand by construction
             # unless the fallback path was taken; guard either way.
@@ -135,7 +228,7 @@ def build_user_priors(dataset: Dataset, params: MLPParams) -> UserPriors:
                 gamma[pos] += params.boost
         candidates_out.append(cand)
         gamma_out.append(gamma)
-        sums[user.user_id] = float(gamma.sum())
+        sums[uid] = float(gamma.sum())
 
     return UserPriors(
         candidates=tuple(candidates_out),

@@ -112,8 +112,20 @@ class RandomTweetingModel:
     venue_probabilities: np.ndarray
 
     @classmethod
+    def from_world(cls, world) -> "RandomTweetingModel":
+        """Build from a compiled :class:`~repro.data.columnar.ColumnarWorld`.
+
+        The world's mention counts are integer-accumulated, so the
+        probabilities are bit-identical to the object-graph path.
+        """
+        return cls._from_counts(world.venue_mention_counts)
+
+    @classmethod
     def from_dataset(cls, dataset: Dataset) -> "RandomTweetingModel":
-        counts = dataset.venue_mention_counts
+        return cls._from_counts(dataset.venue_mention_counts)
+
+    @classmethod
+    def _from_counts(cls, counts: np.ndarray) -> "RandomTweetingModel":
         total = counts.sum()
         if total == 0:
             # No tweets at all: fall back to uniform so probability()

@@ -5,8 +5,20 @@ The paper's evaluation data is a 2011 Twitter crawl we cannot obtain;
 generative process matches the paper's model family and measured
 statistics (see DESIGN.md section 2), with exact ground truth for all
 three evaluation tasks.
+
+:mod:`repro.data.columnar` is the compiled form of it all: a
+:class:`~repro.data.columnar.ColumnarWorld` lowers a dataset once into
+integer-indexed arrays that sampling, serving and evaluation share
+(see docs/ARCHITECTURE.md, "The columnar world").
 """
 
+from repro.data.columnar import ColumnarWorld, compile_world
+from repro.data.generator import (
+    SyntheticWorldConfig,
+    generate_columnar_world,
+    generate_world,
+)
+from repro.data.io import load_dataset, save_dataset
 from repro.data.model import (
     Dataset,
     FollowingEdge,
@@ -14,11 +26,10 @@ from repro.data.model import (
     TweetingEdge,
     User,
 )
-from repro.data.generator import SyntheticWorldConfig, generate_world
-from repro.data.io import load_dataset, save_dataset
 from repro.data.stats import DatasetStats, compute_stats
 
 __all__ = [
+    "ColumnarWorld",
     "Dataset",
     "DatasetStats",
     "FollowingEdge",
@@ -26,7 +37,9 @@ __all__ = [
     "Tweet",
     "TweetingEdge",
     "User",
+    "compile_world",
     "compute_stats",
+    "generate_columnar_world",
     "generate_world",
     "load_dataset",
     "save_dataset",

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.data.columnar import ColumnarWorld, location_venue_map, register_world
 from repro.data.model import Dataset, FollowingEdge, Tweet, TweetingEdge, User
 from repro.geo.gazetteer import Gazetteer
 from repro.geo.us_cities import builtin_gazetteer
@@ -367,8 +368,21 @@ class _WorldBuilder:
 def generate_world(
     config: SyntheticWorldConfig | None = None,
     gazetteer: Gazetteer | None = None,
+    shards: int | None = None,
 ) -> Dataset:
     """Generate a synthetic profiling problem with full ground truth.
+
+    With ``shards=None`` (the default) this is the reference object-graph
+    generator, bit-reproducible against all earlier versions.  With
+    ``shards=N`` the world is produced by the sharded columnar builder
+    (:func:`generate_columnar_world`'s engine): users and relationships
+    are sampled shard by shard as flat arrays, the compiled
+    :class:`~repro.data.columnar.ColumnarWorld` is registered on the
+    returned dataset (so the first fit re-indexes nothing), and the
+    object graph is materialized exactly once at the end.  Sharded
+    worlds come from the same generative family but a different RNG
+    stream: reproducible given ``(seed, shards)``, not comparable
+    draw-for-draw with the unsharded stream.
 
     >>> ds = generate_world(SyntheticWorldConfig(n_users=50, seed=1))
     >>> ds.n_users
@@ -378,9 +392,437 @@ def generate_world(
     """
     config = config or SyntheticWorldConfig()
     gazetteer = gazetteer or builtin_gazetteer()
+    if shards is not None:
+        return _sharded_dataset(config, gazetteer, shards)
     builder = _WorldBuilder(config, gazetteer)
     users = builder.sample_users()
     following = builder.sample_following(users)
     tweeting = builder.sample_tweeting(users)
     tweets = builder.render_tweets(tweeting) if config.render_tweets else []
     return Dataset(gazetteer, users, following, tweeting, tweets)
+
+
+# -- the sharded columnar path ---------------------------------------------
+
+
+def _shard_rng(seed: int, phase: int, shard: int) -> np.random.Generator:
+    """Independent, reproducible stream per (phase, shard)."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(phase, shard))
+    )
+
+
+def _draw_from_cdf(
+    rng: np.random.Generator, cdf: np.ndarray, size: int
+) -> np.ndarray:
+    """Vectorized inverse-CDF categorical draws (unnormalized cdf)."""
+    u = rng.random(size) * cdf[-1]
+    return np.searchsorted(cdf, u, side="right").clip(0, cdf.size - 1)
+
+
+def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+
+class _ShardedArrays:
+    """Array-native generator state: one instance per sharded build.
+
+    Samples the same generative family as :class:`_WorldBuilder` but
+    emits flat ``numpy`` arrays shard by shard -- no ``User`` /
+    ``FollowingEdge`` / ``TweetingEdge`` objects, no per-draw Python
+    categorical sampling over ``n_users``-sized weight vectors.  Two
+    documented simplifications versus the object path keep it
+    vectorizable: self-follows and duplicate edges are *dropped*
+    instead of re-drawn (the object path retries up to 8 times), and
+    the RNG streams are per ``(phase, shard)`` so a world is
+    reproducible given ``(seed, shards)``.
+    """
+
+    def __init__(
+        self, config: SyntheticWorldConfig, gazetteer: Gazetteer, shards: int
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.config = config
+        self.gazetteer = gazetteer
+        self.shards = shards
+        self.n_loc = len(gazetteer)
+        self.distance = gazetteer.distance_matrix
+        pops = gazetteer.populations
+        home_weights = pops**config.population_temper
+        self.home_probs = home_weights / home_weights.sum()
+        self.venues = gazetteer.venue_vocabulary
+        self.n_venues = len(self.venues)
+        # location id -> venue id of its own name, and per-venue summed
+        # population (the TR popularity model, as in _WorldBuilder).
+        self.loc_venue = location_venue_map(gazetteer)
+        venue_popularity = np.bincount(
+            self.loc_venue, weights=pops, minlength=self.n_venues
+        )
+        self.venue_popularity = venue_popularity / venue_popularity.sum()
+        self.venue_pop_cdf = np.cumsum(self.venue_popularity)
+        self._psi_cdf_cache: dict[int, np.ndarray] = {}
+        self._friend_cdf_cache: dict[int, np.ndarray] = {}
+        bounds = [
+            (s * config.n_users) // shards for s in range(shards + 1)
+        ]
+        self.shard_bounds = list(zip(bounds[:-1], bounds[1:]))
+
+        # -- user table (filled by sample_users) -----------------------
+        n = config.n_users
+        self.true_home = np.empty(n, dtype=np.int64)
+        self.registered = np.full(n, -1, dtype=np.int64)
+        self.loc_indptr = np.zeros(n + 1, dtype=np.int64)
+        self.loc_flat: list[np.ndarray] = []
+        self.weight_flat: list[np.ndarray] = []
+
+    # -- phase 1: users ----------------------------------------------------
+
+    def sample_users(self) -> None:
+        cfg = self.config
+        probs = np.array(cfg.n_location_probs)
+        counts: list[int] = []
+        for shard, (lo, hi) in enumerate(self.shard_bounds):
+            rng = _shard_rng(cfg.seed, 1, shard)
+            m = hi - lo
+            if m == 0:
+                continue
+            k_locs = rng.choice(np.array([1, 2, 3]), size=m, p=probs)
+            labeled = rng.random(m) < cfg.labeled_fraction
+            for local in range(m):
+                uid = lo + local
+                k = int(k_locs[local])
+                locs = rng.choice(
+                    self.n_loc, size=k, replace=False, p=self.home_probs
+                )
+                conc = np.array(
+                    [cfg.home_concentration]
+                    + [cfg.secondary_concentration] * (k - 1)
+                )
+                weights = rng.dirichlet(conc)
+                order = np.argsort(-weights)
+                locs = locs[order]
+                weights = weights[order]
+                home = int(locs[0])
+                self.true_home[uid] = home
+                if labeled[local]:
+                    self.registered[uid] = home
+                self.loc_flat.append(locs.astype(np.int64))
+                self.weight_flat.append(weights)
+                counts.append(k)
+        np.cumsum(np.array(counts, dtype=np.int64), out=self.loc_indptr[1:])
+        self.loc_flat_arr = (
+            np.concatenate(self.loc_flat)
+            if self.loc_flat
+            else np.empty(0, dtype=np.int64)
+        )
+        self.weight_flat_arr = (
+            np.concatenate(self.weight_flat)
+            if self.weight_flat
+            else np.empty(0, dtype=np.float64)
+        )
+        # Per-user theta CDFs live implicitly in weight_flat_arr (the
+        # slices are short); residents/mass are global aggregates.
+        self.mass = np.bincount(
+            self.loc_flat_arr, weights=self.weight_flat_arr, minlength=self.n_loc
+        )
+        owner = np.repeat(
+            np.arange(self.config.n_users, dtype=np.int64),
+            np.diff(self.loc_indptr),
+        )
+        order = np.argsort(self.loc_flat_arr, kind="stable")
+        res_counts = np.bincount(self.loc_flat_arr, minlength=self.n_loc)
+        self.res_indptr = np.zeros(self.n_loc + 1, dtype=np.int64)
+        np.cumsum(res_counts, out=self.res_indptr[1:])
+        self.res_users = owner[order]
+        res_weights = self.weight_flat_arr[order]
+        # Per-location cumulative resident weights (reset at indptr) for
+        # O(log) friend picks.
+        self.res_cdf = np.copy(res_weights)
+        np.cumsum(self.res_cdf, out=self.res_cdf)
+        base = np.zeros(self.n_loc, dtype=np.float64)
+        nonempty = self.res_indptr[:-1] < self.res_indptr[1:]
+        base[nonempty] = self.res_cdf[self.res_indptr[:-1][nonempty]] - res_weights[
+            self.res_indptr[:-1][nonempty]
+        ]
+        self.res_base = base
+
+    def _theta_cdf(self, uid: int) -> np.ndarray:
+        return np.cumsum(
+            self.weight_flat_arr[self.loc_indptr[uid]:self.loc_indptr[uid + 1]]
+        )
+
+    def _user_locs(self, uid: int) -> np.ndarray:
+        return self.loc_flat_arr[self.loc_indptr[uid]:self.loc_indptr[uid + 1]]
+
+    def _friend_cdf(self, x: int) -> np.ndarray:
+        cached = self._friend_cdf_cache.get(x)
+        if cached is None:
+            cfg = self.config
+            d = np.maximum(self.distance[x], cfg.min_distance_miles)
+            cached = np.cumsum(self.mass * d**cfg.alpha)
+            self._friend_cdf_cache[x] = cached
+        return cached
+
+    # -- phase 2: following edges ------------------------------------------
+
+    def sample_following(self):
+        cfg = self.config
+        rng_celeb = _shard_rng(cfg.seed, 4, 0)
+        ranks = rng_celeb.permutation(cfg.n_users) + 1
+        celeb_cdf = np.cumsum(
+            1.0 / ranks.astype(np.float64) ** cfg.celebrity_zipf
+        )
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        x_parts: list[np.ndarray] = []
+        y_parts: list[np.ndarray] = []
+        noise_parts: list[np.ndarray] = []
+        for shard, (lo, hi) in enumerate(self.shard_bounds):
+            rng = _shard_rng(cfg.seed, 2, shard)
+            m = hi - lo
+            if m == 0:
+                continue
+            degrees = np.maximum(1, rng.poisson(cfg.mean_friends, size=m))
+            for local in range(m):
+                uid = lo + local
+                k = int(degrees[local])
+                is_noise = rng.random(k) < cfg.noise_following
+                friends = np.empty(k, dtype=np.int64)
+                xs = np.full(k, -1, dtype=np.int64)
+                ys = np.full(k, -1, dtype=np.int64)
+                n_noise = int(is_noise.sum())
+                if n_noise:
+                    friends[is_noise] = _draw_from_cdf(rng, celeb_cdf, n_noise)
+                rest = np.flatnonzero(~is_noise)
+                if rest.size:
+                    theta_cdf = self._theta_cdf(uid)
+                    locs = self._user_locs(uid)
+                    xs[rest] = locs[
+                        _draw_from_cdf(rng, theta_cdf, rest.size)
+                    ]
+                    for e in rest.tolist():
+                        x = int(xs[e])
+                        y = int(
+                            _draw_from_cdf(rng, self._friend_cdf(x), 1)[0]
+                        )
+                        s, t = self.res_indptr[y], self.res_indptr[y + 1]
+                        if s == t:
+                            # no resident at y: drop (object path retries)
+                            friends[e] = uid
+                            continue
+                        # res_cdf carries the running global cumsum, so
+                        # draw in (base, base + local_total] directly.
+                        u = self.res_base[y] + rng.random() * (
+                            self.res_cdf[t - 1] - self.res_base[y]
+                        )
+                        pick = int(
+                            np.searchsorted(self.res_cdf[s:t], u, side="right")
+                        )
+                        pick = min(pick, t - s - 1)
+                        ys[e] = y
+                        friends[e] = self.res_users[s + pick]
+                # Drop self-follows and duplicate pairs (keep first).
+                keep = friends != uid
+                fr = friends[keep]
+                _, first = np.unique(fr, return_index=True)
+                sel = np.flatnonzero(keep)[np.sort(first)]
+                src_parts.append(np.full(sel.size, uid, dtype=np.int64))
+                dst_parts.append(friends[sel])
+                x_parts.append(xs[sel])
+                y_parts.append(ys[sel])
+                noise_parts.append(is_noise[sel])
+        return (
+            _cat(src_parts, np.int64),
+            _cat(dst_parts, np.int64),
+            _cat(x_parts, np.int64),
+            _cat(y_parts, np.int64),
+            _cat(noise_parts, np.bool_),
+        )
+
+    # -- phase 3: venue mentions -------------------------------------------
+
+    def _psi_cdf(self, location_id: int) -> np.ndarray:
+        cached = self._psi_cdf_cache.get(location_id)
+        if cached is None:
+            cfg = self.config
+            d_row = self.distance[location_id]
+            kernel = (d_row + cfg.venue_d0) ** cfg.venue_kappa
+            local = np.bincount(
+                self.loc_venue,
+                weights=self.gazetteer.populations * kernel,
+                minlength=self.n_venues,
+            )
+            local /= local.sum()
+            psi = (
+                (1.0 - cfg.venue_popularity_mix) * local
+                + cfg.venue_popularity_mix * self.venue_popularity
+            )
+            cached = np.cumsum(psi / psi.sum())
+            self._psi_cdf_cache[location_id] = cached
+        return cached
+
+    def sample_tweeting(self):
+        cfg = self.config
+        user_parts: list[np.ndarray] = []
+        venue_parts: list[np.ndarray] = []
+        z_parts: list[np.ndarray] = []
+        noise_parts: list[np.ndarray] = []
+        for shard, (lo, hi) in enumerate(self.shard_bounds):
+            rng = _shard_rng(cfg.seed, 3, shard)
+            m = hi - lo
+            if m == 0:
+                continue
+            counts = np.maximum(1, rng.poisson(cfg.mean_venues, size=m))
+            for local in range(m):
+                uid = lo + local
+                k = int(counts[local])
+                is_noise = rng.random(k) < cfg.noise_tweeting
+                venues = np.empty(k, dtype=np.int64)
+                zs = np.full(k, -1, dtype=np.int64)
+                n_noise = int(is_noise.sum())
+                if n_noise:
+                    venues[is_noise] = _draw_from_cdf(
+                        rng, self.venue_pop_cdf, n_noise
+                    )
+                rest = np.flatnonzero(~is_noise)
+                if rest.size:
+                    theta_cdf = self._theta_cdf(uid)
+                    locs = self._user_locs(uid)
+                    zs[rest] = locs[_draw_from_cdf(rng, theta_cdf, rest.size)]
+                    for e in rest.tolist():
+                        venues[e] = _draw_from_cdf(
+                            rng, self._psi_cdf(int(zs[e])), 1
+                        )[0]
+                user_parts.append(np.full(k, uid, dtype=np.int64))
+                venue_parts.append(venues)
+                z_parts.append(zs)
+                noise_parts.append(is_noise)
+        return (
+            _cat(user_parts, np.int64),
+            _cat(venue_parts, np.int64),
+            _cat(z_parts, np.int64),
+            _cat(noise_parts, np.bool_),
+        )
+
+
+def _sharded_arrays(
+    config: SyntheticWorldConfig, gazetteer: Gazetteer, shards: int
+) -> tuple[_ShardedArrays, tuple, tuple]:
+    builder = _ShardedArrays(config, gazetteer, shards)
+    builder.sample_users()
+    following = builder.sample_following()
+    tweeting = builder.sample_tweeting()
+    return builder, following, tweeting
+
+
+def generate_columnar_world(
+    config: SyntheticWorldConfig | None = None,
+    gazetteer: Gazetteer | None = None,
+    shards: int = 4,
+) -> ColumnarWorld:
+    """Generate a large synthetic world directly in compiled form.
+
+    The zero-object scale path: users and relationships are sampled
+    shard by shard as flat arrays and compiled straight into a
+    :class:`~repro.data.columnar.ColumnarWorld` -- the full object
+    graph is **never** materialized (generator ground truth is not
+    retained; use :func:`generate_world` with ``shards=`` when
+    evaluation against true homes is needed).  Deterministic given
+    ``(config.seed, shards)``.
+    """
+    config = config or SyntheticWorldConfig()
+    gazetteer = gazetteer or builtin_gazetteer()
+    builder, following, tweeting = _sharded_arrays(config, gazetteer, shards)
+    edge_src, edge_dst = following[0], following[1]
+    tweet_user, tweet_venue = tweeting[0], tweeting[1]
+    return ColumnarWorld.from_edge_arrays(
+        gazetteer,
+        observed_location=builder.registered,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        tweet_user=tweet_user,
+        tweet_venue=tweet_venue,
+    )
+
+
+def _sharded_dataset(
+    config: SyntheticWorldConfig, gazetteer: Gazetteer, shards: int
+) -> Dataset:
+    """Sharded generation, materialized once into the object graph.
+
+    Ground truth is preserved (true homes, location sets, per-edge
+    assignments and noise flags); the compiled world is built from the
+    same arrays and registered on the dataset so the first fit or
+    serving predictor re-indexes nothing.
+    """
+    builder, following, tweeting = _sharded_arrays(config, gazetteer, shards)
+    edge_src, edge_dst, edge_x, edge_y, edge_noise = following
+    tw_user, tw_venue, tw_z, tw_noise = tweeting
+
+    users = []
+    for uid in range(config.n_users):
+        registered = int(builder.registered[uid])
+        locs = builder._user_locs(uid)
+        weights = builder.weight_flat_arr[
+            builder.loc_indptr[uid]:builder.loc_indptr[uid + 1]
+        ]
+        users.append(
+            User(
+                user_id=uid,
+                registered_location=registered if registered >= 0 else None,
+                true_home=int(builder.true_home[uid]),
+                true_locations=tuple(int(l) for l in locs),
+                true_profile_weights=tuple(float(w) for w in weights),
+            )
+        )
+    following_edges = [
+        FollowingEdge(
+            follower=s,
+            friend=d,
+            true_x=None if noise else x,
+            true_y=None if noise else y,
+            is_noise=noise,
+        )
+        for s, d, x, y, noise in zip(
+            edge_src.tolist(),
+            edge_dst.tolist(),
+            edge_x.tolist(),
+            edge_y.tolist(),
+            edge_noise.tolist(),
+        )
+    ]
+    tweeting_edges = [
+        TweetingEdge(
+            user=u,
+            venue_id=v,
+            true_z=None if noise else z,
+            is_noise=noise,
+        )
+        for u, v, z, noise in zip(
+            tw_user.tolist(),
+            tw_venue.tolist(),
+            tw_z.tolist(),
+            tw_noise.tolist(),
+        )
+    ]
+    tweets: list[Tweet] = []
+    if config.render_tweets:
+        rng = _shard_rng(config.seed, 5, 0)
+        venues = gazetteer.venue_vocabulary
+        for u, v in zip(tw_user.tolist(), tw_venue.tolist()):
+            template = _TWEET_TEMPLATES[
+                int(rng.integers(len(_TWEET_TEMPLATES)))
+            ]
+            tweets.append(Tweet(user=u, text=template.format(venue=venues[v])))
+    dataset = Dataset(gazetteer, users, following_edges, tweeting_edges, tweets)
+    world = ColumnarWorld.from_edge_arrays(
+        gazetteer,
+        observed_location=builder.registered,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        tweet_user=tw_user,
+        tweet_venue=tw_venue,
+    )
+    register_world(dataset, world)
+    return dataset

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 
 
@@ -61,29 +62,38 @@ def _round_opt(x: float | None) -> float | None:
 
 
 def compute_stats(dataset: Dataset) -> DatasetStats:
-    """Compute :class:`DatasetStats` for a dataset."""
-    n = dataset.n_users
-    mean_friends = dataset.n_following / n if n else 0.0
+    """Compute :class:`DatasetStats` for a dataset.
+
+    Count and coverage statistics read the shared compiled
+    :class:`~repro.data.columnar.ColumnarWorld` (memoized, so a dataset
+    that was already fitted or served costs nothing extra to
+    summarize); only the generator ground-truth fields (noise flags,
+    true homes) still come from the object graph, because they are
+    deliberately not part of the compiled substrate.
+    """
+    world = compile_world(dataset)
+    n = world.n_users
+    mean_friends = world.n_following / n if n else 0.0
     mean_followers = mean_friends  # every edge has one follower, one friend
-    mean_venues = dataset.n_tweeting / n if n else 0.0
-    labeled_fraction = len(dataset.labeled_user_ids) / n if n else 0.0
+    mean_venues = world.n_tweeting / n if n else 0.0
+    labeled_fraction = int(world.labeled_mask.sum()) / n if n else 0.0
 
     noise_f = _noise_fraction([e.is_noise for e in dataset.following])
     noise_t = _noise_fraction([t.is_noise for t in dataset.tweeting])
 
     if dataset.has_ground_truth:
         multi = len(dataset.multi_location_user_ids()) / n if n else 0.0
-        coverage = _candidacy_coverage(dataset)
+        coverage = _candidacy_coverage(dataset, world)
     else:
         multi = None
         coverage = None
 
     return DatasetStats(
         n_users=n,
-        n_locations=len(dataset.gazetteer),
-        n_venues=len(dataset.gazetteer.venue_vocabulary),
-        n_following=dataset.n_following,
-        n_tweeting=dataset.n_tweeting,
+        n_locations=world.n_locations,
+        n_venues=world.n_venues,
+        n_following=world.n_following,
+        n_tweeting=world.n_tweeting,
         labeled_fraction=labeled_fraction,
         mean_friends=mean_friends,
         mean_followers=mean_followers,
@@ -102,33 +112,32 @@ def _noise_fraction(flags: list[bool | None]) -> float | None:
     return sum(known) / len(known)
 
 
-def _candidacy_coverage(dataset: Dataset) -> float:
+def _candidacy_coverage(dataset: Dataset, world: ColumnarWorld) -> float:
     """Fraction of users whose true home appears in their relationships.
 
     "Appears" means: a labeled neighbour registered that location, or a
     tweeted venue name has that location among its referent cities --
     exactly the evidence the candidacy vector (Sec. 4.3) will use.
+    Neighbourhoods and referents are CSR slices of the compiled world;
+    only ``true_home`` comes from the object graph.
     """
-    gaz = dataset.gazetteer
-    venue_referents: dict[int, set[int]] = {}
-    for vid, name in enumerate(gaz.venue_vocabulary):
-        venue_referents[vid] = {loc.location_id for loc in gaz.lookup_name(name)}
-    observed = dataset.observed_locations
+    observed = world.observed_location
     covered = 0
     for user in dataset.users:
         home = user.true_home
         if home is None:
             continue
-        candidates: set[int] = set()
-        for nb in dataset.neighbors_of[user.user_id]:
-            loc = observed.get(nb)
-            if loc is not None:
-                candidates.add(loc)
-        for vid in dataset.venues_of[user.user_id]:
-            candidates |= venue_referents[vid]
-        if home in candidates:
+        uid = user.user_id
+        if np.any(observed[world.neighbors_of(uid)] == home):
             covered += 1
-    return covered / dataset.n_users if dataset.n_users else 0.0
+            continue
+        for vid in np.unique(world.venues_of(uid)).tolist():
+            referents = world.referents_of(vid)
+            pos = int(np.searchsorted(referents, home))
+            if pos < referents.size and referents[pos] == home:
+                covered += 1
+                break
+    return covered / world.n_users if world.n_users else 0.0
 
 
 def distance_error_summary(errors_miles: np.ndarray) -> dict:

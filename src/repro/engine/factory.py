@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.gibbs import GibbsSampler
 from repro.core.params import MLPParams
 from repro.core.priors import UserPriors
+from repro.data.columnar import ColumnarWorld
 from repro.data.model import Dataset
 from repro.engine.vectorized import VectorizedGibbsSampler
 
@@ -24,7 +25,7 @@ ENGINES: dict[str, type[GibbsSampler]] = {
 
 
 def make_sampler(
-    dataset: Dataset,
+    dataset: Dataset | ColumnarWorld,
     params: MLPParams,
     priors: UserPriors | None = None,
     alpha: float | None = None,
@@ -32,9 +33,10 @@ def make_sampler(
 ) -> GibbsSampler:
     """Construct the sampler selected by ``params.engine``.
 
-    Arguments mirror :class:`~repro.core.gibbs.GibbsSampler`; the
-    engine name is validated by :class:`~repro.core.params.MLPParams`,
-    so an unknown name can only reach this point through a bypassed
+    Arguments mirror :class:`~repro.core.gibbs.GibbsSampler` (either a
+    dataset or an already-compiled world is accepted); the engine name
+    is validated by :class:`~repro.core.params.MLPParams`, so an
+    unknown name can only reach this point through a bypassed
     constructor -- fail loudly in that case too.
     """
     try:

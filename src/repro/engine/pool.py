@@ -35,6 +35,7 @@ from repro.core.convergence import ConvergenceTrace, potential_scale_reduction
 from repro.core.gibbs_em import run_inference
 from repro.core.params import MLPParams
 from repro.core.state import EdgeAssignmentTally
+from repro.data.columnar import ColumnarWorld, compile_world
 from repro.data.model import Dataset
 from repro.mathx.powerlaw import PowerLaw
 
@@ -77,13 +78,16 @@ def _run_chain(payload) -> ChainResult:
     """Worker: run one full inference and trim the result.
 
     Module-level so it pickles under every multiprocessing start
-    method.  ``priors`` is the shared, seed-independent prior structure
-    (built once by the pool instead of once per chain); the power-law
-    fit stays per-chain because it samples with the chain's seed.
+    method.  ``world`` is the compiled :class:`ColumnarWorld` (compiled
+    once by the pool, shared read-only by every chain -- across
+    processes only the flat arrays travel, never the object graph);
+    ``priors`` is the shared, seed-independent prior structure.  The
+    power-law fit stays per-chain because it samples with the chain's
+    seed.
     """
-    dataset, params, priors, chain_index, seed = payload
+    world, params, priors, chain_index, seed = payload
     chain_params = params.with_overrides(seed=seed, n_chains=1)
-    run = run_inference(dataset, chain_params, priors=priors)
+    run = run_inference(world, chain_params, priors=priors)
     sampler = run.sampler
     state = sampler.state
     return ChainResult(
@@ -172,7 +176,11 @@ class ChainPool:
     Parameters
     ----------
     dataset:
-        The profiling problem (shared read-only across chains).
+        The profiling problem: a :class:`Dataset` or an
+        already-compiled :class:`~repro.data.columnar.ColumnarWorld`.
+        The pool compiles at most once (memoized) and shares the
+        compiled world read-only across all chains -- worker processes
+        receive only the flat arrays, not the object graph.
     params:
         Base hyper-parameters.  ``params.seed`` anchors the seed
         schedule, ``params.engine`` picks the sweep implementation for
@@ -195,13 +203,16 @@ class ChainPool:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Dataset | ColumnarWorld,
         params: MLPParams,
         n_chains: int | None = None,
         processes: int = 1,
         priors=None,
     ):
-        self.dataset = dataset
+        self.world = compile_world(dataset)
+        # Strong ref to the input dataset (memo and backref are weak):
+        # `.dataset` must keep answering with the original object graph.
+        self._source_dataset = dataset if isinstance(dataset, Dataset) else None
         self.params = params
         self.priors = priors
         self.n_chains = params.n_chains if n_chains is None else n_chains
@@ -211,15 +222,22 @@ class ChainPool:
             raise ValueError("processes must be >= 0")
         self.processes = min(max(processes, 1), self.n_chains)
 
+    @property
+    def dataset(self) -> Dataset:
+        """The object-graph view (materialized from the world if needed)."""
+        if self._source_dataset is not None:
+            return self._source_dataset
+        return self.world.require_dataset()
+
     def run(self) -> PooledPosterior:
         """Execute every chain and aggregate."""
         priors = self.priors
         if priors is None:
             from repro.core.priors import build_user_priors
 
-            priors = build_user_priors(self.dataset, self.params)
+            priors = build_user_priors(self.world, self.params)
         payloads = [
-            (self.dataset, self.params, priors, c, seed)
+            (self.world, self.params, priors, c, seed)
             for c, seed in enumerate(chain_seeds(self.params.seed, self.n_chains))
         ]
         if self.processes <= 1:

@@ -21,6 +21,10 @@ evolving counts:
   expression the loop engine evaluates -- so the arena stays
   bit-identical to a fresh computation.  Per-edge weight lookups are
   then plain views: no gather, no add, no allocation in the hot loop.
+  The arena *skeleton* (slot offsets, gather indices, flat gamma) is
+  the shared :meth:`~repro.core.priors.UserPriors.packed` layout,
+  built once per priors instance and reused by every chain of a pool
+  instead of being reconstructed per fit.
 - **tracked assignment positions**: each edge remembers the arena slot
   of its current assignment, so count updates are index arithmetic
   (the inverse-CDF draw index *is* the slot offset) instead of
@@ -82,14 +86,19 @@ class VectorizedGibbsSampler(GibbsSampler):
     # -- layout ----------------------------------------------------------
 
     def _build_layout(self) -> None:
-        """Static per-edge geometry: views, indices, scratch buffers."""
+        """Static per-edge geometry: views, indices, scratch buffers.
+
+        The arena skeleton (slot offsets, gather indices, flat gamma)
+        is the shared :meth:`~repro.core.priors.UserPriors.packed`
+        layout: built once per priors instance and reused by every
+        chain of a pool instead of being reconstructed per fit.
+        """
         priors = self.priors
         cands = priors.candidates
-        gammas = priors.gamma
         gamma_sum = priors.gamma_sum
-        n_users = self.dataset.n_users
+        n_users = self.world.n_users
         n_loc = self.state.user_counts.phi.shape[1]
-        n_ven = len(self.dataset.gazetteer.venue_vocabulary)
+        n_ven = self.world.n_venues
         self._n_loc = n_loc
         self._n_ven = n_ven
         self._phi_flat = self.state.user_counts.phi.reshape(-1)
@@ -97,31 +106,16 @@ class VectorizedGibbsSampler(GibbsSampler):
         # Collapsed-profile arena: phi[u, candidates[u]] + gamma[u],
         # packed per user.  _raw_counts mirrors the un-smoothed counts
         # as Python floats so patches can recompute cells exactly.
-        offsets = [0]
-        for u in range(n_users):
-            offsets.append(offsets[-1] + cands[u].size)
-        self._arena_offsets = offsets
-        self._cand_arena = np.empty(offsets[-1], dtype=np.float64)
-        self._arena_src = (
-            np.concatenate([u * n_loc + cands[u] for u in range(n_users)])
-            if n_users
-            else np.empty(0, dtype=np.int64)
-        )
-        self._gamma_flat = (
-            np.concatenate([gammas[u] for u in range(n_users)])
-            if n_users
-            else np.empty(0, dtype=np.float64)
-        )
-        self._gamma_vals = self._gamma_flat.tolist()
+        pack = priors.packed()
+        self._arena_offsets = pack.offsets
+        self._cand_arena = np.empty(pack.total_slots, dtype=np.float64)
+        self._arena_src = pack.flat_candidates + n_loc * pack.slot_user
+        self._gamma_flat = pack.flat_gamma
+        self._gamma_vals = pack.gamma_list
         self._raw_counts: list[float] = []
+        offsets = pack.offsets.tolist()
         arena_views = [
             self._cand_arena[offsets[u]:offsets[u + 1]]
-            for u in range(n_users)
-        ]
-        # location id -> arena slot, per user (used only to rebuild
-        # tracked positions after (re)initialization).
-        self._arena_pos = [
-            {int(loc): offsets[u] + p for p, loc in enumerate(cands[u])}
             for u in range(n_users)
         ]
 
@@ -224,22 +218,30 @@ class VectorizedGibbsSampler(GibbsSampler):
             self._rebuild_positions()
 
     def _rebuild_positions(self) -> None:
-        """Map current assignments to arena slots (post-initialize)."""
+        """Map current assignments to arena slots (post-initialize).
+
+        Candidate arrays are sorted and assignments are always drawn
+        from them, so the slot is ``offset + searchsorted`` -- no
+        per-user position dictionaries needed.
+        """
         state = self.state
-        pos = self._arena_pos
+        cands = self.priors.candidates
+        offsets = self._arena_offsets
+        searchsorted = np.searchsorted
         for s, (mu, x, y) in enumerate(
             zip(state.mu.tolist(), state.x.tolist(), state.y.tolist())
         ):
             if mu == 0:
                 i = int(self._followers[s])
                 j = int(self._friends[s])
-                self._x_pos[s] = pos[i][x]
-                self._y_pos[s] = pos[j][y]
+                self._x_pos[s] = int(offsets[i]) + int(searchsorted(cands[i], x))
+                self._y_pos[s] = int(offsets[j]) + int(searchsorted(cands[j], y))
         for k, (nu, z) in enumerate(
             zip(state.nu.tolist(), state.z.tolist())
         ):
             if nu == 0:
-                self._z_pos[k] = pos[int(self._tw_users[k])][z]
+                u = int(self._tw_users[k])
+                self._z_pos[k] = int(offsets[u]) + int(searchsorted(cands[u], z))
         self._positions_dirty = False
 
     def _refresh_arena(self) -> None:

@@ -40,12 +40,25 @@ from repro.core.results import (
     TweetExplanation,
 )
 from repro.core.state import EdgeAssignmentTally
+from repro.data.columnar import (
+    WORLD_ARRAY_KEYS,
+    ColumnarWorld,
+    compile_world,
+    register_world,
+)
 from repro.data.io import dataset_from_payload, dataset_to_payload
 from repro.engine.pool import ChainResult, PooledPosterior
 from repro.mathx.powerlaw import PowerLaw
 
-#: Artifact format version; bump on any layout change.
-ARTIFACT_VERSION = 1
+#: Artifact format version written by this build; bump on any layout
+#: change.  Version 2 added the persisted columnar world
+#: (``world_*`` arrays + ``world_hash`` metadata).
+ARTIFACT_VERSION = 2
+
+#: Versions this build can read.  Version-1 artifacts (no persisted
+#: world) load fine -- the world is recompiled from the dataset on
+#: first use.
+SUPPORTED_ARTIFACT_VERSIONS = (1, 2)
 
 #: Conventional artifact file suffix (not enforced).
 ARTIFACT_SUFFIX = ".mlp.npz"
@@ -337,6 +350,13 @@ def save_result(result: MLPResult, path: str | Path) -> str:
     if result.venue_counts is not None:
         arrays["venue_counts"] = result.venue_counts
 
+    # Persist the compiled columnar world (memoized: a result fitted in
+    # this process reuses the fit's world), so loading the artifact
+    # re-attaches the index instead of re-deriving it.
+    world = compile_world(result.dataset)
+    for key, arr in world.to_arrays().items():
+        arrays[f"world_{key}"] = arr
+
     posterior_meta = None
     if result.posterior is not None:
         posterior_meta, posterior_arrays = _pack_posterior(result.posterior)
@@ -351,6 +371,7 @@ def save_result(result: MLPResult, path: str | Path) -> str:
         "n_locations": len(result.dataset.gazetteer),
         "n_venues": len(result.dataset.gazetteer.venue_vocabulary),
         "has_venue_counts": result.venue_counts is not None,
+        "world_hash": world.content_hash,
         "posterior": posterior_meta,
     }
     # Write through an open handle: np.savez would otherwise append
@@ -384,10 +405,10 @@ def _open_artifact(path: str | Path):
     except (json.JSONDecodeError, ValueError) as exc:
         raise ArtifactError(f"{path}: corrupted artifact metadata") from exc
     version = meta.get("format_version")
-    if version != ARTIFACT_VERSION:
+    if version not in SUPPORTED_ARTIFACT_VERSIONS:
         raise ArtifactError(
             f"{path}: unsupported artifact format version {version!r} "
-            f"(this build reads version {ARTIFACT_VERSION})"
+            f"(this build reads versions {SUPPORTED_ARTIFACT_VERSIONS})"
         )
     return meta, data
 
@@ -404,6 +425,19 @@ def load_result(path: str | Path) -> MLPResult:
     meta, data = _open_artifact(path)
     try:
         dataset = dataset_from_payload(json.loads(str(data["dataset_json"][()])))
+        if meta.get("world_hash") is not None:
+            # Re-attach the persisted columnar world: consumers (fold-in,
+            # evaluation) then share the saved index with zero re-indexing.
+            world = ColumnarWorld.from_arrays(
+                dataset.gazetteer,
+                {key: data[f"world_{key}"] for key in WORLD_ARRAY_KEYS},
+            )
+            if world.content_hash != meta["world_hash"]:
+                raise ArtifactError(
+                    f"{path}: persisted columnar world does not match its "
+                    "recorded content hash (corrupted artifact)"
+                )
+            register_world(dataset, world)
         params = MLPParams(**meta["params"])
         posterior = (
             _unpack_posterior(meta["posterior"], data)

@@ -47,9 +47,9 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.model import MLPResult
-from repro.core.priors import venue_referent_map
 from repro.core.results import LocationProfile
 from repro.core.tweeting import RandomTweetingModel
+from repro.data.columnar import compile_world
 from repro.geo.gazetteer import normalize_place_name
 from repro.serving.cache import LRUCache
 
@@ -189,10 +189,15 @@ class FoldInPredictor:
         self.tolerance = tolerance
         self.cache = LRUCache(cache_size)
 
-        dataset = result.dataset
-        gaz = dataset.gazetteer
-        self.n_locations = len(gaz)
-        self.n_venues = len(gaz.venue_vocabulary)
+        #: The shared compiled substrate.  When the result came out of a
+        #: fit in this process (or an artifact that persisted its world),
+        #: the memoized compile returns the existing world -- serving
+        #: re-derives nothing.
+        world = compile_world(result.dataset)
+        self.world = world
+        gaz = world.gazetteer
+        self.n_locations = world.n_locations
+        self.n_venues = world.n_venues
         #: Eq. 1 over every location pair under the *fitted* law
         #: (beta included -- the selector balance needs it).
         self._law_matrix = result.fitted_law(gaz.distance_matrix)
@@ -203,12 +208,11 @@ class FoldInPredictor:
             totals + delta * self.n_venues
         )[:, None]
         self._fr_noise = result.params.rho_f * (
-            dataset.n_following / float(dataset.n_users * dataset.n_users)
+            world.n_following / float(world.n_users * world.n_users)
         )
-        self._tr_probs = RandomTweetingModel.from_dataset(
-            dataset
+        self._tr_probs = RandomTweetingModel.from_world(
+            world
         ).venue_probabilities
-        self._referents = venue_referent_map(dataset)
         #: Sparse frozen neighbour profiles as parallel arrays.
         self._profile_locs = [
             np.array([loc for loc, _ in p.entries], dtype=np.int64)
@@ -223,14 +227,15 @@ class FoldInPredictor:
 
     def spec_for_training_user(self, user_id: int) -> UserSpec:
         """The spec that replays a training user's exact evidence."""
-        dataset = self.dataset
-        if not 0 <= user_id < dataset.n_users:
+        world = self.world
+        if not 0 <= user_id < world.n_users:
             raise ValueError(f"user {user_id} not in the training set")
+        observed = int(world.observed_location[user_id])
         return UserSpec(
-            friends=dataset.friends_of[user_id],
-            followers=dataset.followers_of[user_id],
-            venues=dataset.venues_of[user_id],
-            observed_location=dataset.observed_locations.get(user_id),
+            friends=tuple(world.friends_of(user_id).tolist()),
+            followers=tuple(world.followers_of(user_id).tolist()),
+            venues=tuple(world.venues_of(user_id).tolist()),
+            observed_location=observed if observed >= 0 else None,
         )
 
     def resolve_request(self, payload: dict) -> UserSpec:
@@ -261,7 +266,7 @@ class FoldInPredictor:
                 )
             return self.spec_for_training_user(int(payload["user_id"]))
         venues = [int(v) for v in payload.get("venues", ())]
-        index = self.dataset.gazetteer.venue_index
+        index = self.world.gazetteer.venue_index
         for name in payload.get("venue_names", ()):
             key = normalize_place_name(str(name))
             if key not in index:
@@ -281,7 +286,7 @@ class FoldInPredictor:
         return spec
 
     def _validate(self, spec: UserSpec) -> None:
-        n = self.dataset.n_users
+        n = self.world.n_users
         for uid in spec.friends + spec.followers:
             if not 0 <= uid < n:
                 raise ValueError(f"unknown neighbour user id {uid}")
@@ -298,21 +303,27 @@ class FoldInPredictor:
     # -- prior construction (mirrors core.priors) --------------------------
 
     def _candidates_for(self, spec: UserSpec) -> tuple[np.ndarray, np.ndarray]:
-        """Candidacy vector and gamma prior, exactly as in training."""
+        """Candidacy vector and gamma prior, exactly as in training.
+
+        Reads the compiled world's user table and referent CSR -- the
+        same arrays prior construction used during training, so a
+        replayed training user gets byte-identical candidacy.
+        """
         params = self.params
-        observed = self.dataset.observed_locations
+        world = self.world
+        observed = world.observed_location
         cand_set: set[int] = set()
         if params.use_candidacy:
             if spec.observed_location is not None:
                 cand_set.add(spec.observed_location)
             if params.use_following:
                 for nb in set(spec.friends) | set(spec.followers):
-                    loc = observed.get(nb)
-                    if loc is not None:
+                    loc = int(observed[nb])
+                    if loc >= 0:
                         cand_set.add(loc)
             if params.use_tweeting:
                 for vid in set(spec.venues):
-                    cand_set.update(self._referents[vid])
+                    cand_set.update(world.referents_of(vid).tolist())
         if cand_set:
             cand = np.array(sorted(cand_set), dtype=np.int64)
         else:
@@ -458,7 +469,7 @@ class FoldInPredictor:
         """
         if direction not in ("out", "in"):
             raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
-        if not 0 <= neighbor < self.dataset.n_users:
+        if not 0 <= neighbor < self.world.n_users:
             raise ValueError(f"unknown neighbour user id {neighbor}")
         solution = self._solve(spec)
         cand = solution.candidates

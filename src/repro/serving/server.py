@@ -18,9 +18,11 @@ statement as endpoints:
 - ``GET /artifact``        -- the artifact's identity and parameters.
 
 Requests and responses are JSON; errors come back as
-``{"error": ...}`` with a 400 (bad request) or 404 (unknown route).
-Each connection is handled on its own thread -- the predictor's LRU
-cache is the only shared mutable state and is lock-protected.
+``{"error": ...}`` with a 400 (bad request), a 404 (unknown route) or
+-- when a known route is hit with the wrong HTTP method -- a 405 with
+an ``Allow`` header naming the supported method.  Each connection is
+handled on its own thread -- the predictor's LRU cache is the only
+shared mutable state and is lock-protected.
 """
 
 from __future__ import annotations
@@ -34,6 +36,18 @@ from repro.serving.foldin import FoldInPredictor, prediction_payload
 #: Cap on accepted request bodies (1 MiB): a serving endpoint should
 #: never need more, and the cap bounds memory per connection.
 MAX_BODY_BYTES = 1 << 20
+
+#: The single route table: route -> handler method name.  Both method
+#: dispatch and 405-vs-404 classification read it, so a route added
+#: here automatically gets the right ``Allow`` header everywhere.
+GET_HANDLERS = {"/healthz": "_healthz", "/artifact": "_artifact"}
+POST_HANDLERS = {
+    "/predict-home": "_predict_home",
+    "/profile": "_profile",
+    "/explain-edge": "_explain_edge",
+}
+GET_ROUTES = tuple(GET_HANDLERS)
+POST_ROUTES = tuple(POST_HANDLERS)
 
 
 class ServingServer(ThreadingHTTPServer):
@@ -67,17 +81,41 @@ class ServingHandler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # Tell keep-alive clients the socket is going away (set on
             # error paths that leave the request body unread).
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _reject_unknown(self, allowed: str | None) -> None:
+        """404 for an unknown route, 405 + Allow for a known one.
+
+        Either way the request body (if any) was never read: close so a
+        keep-alive client cannot desync on the leftover bytes.
+        """
+        self.close_connection = True
+        if allowed is not None:
+            self._send_json(
+                405,
+                {
+                    "error": (
+                        f"method not allowed for {self.path}; use {allowed}"
+                    )
+                },
+                extra_headers={"Allow": allowed},
+            )
+        else:
+            self._send_json(404, {"error": f"unknown route {self.path}"})
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -100,56 +138,63 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        name = GET_HANDLERS.get(self.path)
+        if name is None:
+            self._reject_unknown("POST" if self.path in POST_ROUTES else None)
+            return
+        self._send_json(200, getattr(self, name)())
+
+    def _healthz(self) -> dict:
         predictor = self.server.predictor
-        if self.path == "/healthz":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "artifact_id": predictor.artifact_id,
-                    "users": predictor.dataset.n_users,
-                    "cache": predictor.cache.stats(),
-                },
-            )
-        elif self.path == "/artifact":
-            dataset = predictor.dataset
-            self._send_json(
-                200,
-                {
-                    "artifact_id": predictor.artifact_id,
-                    "params": asdict(predictor.params),
-                    "users": dataset.n_users,
-                    "following": dataset.n_following,
-                    "tweeting": dataset.n_tweeting,
-                    "locations": len(dataset.gazetteer),
-                    "venues": len(dataset.gazetteer.venue_vocabulary),
-                    "fitted_law": {
-                        "alpha": predictor.result.fitted_law.alpha,
-                        "beta": predictor.result.fitted_law.beta,
-                    },
-                },
-            )
+        return {
+            "status": "ok",
+            "artifact_id": predictor.artifact_id,
+            "users": predictor.world.n_users,
+            "cache": predictor.cache.stats(),
+        }
+
+    def _artifact(self) -> dict:
+        predictor = self.server.predictor
+        world = predictor.world
+        return {
+            "artifact_id": predictor.artifact_id,
+            "params": asdict(predictor.params),
+            "users": world.n_users,
+            "following": world.n_following,
+            "tweeting": world.n_tweeting,
+            "locations": world.n_locations,
+            "venues": world.n_venues,
+            "fitted_law": {
+                "alpha": predictor.result.fitted_law.alpha,
+                "beta": predictor.result.fitted_law.beta,
+            },
+        }
+
+    # -- other methods -----------------------------------------------------
+
+    def _do_unsupported(self) -> None:
+        """PUT/DELETE/PATCH: 405 on known routes, 404 otherwise."""
+        if self.path in GET_ROUTES:
+            self._reject_unknown("GET")
+        elif self.path in POST_ROUTES:
+            self._reject_unknown("POST")
         else:
-            self._send_json(404, {"error": f"unknown route {self.path}"})
+            self._reject_unknown(None)
+
+    do_PUT = _do_unsupported  # noqa: N815 (stdlib handler contract)
+    do_DELETE = _do_unsupported  # noqa: N815
+    do_PATCH = _do_unsupported  # noqa: N815
 
     # -- POST --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
-        routes = {
-            "/predict-home": self._predict_home,
-            "/profile": self._profile,
-            "/explain-edge": self._explain_edge,
-        }
-        handler = routes.get(self.path)
-        if handler is None:
-            # The request body was never read: close instead of letting
-            # a keep-alive client desync on the leftover bytes.
-            self.close_connection = True
-            self._send_json(404, {"error": f"unknown route {self.path}"})
+        name = POST_HANDLERS.get(self.path)
+        if name is None:
+            self._reject_unknown("GET" if self.path in GET_ROUTES else None)
             return
         try:
             payload = self._read_json()
-            self._send_json(200, handler(payload))
+            self._send_json(200, getattr(self, name)(payload))
         except (_RequestError, ValueError, KeyError, TypeError) as exc:
             self._send_json(400, {"error": str(exc)})
 

@@ -105,6 +105,56 @@ class TestGenerate:
         assert load_dataset(path).tweets
 
 
+class TestInfo:
+    def test_prints_runtime_versions(self, capsys):
+        import numpy as np
+
+        import repro
+        from repro.serving.artifacts import ARTIFACT_VERSION
+
+        rc = main(["info"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == repro.__version__
+        assert payload["engines"] == ["loop", "vectorized"]
+        assert payload["numpy"] == np.__version__
+        assert payload["artifact_format_version"] == ARTIFACT_VERSION
+        assert payload["python"].count(".") == 2
+
+    def test_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "info" in capsys.readouterr().out
+
+
+class TestGenerateSharded:
+    def test_shards_flag_writes_loadable_dataset(self, tmp_path, capsys):
+        path = tmp_path / "sharded.json"
+        rc = main(
+            ["generate", str(path), "--users", "80", "--seed", "2",
+             "--shards", "4"]
+        )
+        assert rc == 0
+        from repro.data.io import load_dataset
+
+        ds = load_dataset(path)
+        assert ds.n_users == 80
+        assert ds.has_ground_truth
+
+    def test_shards_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["generate", str(a), "--users", "60", "--seed", "5", "--shards", "3"])
+        main(["generate", str(b), "--users", "60", "--seed", "5", "--shards", "3"])
+        assert a.read_text() == b.read_text()
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "x.json", "--shards", "0"]
+            )
+
+
 class TestStats:
     def test_prints_json(self, saved_world, capsys):
         rc = main(["stats", str(saved_world)])

@@ -184,3 +184,86 @@ class TestCustomGazetteer:
         ds = generate_world(SyntheticWorldConfig(n_users=50, seed=1), gazetteer=gaz)
         assert ds.n_users == 50
         assert len(ds.gazetteer) == 40
+
+
+class TestShardedGenerator:
+    """The array-native sharded path: determinism, shape, compile-once."""
+
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        return generate_world(
+            SyntheticWorldConfig(n_users=400, seed=21), shards=4
+        )
+
+    def test_deterministic_given_seed_and_shards(self, sharded):
+        again = generate_world(
+            SyntheticWorldConfig(n_users=400, seed=21), shards=4
+        )
+        assert [u for u in again.users] == [u for u in sharded.users]
+        assert again.following == sharded.following
+        assert again.tweeting == sharded.tweeting
+
+    def test_shard_count_changes_stream(self, sharded):
+        other = generate_world(
+            SyntheticWorldConfig(n_users=400, seed=21), shards=2
+        )
+        assert other.following != sharded.following
+
+    def test_ground_truth_preserved(self, sharded):
+        assert sharded.has_ground_truth
+        for user in sharded.users:
+            assert user.true_home == user.true_locations[0]
+            weights = np.array(user.true_profile_weights)
+            assert weights[0] == weights.max()
+            assert abs(weights.sum() - 1.0) < 1e-9
+            if user.is_labeled:
+                assert user.registered_location == user.true_home
+
+    def test_noise_edges_carry_no_assignments(self, sharded):
+        for edge in sharded.following:
+            if edge.is_noise:
+                assert edge.true_x is None and edge.true_y is None
+            else:
+                assert edge.true_x in sharded.users[edge.follower].true_locations
+
+    def test_no_self_follows_or_duplicates(self, sharded):
+        pairs = [(e.follower, e.friend) for e in sharded.following]
+        assert len(pairs) == len(set(pairs))
+        assert all(f != g for f, g in pairs)
+
+    def test_statistical_shape(self):
+        ds = generate_world(
+            SyntheticWorldConfig(n_users=1500, seed=3), shards=8
+        )
+        stats = compute_stats(ds)
+        # Dropped duplicates shave the configured mean; the shape holds.
+        assert 6.0 <= stats.mean_friends <= 11.0
+        assert 11.0 <= stats.mean_venues <= 17.0
+        assert 0.7 <= stats.labeled_fraction <= 0.9
+        assert 0.08 <= stats.noise_following_fraction <= 0.18
+        assert 0.15 <= stats.noise_tweeting_fraction <= 0.26
+        assert stats.candidacy_coverage >= 0.85
+
+    def test_compiled_world_registered(self, sharded):
+        from repro.data import columnar
+
+        before = columnar.compile_count()
+        world = columnar.compile_world(sharded)
+        assert columnar.compile_count() == before  # pre-registered
+        assert world.n_users == sharded.n_users
+
+    def test_columnar_only_path_matches_dataset_path(self):
+        from repro.data.columnar import compile_world
+        from repro.data.generator import generate_columnar_world
+
+        cfg = SyntheticWorldConfig(n_users=150, seed=9)
+        via_dataset = compile_world(generate_world(cfg, shards=3))
+        bare = generate_columnar_world(cfg, shards=3)
+        assert bare.content_hash == via_dataset.content_hash
+
+    def test_render_tweets(self):
+        ds = generate_world(
+            SyntheticWorldConfig(n_users=60, seed=4, render_tweets=True),
+            shards=2,
+        )
+        assert len(ds.tweets) == ds.n_tweeting

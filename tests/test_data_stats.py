@@ -87,6 +87,78 @@ class TestComputeStats:
         assert "candidacy_coverage" in d
 
 
+class TestDegenerateDatasets:
+    """compute_stats must stay well-defined on pathological worlds."""
+
+    def test_empty_world(self, gaz):
+        stats = compute_stats(Dataset(gaz, [], [], []))
+        assert stats.n_users == 0
+        assert stats.n_following == 0
+        assert stats.n_tweeting == 0
+        assert stats.labeled_fraction == 0.0
+        assert stats.mean_friends == 0.0
+        assert stats.mean_followers == 0.0
+        assert stats.mean_venues == 0.0
+        assert stats.noise_following_fraction is None
+        assert stats.noise_tweeting_fraction is None
+        # vacuously ground-truthed: fractions are defined and zero
+        assert stats.multi_location_fraction == 0.0
+        assert stats.candidacy_coverage == 0.0
+        # and the dict rendering survives too
+        assert stats.as_dict()["users"] == 0
+
+    def test_users_with_no_edges(self, gaz):
+        ds = Dataset(
+            gaz,
+            [
+                User(0, registered_location=0, true_home=0,
+                     true_locations=(0,), true_profile_weights=(1.0,)),
+                User(1, true_home=1, true_locations=(1,),
+                     true_profile_weights=(1.0,)),
+            ],
+            [],
+            [],
+        )
+        stats = compute_stats(ds)
+        assert stats.mean_friends == 0.0
+        assert stats.mean_venues == 0.0
+        assert stats.labeled_fraction == 0.5
+        assert stats.noise_following_fraction is None
+        # no relationships -> nobody's home is observable from them
+        assert stats.candidacy_coverage == 0.0
+
+    def test_single_venue_world(self):
+        # One-city gazetteer: exactly one venue name, one referent.
+        gaz = Gazetteer([Location(0, "Solo", "NV", 39.5, -116.0, 10)])
+        ds = Dataset(
+            gaz,
+            [
+                User(0, true_home=0, true_locations=(0,),
+                     true_profile_weights=(1.0,)),
+                User(1, registered_location=0, true_home=0,
+                     true_locations=(0,), true_profile_weights=(1.0,)),
+            ],
+            [FollowingEdge(0, 1)],
+            [TweetingEdge(0, 0), TweetingEdge(1, 0)],
+        )
+        stats = compute_stats(ds)
+        assert stats.n_venues == 1
+        assert stats.n_locations == 1
+        assert stats.mean_venues == 1.0
+        # user 0 covered twice over (labeled neighbour + venue referent),
+        # user 1 covered by its own tweeted venue
+        assert stats.candidacy_coverage == 1.0
+
+    def test_empty_world_compiles(self, gaz):
+        """The degenerate cases flow through the columnar substrate."""
+        from repro.data.columnar import compile_world
+
+        world = compile_world(Dataset(gaz, [], [], []))
+        assert world.n_users == 0
+        assert world.n_following == 0
+        assert world.labeled_mask.size == 0
+
+
 class TestDistanceErrorSummary:
     def test_empty(self):
         assert distance_error_summary(np.array([])) == {"count": 0}

@@ -203,3 +203,108 @@ class TestErrors:
             zf.writestr("readme.txt", "hello")
         with pytest.raises(ArtifactError):
             load_result(path)
+
+
+class TestWorldPersistence:
+    """Artifacts carry the compiled columnar world: load re-attaches it."""
+
+    def test_world_arrays_persisted(self, loop_result, tmp_path):
+        from repro.data.columnar import WORLD_ARRAY_KEYS, compile_world
+
+        path = tmp_path / "w.mlp.npz"
+        save_result(loop_result, path)
+        meta = artifact_metadata(path)
+        assert meta["world_hash"] == compile_world(
+            loop_result.dataset
+        ).content_hash
+        with np.load(path) as data:
+            for key in WORLD_ARRAY_KEYS:
+                assert f"world_{key}" in data.files
+
+    def test_load_reattaches_without_recompiling(self, loop_result, tmp_path):
+        from repro.data import columnar
+
+        path = tmp_path / "w.mlp.npz"
+        save_result(loop_result, path)
+        loaded = load_result(path)
+        before = columnar.compile_count()
+        world = columnar.compile_world(loaded.dataset)
+        assert columnar.compile_count() == before  # no re-index on load
+        assert world.content_hash == columnar.compile_world(
+            loop_result.dataset
+        ).content_hash
+
+    def test_foldin_uses_persisted_world(self, loop_result, tmp_path):
+        from repro.data import columnar
+        from repro.serving.foldin import FoldInPredictor
+
+        path = tmp_path / "w.mlp.npz"
+        save_result(loop_result, path)
+        loaded = load_result(path)
+        before = columnar.compile_count()
+        predictor = FoldInPredictor(loaded)
+        assert columnar.compile_count() == before
+        spec = predictor.spec_for_training_user(0)
+        reference = FoldInPredictor(loop_result).spec_for_training_user(0)
+        assert spec == reference
+
+    def test_corrupted_world_hash_rejected(self, loop_result, tmp_path):
+        path = tmp_path / "w.mlp.npz"
+        save_result(loop_result, path)
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files}
+        meta = json.loads(str(payload["meta"][()]))
+        meta["world_hash"] = "0" * 16
+        payload["meta"] = np.array(json.dumps(meta))
+        bad = tmp_path / "bad.mlp.npz"
+        with open(bad, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        with pytest.raises(ArtifactError, match="content hash"):
+            load_result(bad)
+
+    def test_version1_artifact_without_world_still_loads(
+        self, loop_result, tmp_path
+    ):
+        """Back-compat: pre-world artifacts load; the world is recompiled."""
+        from repro.data import columnar
+
+        path = tmp_path / "w.mlp.npz"
+        save_result(loop_result, path)
+        with np.load(path) as data:
+            payload = {
+                name: data[name]
+                for name in data.files
+                if not name.startswith("world_")
+            }
+        meta = json.loads(str(payload["meta"][()]))
+        meta["format_version"] = 1
+        del meta["world_hash"]
+        payload["meta"] = np.array(json.dumps(meta))
+        legacy = tmp_path / "legacy.mlp.npz"
+        with open(legacy, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        loaded = load_result(legacy)
+        before = columnar.compile_count()
+        columnar.compile_world(loaded.dataset)  # no persisted world: compile
+        assert columnar.compile_count() == before + 1
+
+    def test_materialized_dataset_is_collectable(self):
+        """to_dataset must not pin the world/dataset pair in the memo."""
+        import gc
+        import weakref
+
+        from repro.data.generator import (
+            SyntheticWorldConfig,
+            generate_columnar_world,
+        )
+
+        world = generate_columnar_world(
+            SyntheticWorldConfig(n_users=40, seed=2), shards=2
+        )
+        dataset = world.require_dataset()
+        ref_world = weakref.ref(world)
+        ref_dataset = weakref.ref(dataset)
+        del world, dataset
+        gc.collect()
+        assert ref_dataset() is None
+        assert ref_world() is None

@@ -76,6 +76,56 @@ class TestHealthAndMetadata:
         assert excinfo.value.code == 404
 
 
+class TestMethodNotAllowed:
+    """Known route + wrong method -> 405 with an Allow header."""
+
+    @pytest.mark.parametrize(
+        "route", ["/predict-home", "/profile", "/explain-edge"]
+    )
+    def test_get_on_post_route_405(self, base_url, route):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base_url}{route}")
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "POST"
+        assert "POST" in json.loads(excinfo.value.read())["error"]
+
+    @pytest.mark.parametrize("route", ["/healthz", "/artifact"])
+    def test_post_on_get_route_405(self, base_url, route):
+        status, payload = _post(f"{base_url}{route}", {"x": 1})
+        assert status == 405
+        assert "GET" in payload["error"]
+
+    def test_post_on_get_route_sets_allow_header(self, base_url):
+        request = urllib.request.Request(
+            f"{base_url}/healthz",
+            data=b"{}",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "GET"
+
+    def test_delete_on_known_route_405(self, base_url):
+        request = urllib.request.Request(
+            f"{base_url}/predict-home", method="DELETE"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "POST"
+
+    def test_delete_on_unknown_route_404(self, base_url):
+        request = urllib.request.Request(f"{base_url}/nope", method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_unknown_post_route_still_404(self, base_url):
+        status, payload = _post(f"{base_url}/nope", {"x": 1})
+        assert status == 404
+
+
 class TestPredictHome:
     def test_training_user(self, base_url, predictor):
         status, payload = _post(
