@@ -13,11 +13,13 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## fast benchmark pass: component micro-benches + engine head-to-head
-## + serving throughput + columnar-world compile/fit scaling,
-## writes benchmarks/results/bench_run.json
+## + serving throughput + batch fold-in + columnar-world compile/fit
+## scaling, writes benchmarks/results/bench_run.json and appends to
+## benchmarks/results/bench_trajectory.jsonl
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
-		$(PYTHON) -m pytest bench_components.py bench_serving.py bench_columnar.py -q
+		$(PYTHON) -m pytest bench_components.py bench_serving.py \
+		bench_batch_foldin.py bench_columnar.py -q
 
 ## fail if any public module lacks a module docstring
 docs-check:

@@ -101,9 +101,10 @@ def test_bench_fold_in_throughput(predictor, journal):
     cold_seconds = time.perf_counter() - t0
     cold_rps = len(specs) / cold_seconds
 
-    # Cold through the batch API: still one solve per user (no
-    # cross-user vectorization), so this mainly measures the same path
-    # without the per-call cache clearing above.
+    # Cold through the batch API: past the crossover size this now
+    # runs the vectorized batch engine (bench_batch_foldin.py measures
+    # it at population scale; here it shows up as cold batched > cold
+    # single even on a small dense world).
     predictor.cache.clear()
     t0 = time.perf_counter()
     predictor.predict_batch(specs)

@@ -95,8 +95,34 @@ def journal():
     return record_json
 
 
+def _git_commit() -> str | None:
+    """Best-effort current commit id, for the trajectory journal."""
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the journal with enough metadata to compare runs."""
+    """Persist the journal with enough metadata to compare runs.
+
+    ``bench_run.json`` is the full snapshot of *this* run, overwritten
+    by design; the perf *trajectory* accumulates in
+    ``bench_trajectory.jsonl``: one appended line per run holding the
+    timing entries plus commit, exit status and host metadata, so
+    local performance history survives across runs (CI checkouts are
+    fresh, so each uploaded artifact holds its own run; the stored
+    per-PR artifacts are the cross-PR record).
+    """
     if not _JOURNAL:
         return
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -112,3 +138,12 @@ def pytest_sessionfinish(session, exitstatus):
     out = RESULTS_DIR / "bench_run.json"
     out.write_text(json.dumps(run, indent=2) + "\n")
     print(f"\n[bench] wrote {len(_JOURNAL)} journal entries -> {out}")
+    trajectory_entry = {
+        **{k: v for k, v in run.items() if k != "entries"},
+        "commit": _git_commit(),
+        "timings": [e for e in _JOURNAL if e.get("kind") == "timing"],
+    }
+    trajectory = RESULTS_DIR / "bench_trajectory.jsonl"
+    with trajectory.open("a") as f:
+        f.write(json.dumps(trajectory_entry) + "\n")
+    print(f"[bench] appended run to {trajectory}")

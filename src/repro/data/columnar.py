@@ -56,8 +56,14 @@ from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
 from repro.geo.gazetteer import Gazetteer
 
 
-def _csr(groups: np.ndarray, values: np.ndarray, n_groups: int):
-    """Stable CSR over ``(group, value)`` pairs: values keep input order."""
+def build_csr(groups: np.ndarray, values: np.ndarray, n_groups: int):
+    """Stable CSR over ``(group, value)`` pairs: values keep input order.
+
+    Public because it is the shared ragged-data lowering primitive:
+    the world compiler builds adjacency with it, and the serving batch
+    engine (:mod:`repro.serving.batch`) lowers per-request ``UserSpec``
+    lists into its flat relationship arena through the same call.
+    """
     counts = np.bincount(groups, minlength=n_groups)
     indptr = np.zeros(n_groups + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
@@ -65,7 +71,7 @@ def _csr(groups: np.ndarray, values: np.ndarray, n_groups: int):
     return indptr, np.ascontiguousarray(values[order], dtype=np.int64)
 
 
-def _csr_unique(groups: np.ndarray, values: np.ndarray, n_groups: int):
+def build_unique_csr(groups: np.ndarray, values: np.ndarray, n_groups: int):
     """CSR of the sorted, deduplicated values of each group."""
     if groups.size == 0:
         return np.zeros(n_groups + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
@@ -95,11 +101,14 @@ def location_venue_map(gazetteer: Gazetteer) -> np.ndarray:
     )
 
 
-def _expand_csr(indptr: np.ndarray, indices: np.ndarray, keys: np.ndarray):
+def expand_csr(indptr: np.ndarray, indices: np.ndarray, keys: np.ndarray):
     """Concatenate ``indices[indptr[k]:indptr[k+1]]`` for every key.
 
     Returns ``(repeat_counts, flat_values)``: the classic vectorized
-    CSR gather (no Python loop over keys).
+    CSR gather (no Python loop over keys).  Passing
+    ``indices=np.arange(total)`` turns it into a *position* gather --
+    the batch fold-in engine uses exactly that to compact its arenas
+    down to the still-active users each time some users converge.
     """
     start = indptr[keys]
     cnt = indptr[keys + 1] - start
@@ -251,20 +260,20 @@ class ColumnarWorld:
             labeled, location_venue[np.where(labeled, observed, 0)], -1
         )
 
-        out_indptr, out_indices = _csr(edge_src, edge_dst, n_users)
-        in_indptr, in_indices = _csr(edge_dst, edge_src, n_users)
-        nbr_indptr, nbr_indices = _csr_unique(
+        out_indptr, out_indices = build_csr(edge_src, edge_dst, n_users)
+        in_indptr, in_indices = build_csr(edge_dst, edge_src, n_users)
+        nbr_indptr, nbr_indices = build_unique_csr(
             np.concatenate([edge_src, edge_dst]),
             np.concatenate([edge_dst, edge_src]),
             n_users,
         )
-        uv_indptr, uv_indices = _csr(tweet_user, tweet_venue, n_users)
+        uv_indptr, uv_indices = build_csr(tweet_user, tweet_venue, n_users)
         venue_mention_counts = np.bincount(
             tweet_venue, minlength=n_ven
         ).astype(np.float64)
 
         # venue id -> referent location ids (inverse of location_venue).
-        ref_indptr, ref_indices = _csr_unique(
+        ref_indptr, ref_indices = build_unique_csr(
             location_venue, np.arange(n_loc, dtype=np.int64), n_ven
         )
 
@@ -281,10 +290,10 @@ class ColumnarWorld:
         keep = dst_obs >= 0
         pair_users.append(edge_dst[keep])
         pair_locs.append(dst_obs[keep])
-        rep, ref_locs = _expand_csr(ref_indptr, ref_indices, tweet_venue)
+        rep, ref_locs = expand_csr(ref_indptr, ref_indices, tweet_venue)
         pair_users.append(np.repeat(tweet_user, rep))
         pair_locs.append(ref_locs)
-        cand_indptr, cand_indices = _csr_unique(
+        cand_indptr, cand_indices = build_unique_csr(
             np.concatenate(pair_users), np.concatenate(pair_locs), n_users
         )
 

@@ -9,10 +9,13 @@ process-lifetime object into a served product:
 - :mod:`repro.serving.foldin` -- deterministic collapsed fold-in
   scoring of *new* users against the frozen posterior, with an LRU
   result cache;
+- :mod:`repro.serving.batch` -- the vectorized batch fold-in engine:
+  whole populations scored in one numpy pass, bit-identical to the
+  sequential path (``predict_batch`` delegates to it automatically);
 - :mod:`repro.serving.cache` -- the thread-safe LRU map behind it;
 - :mod:`repro.serving.server` -- a stdlib JSON-over-HTTP inference
-  server (``repro serve``) exposing predict-home / profile /
-  explain-edge.
+  server (``repro serve``) exposing predict-home / predict-batch /
+  profile / explain-edge.
 
 Typical flow::
 
@@ -36,6 +39,7 @@ from repro.serving.artifacts import (
     load_result,
     save_result,
 )
+from repro.serving.batch import BatchFoldInEngine, score_population
 from repro.serving.cache import LRUCache
 from repro.serving.foldin import (
     FoldInEdgeExplanation,
@@ -50,6 +54,7 @@ __all__ = [
     "ARTIFACT_SUFFIX",
     "ARTIFACT_VERSION",
     "ArtifactError",
+    "BatchFoldInEngine",
     "FoldInEdgeExplanation",
     "FoldInPrediction",
     "FoldInPredictor",
@@ -61,4 +66,5 @@ __all__ = [
     "make_server",
     "prediction_payload",
     "save_result",
+    "score_population",
 ]

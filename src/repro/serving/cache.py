@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Hashable, Iterable
 
 _MISSING = object()
 
@@ -48,11 +48,40 @@ class LRUCache:
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the oldest entry if full."""
         with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-            self._data[key] = value
-            while len(self._data) > self.max_size:
-                self._data.popitem(last=False)
+            self._put_locked(key, value)
+
+    def get_many(self, keys: Iterable[Hashable]) -> dict[Hashable, Any]:
+        """Bulk :meth:`get` under one lock acquisition.
+
+        Returns only the keys that were present (each counted as a hit
+        and refreshed); absent keys are counted as misses.  The batch
+        fold-in path looks up a whole request's signatures through
+        this instead of taking the lock once per spec.
+        """
+        with self._lock:
+            found: dict[Hashable, Any] = {}
+            for key in keys:
+                value = self._data.get(key, _MISSING)
+                if value is _MISSING:
+                    self.misses += 1
+                else:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    found[key] = value
+            return found
+
+    def put_many(self, items: Iterable[tuple[Hashable, Any]]) -> None:
+        """Bulk :meth:`put` under one lock acquisition."""
+        with self._lock:
+            for key, value in items:
+                self._put_locked(key, value)
+
+    def _put_locked(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.max_size:
+            self._data.popitem(last=False)
 
     def __len__(self) -> int:
         with self._lock:
@@ -63,9 +92,21 @@ class LRUCache:
             return key in self._data
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:
             self._data.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept).
+
+        Call together with :meth:`clear` when the cached *population*
+        changes meaning -- e.g. the predictor reloads a new artifact --
+        so ``/healthz`` hit rates describe the current generation
+        rather than blending in a dead one.
+        """
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/size snapshot for health endpoints and benchmarks."""

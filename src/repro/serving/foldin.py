@@ -36,12 +36,26 @@ chain average, which the tests quantify at a few percent).
 Everything is deterministic (no RNG), vectorized over all of a user's
 relationships at once, and memoized through an LRU cache keyed by
 ``(artifact id, user signature)``.
+
+**Reduction discipline.**  Every floating-point reduction in the solver
+goes through :func:`segment_sum`, which accumulates strictly in input
+order (``np.bincount`` semantics).  That is a deliberate contract with
+the population-scale batch engine (:mod:`repro.serving.batch`): the
+batch path runs the same fixed point for thousands of users at once
+over flat arenas, and because both paths reduce in the identical
+element order, a batch solve is **bit-identical** per user to a
+sequential solve -- numpy's pairwise ``sum`` or BLAS ``@`` would give
+results that differ in the last ulp and break that golden contract.
+``predict_batch`` dedupes specs by signature, serves what it can from
+the cache in bulk, and hands any remaining block of
+``>= batch_threshold`` unique specs to the batch engine.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -52,6 +66,41 @@ from repro.core.tweeting import RandomTweetingModel
 from repro.data.columnar import compile_world
 from repro.geo.gazetteer import normalize_place_name
 from repro.serving.cache import LRUCache
+
+#: ``predict_batch`` hands off to the vectorized batch engine once at
+#: least this many unique, cache-missing specs need solving; below it
+#: the per-user loop wins (the arena lowering has fixed overhead).
+BATCH_CROSSOVER = 32
+
+
+def segment_sum(values: np.ndarray, bins: np.ndarray, n: int) -> np.ndarray:
+    """Deterministic per-bin sum: accumulates strictly in input order.
+
+    ``np.bincount`` adds ``values[i]`` into ``out[bins[i]]`` one element
+    at a time, left to right, so each bin's total depends only on its
+    own values *in their input order* -- never on what other bins (or,
+    in the batch engine, other users) contribute.  Used for the
+    scattered reduction (``phi``'s per-candidate accumulation across
+    relationship rows); see :func:`contiguous_segment_sum` for the
+    contiguous ones.
+    """
+    return np.bincount(bins, weights=values, minlength=n)
+
+
+def contiguous_segment_sum(values: np.ndarray, starts) -> np.ndarray:
+    """Per-segment sum over contiguous, non-empty segments.
+
+    A thin wrapper over ``np.add.reduceat`` that exists so the
+    sequential solver and the batch engine reduce through the *same*
+    primitive: whatever summation algorithm reduceat applies to a
+    segment, both paths apply it to per-user-identical data, keeping
+    batch results bit-identical to sequential ones.  (Reduceat is not
+    interchangeable with :func:`segment_sum` -- it may sum a segment
+    pairwise -- which is exactly why both paths must agree on which
+    primitive covers which reduction.)  Callers guarantee non-empty
+    segments; reduceat would silently misread empty ones.
+    """
+    return np.add.reduceat(values, starts)
 
 
 @dataclass(frozen=True, slots=True)
@@ -166,6 +215,10 @@ class FoldInPredictor:
         Fixed-point schedule of the expected-count iteration.
     cache_size:
         Capacity of the LRU prediction cache.
+    batch_threshold:
+        ``predict_batch`` delegates to the vectorized batch engine
+        (:mod:`repro.serving.batch`) once at least this many unique,
+        cache-missing specs need solving.
     """
 
     def __init__(
@@ -175,6 +228,7 @@ class FoldInPredictor:
         max_iterations: int = 200,
         tolerance: float = 1e-9,
         cache_size: int = 1024,
+        batch_threshold: int = BATCH_CROSSOVER,
     ):
         if result.venue_counts is None:
             raise ValueError(
@@ -188,6 +242,24 @@ class FoldInPredictor:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.cache = LRUCache(cache_size)
+        self.batch_threshold = batch_threshold
+        #: Fixed-point solves actually performed (cache hits and
+        #: in-batch duplicates excluded) -- observability for tests,
+        #: benchmarks and capacity planning.  Guarded by ``_lock``
+        #: together with the kernel-row cache and the lazy batch
+        #: engine: server handler threads share this predictor.
+        self.solve_count = 0
+        self._lock = threading.Lock()
+        self._batch_engine = None
+        #: Per-neighbour kernel rows ``K_j(l) = sum_e theta_j(e) *
+        #: law(l, e)`` over all locations, computed once per neighbour
+        #: on first use and shared verbatim by the sequential solver
+        #: and the batch engine (one array, so the two paths cannot
+        #: disagree).  Bounded: beyond ``_kernel_cache_limit`` entries
+        #: (~256 MB of rows) new rows are computed transiently instead
+        #: of stored, so a long-running server on a huge artifact
+        #: cannot grow toward an (n_users, n_locations) table.
+        self._kernel_rows: dict[int, np.ndarray] = {}
 
         #: The shared compiled substrate.  When the result came out of a
         #: fit in this process (or an artifact that persisted its world),
@@ -198,6 +270,11 @@ class FoldInPredictor:
         gaz = world.gazetteer
         self.n_locations = world.n_locations
         self.n_venues = world.n_venues
+        #: Cache at most ~256 MB of kernel rows, whatever the
+        #: gazetteer size (each row is ``n_locations`` float64).
+        self._kernel_cache_limit = max(
+            1, (32 << 20) // max(1, self.n_locations)
+        )
         #: Eq. 1 over every location pair under the *fitted* law
         #: (beta included -- the selector balance needs it).
         self._law_matrix = result.fitted_law(gaz.distance_matrix)
@@ -213,15 +290,26 @@ class FoldInPredictor:
         self._tr_probs = RandomTweetingModel.from_world(
             world
         ).venue_probabilities
-        #: Sparse frozen neighbour profiles as parallel arrays.
-        self._profile_locs = [
-            np.array([loc for loc, _ in p.entries], dtype=np.int64)
-            for p in result.profiles
-        ]
-        self._profile_probs = [
-            np.array([pr for _, pr in p.entries], dtype=np.float64)
-            for p in result.profiles
-        ]
+        #: Sparse frozen neighbour profiles as one CSR arena: the
+        #: sequential solver slices it per neighbour, the batch engine
+        #: gathers straight from the flat arrays.
+        counts = np.fromiter(
+            (len(p.entries) for p in result.profiles),
+            dtype=np.int64,
+            count=len(result.profiles),
+        )
+        self._prof_indptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._prof_indptr[1:])
+        self._prof_locs = np.fromiter(
+            (loc for p in result.profiles for loc, _ in p.entries),
+            dtype=np.int64,
+            count=int(self._prof_indptr[-1]),
+        )
+        self._prof_probs = np.fromiter(
+            (pr for p in result.profiles for _, pr in p.entries),
+            dtype=np.float64,
+            count=int(self._prof_indptr[-1]),
+        )
 
     # -- spec construction -------------------------------------------------
 
@@ -337,6 +425,31 @@ class FoldInPredictor:
 
     # -- the fold-in solve -------------------------------------------------
 
+    def _profile_of(self, user_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """One neighbour's frozen sparse profile (CSR slice views)."""
+        start, end = self._prof_indptr[user_id], self._prof_indptr[user_id + 1]
+        return self._prof_locs[start:end], self._prof_probs[start:end]
+
+    def _kernel_row(self, neighbor: int) -> np.ndarray:
+        """``K_j`` over every location, computed once per neighbour.
+
+        Both the sequential solver and the batch engine read rows from
+        this one cache, so the two paths see literally the same floats
+        -- the cornerstone of the batch path's bit-identity guarantee.
+        (A cache overflow recomputes the identical deterministic
+        expression, so results cannot change; only time is lost.)
+        First writer wins under the lock, so concurrent handler
+        threads converge on a single shared array per neighbour.
+        """
+        row = self._kernel_rows.get(neighbor)
+        if row is None:
+            locs, probs = self._profile_of(neighbor)
+            row = self._law_matrix[:, locs] @ probs
+            with self._lock:
+                if len(self._kernel_rows) < self._kernel_cache_limit:
+                    row = self._kernel_rows.setdefault(neighbor, row)
+        return row
+
     def _relationship_rows(
         self, spec: UserSpec, cand: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -345,7 +458,10 @@ class FoldInPredictor:
         Returns ``(M, noise, loc_factor)``: row ``r`` of ``M`` is the
         location-branch weight of relationship ``r`` at each candidate,
         ``noise[r]`` the absolute noise-branch weight, ``loc_factor[r]``
-        the ``(1 - rho)`` prefactor.
+        the ``(1 - rho)`` prefactor.  Rows are gathers -- from the
+        shared per-neighbour kernel cache for following edges, from the
+        frozen ``psi`` for venue mentions -- so the batch engine's
+        flat-arena construction reproduces them bit for bit.
         """
         params = self.params
         rows: list[np.ndarray] = []
@@ -353,9 +469,7 @@ class FoldInPredictor:
         factor: list[float] = []
         if params.use_following:
             for nb in spec.friends + spec.followers:
-                locs = self._profile_locs[nb]
-                probs = self._profile_probs[nb]
-                rows.append(self._law_matrix[np.ix_(cand, locs)] @ probs)
+                rows.append(self._kernel_row(nb)[cand])
                 noise.append(self._fr_noise)
                 factor.append(1.0 - params.rho_f)
         if params.use_tweeting:
@@ -371,18 +485,26 @@ class FoldInPredictor:
     def _solve(self, spec: UserSpec) -> _Solution:
         self._validate(spec)
         cand, gamma = self._candidates_for(spec)
-        gamma_sum = float(gamma.sum())
+        n_cand = cand.size
+        one_segment = np.zeros(1, dtype=np.intp)
+        gamma_sum = float(contiguous_segment_sum(gamma, one_segment)[0])
         M, noise, factor = self._relationship_rows(spec, cand)
-        phi = np.zeros(cand.size, dtype=np.float64)
+        phi = np.zeros(n_cand, dtype=np.float64)
         iterations = 0
         converged = True
         if len(M):
+            n_rel = M.shape[0]
+            row_starts = np.arange(0, n_rel * n_cand, n_cand, dtype=np.intp)
+            cand_of_cell = np.tile(np.arange(n_cand), n_rel)
             converged = False
             for iterations in range(1, self.max_iterations + 1):
                 w = phi + gamma
-                total = float(phi.sum()) + gamma_sum
+                total = (
+                    float(contiguous_segment_sum(phi, one_segment)[0])
+                    + gamma_sum
+                )
                 joint = M * w  # (R, C)
-                sums = joint.sum(axis=1)
+                sums = contiguous_segment_sum(joint.ravel(), row_starts)
                 p_loc = factor * sums / total
                 denom = p_loc + noise
                 resp = np.divide(
@@ -391,13 +513,17 @@ class FoldInPredictor:
                 scale = np.divide(
                     resp, sums, out=np.zeros_like(sums), where=sums > 0
                 )
-                phi_new = joint.T @ scale
+                phi_new = segment_sum(
+                    (joint * scale[:, None]).ravel(), cand_of_cell, n_cand
+                )
                 drift = float(np.max(np.abs(phi_new - phi)))
                 phi = phi_new
                 if drift < self.tolerance:
                     converged = True
                     break
-        theta = (phi + gamma) / (float(phi.sum()) + gamma_sum)
+        theta = (phi + gamma) / (
+            float(contiguous_segment_sum(phi, one_segment)[0]) + gamma_sum
+        )
         return _Solution(
             candidates=cand,
             gamma=gamma,
@@ -424,6 +550,17 @@ class FoldInPredictor:
 
     # -- public scoring ----------------------------------------------------
 
+    @property
+    def batch_engine(self):
+        """The lazily-built vectorized batch engine (shared arenas)."""
+        if self._batch_engine is None:
+            from repro.serving.batch import BatchFoldInEngine
+
+            with self._lock:
+                if self._batch_engine is None:
+                    self._batch_engine = BatchFoldInEngine(self)
+        return self._batch_engine
+
     def predict(self, spec: UserSpec, use_cache: bool = True) -> FoldInPrediction:
         """Score one user; served from the LRU cache when possible."""
         key = (self.artifact_id, spec.signature())
@@ -431,6 +568,8 @@ class FoldInPredictor:
             cached = self.cache.get(key)
             if cached is not None:
                 return replace(cached, from_cache=True)
+        with self._lock:
+            self.solve_count += 1
         prediction = self._render(self._solve(spec))
         if use_cache:
             self.cache.put(key, prediction)
@@ -441,16 +580,72 @@ class FoldInPredictor:
     ) -> list[FoldInPrediction]:
         """Score many users through one call.
 
-        Each spec is solved (or cache-served) in turn -- the
-        vectorization lives *inside* a solve, across a user's
-        relationships; there is no cross-user batching of the linear
-        algebra.  Duplicate specs within the batch hit the cache.
+        Specs are deduplicated by signature first (a batch of k
+        identical specs costs exactly one solve, cache on or off), then
+        looked up in the LRU cache in bulk; whatever remains is solved
+        -- through the vectorized batch engine when at least
+        ``batch_threshold`` specs need solving (one numpy pass over a
+        flat arena, bit-identical per user to the sequential path), or
+        one ``_solve`` at a time below that.  Results fan back out to
+        the request order; with the cache enabled, later duplicates of
+        a spec solved earlier in the same batch report
+        ``from_cache=True`` exactly as they would under sequential
+        ``predict`` calls.
         """
-        return [self.predict(spec, use_cache=use_cache) for spec in specs]
+        specs = list(specs)
+        if not specs:
+            return []
+        keys = [(self.artifact_id, spec.signature()) for spec in specs]
+        first_occurrence: dict[tuple[str, str], int] = {}
+        for index, key in enumerate(keys):
+            first_occurrence.setdefault(key, index)
+        unique_indices = sorted(first_occurrence.values())
+        cached = (
+            self.cache.get_many([keys[i] for i in unique_indices])
+            if use_cache
+            else {}
+        )
+        miss_indices = [i for i in unique_indices if keys[i] not in cached]
+        rendered: dict[tuple[str, str], FoldInPrediction] = {}
+        if miss_indices:
+            to_solve = [specs[i] for i in miss_indices]
+            if len(to_solve) >= self.batch_threshold:
+                solutions = self.batch_engine.solve(to_solve)
+            else:
+                solutions = [self._solve(spec) for spec in to_solve]
+            with self._lock:
+                self.solve_count += len(to_solve)
+            for index, solution in zip(miss_indices, solutions):
+                rendered[keys[index]] = self._render(solution)
+            if use_cache:
+                self.cache.put_many(
+                    (keys[i], rendered[keys[i]]) for i in miss_indices
+                )
+        results: list[FoldInPrediction] = []
+        for index, key in enumerate(keys):
+            if key in cached:
+                results.append(replace(cached[key], from_cache=True))
+            elif use_cache and first_occurrence[key] != index:
+                results.append(replace(rendered[key], from_cache=True))
+            else:
+                results.append(rendered[key])
+        return results
 
     def predict_home(self, spec: UserSpec) -> int | None:
         """Just the argmax home location of a folded-in user."""
         return self.predict(spec).home
+
+    def clear_cache(self, reset_stats: bool = True) -> None:
+        """Drop every cached prediction, by default zeroing counters too.
+
+        Reload flows (a new artifact generation served behind the same
+        ``/healthz``) call this so the reported hit rate describes the
+        *current* artifact, not the union of everything ever served;
+        pass ``reset_stats=False`` to keep the lifetime counters.
+        """
+        self.cache.clear()
+        if reset_stats:
+            self.cache.reset_stats()
 
     def explain_edge(
         self,
@@ -475,8 +670,7 @@ class FoldInPredictor:
         cand = solution.candidates
         w = solution.phi + solution.gamma
         total = float(solution.phi.sum()) + float(solution.gamma.sum())
-        locs = self._profile_locs[neighbor]
-        probs = self._profile_probs[neighbor]
+        locs, probs = self._profile_of(neighbor)
         joint = (
             w[:, None] * probs[None, :] * self._law_matrix[np.ix_(cand, locs)]
         )

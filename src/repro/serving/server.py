@@ -9,6 +9,9 @@ statement as endpoints:
   ``{"user_id": n}`` (replay a training user) or explicit evidence
   (``friends``/``followers``/``venues``/``venue_names``/
   ``observed_location``);
+- ``POST /predict-batch``  -- the bulk population-scoring endpoint: a
+  single JSON *array* of user specs in, an array of predictions out,
+  scored through the vectorized batch fold-in engine;
 - ``POST /profile``        -- the *stored* posterior profile of a
   training user (``{"user_id": n, "top_k": k}``), no fold-in;
 - ``POST /explain-edge``   -- the blocked-conditional explanation of
@@ -21,8 +24,9 @@ Requests and responses are JSON; errors come back as
 ``{"error": ...}`` with a 400 (bad request), a 404 (unknown route) or
 -- when a known route is hit with the wrong HTTP method -- a 405 with
 an ``Allow`` header naming the supported method.  Each connection is
-handled on its own thread -- the predictor's LRU cache is the only
-shared mutable state and is lock-protected.
+handled on its own thread -- the predictor's shared mutable state (the
+LRU cache, the kernel-row cache, the solve counter) is lock-protected
+inside the predictor.
 """
 
 from __future__ import annotations
@@ -33,9 +37,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serving.foldin import FoldInPredictor, prediction_payload
 
-#: Cap on accepted request bodies (1 MiB): a serving endpoint should
-#: never need more, and the cap bounds memory per connection.
+#: Cap on accepted request bodies (1 MiB): a single-user serving
+#: endpoint should never need more, and the cap bounds memory per
+#: connection.
 MAX_BODY_BYTES = 1 << 20
+
+#: The bulk ``/predict-batch`` route exists to take population dumps,
+#: so it gets a much larger (but still bounded) budget: 64 MiB holds
+#: on the order of a million small specs.
+MAX_BATCH_BODY_BYTES = 64 << 20
 
 #: The single route table: route -> handler method name.  Both method
 #: dispatch and 405-vs-404 classification read it, so a route added
@@ -43,6 +53,7 @@ MAX_BODY_BYTES = 1 << 20
 GET_HANDLERS = {"/healthz": "_healthz", "/artifact": "_artifact"}
 POST_HANDLERS = {
     "/predict-home": "_predict_home",
+    "/predict-batch": "_predict_batch",
     "/profile": "_profile",
     "/explain-edge": "_explain_edge",
 }
@@ -82,7 +93,7 @@ class ServingHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(
-        self, status: int, payload: dict, extra_headers: dict | None = None
+        self, status: int, payload, extra_headers: dict | None = None
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -117,20 +128,37 @@ class ServingHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"unknown route {self.path}"})
 
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+    def _read_json(self, max_bytes: int = MAX_BODY_BYTES):
+        raw_length = self.headers.get("Content-Length")
+        # Strict ASCII digits only: Python's int() also accepts "1_0",
+        # "+10" and whitespace, and str.isdigit() alone admits Unicode
+        # digits like "²" that int() then rejects -- either way the
+        # body would be mis-framed and desync a keep-alive connection.
+        stripped = raw_length.strip() if raw_length is not None else "0"
+        if not (stripped.isascii() and stripped.isdigit()):
+            # A malformed header (e.g. "abc") means the body size is
+            # unknowable: answer 400 and close, never 500, and never
+            # leave unread bytes to desync a keep-alive connection.
+            self.close_connection = True
+            raise _RequestError(
+                f"invalid Content-Length header {raw_length!r}"
+            )
+        length = int(raw_length) if raw_length is not None else 0
         if length <= 0:
             raise _RequestError("request body required")
-        if length > MAX_BODY_BYTES:
+        if length > max_bytes:
             # The body stays unread; drop the connection so the bytes
             # cannot be parsed as the next request line.
             self.close_connection = True
-            raise _RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            raise _RequestError(f"request body exceeds {max_bytes} bytes")
         raw = self.rfile.read(length)
         try:
-            payload = json.loads(raw)
+            return json.loads(raw)
         except json.JSONDecodeError as exc:
             raise _RequestError(f"invalid JSON body: {exc}") from exc
+
+    @staticmethod
+    def _require_object(payload) -> dict:
         if not isinstance(payload, dict):
             raise _RequestError("request body must be a JSON object")
         return payload
@@ -192,14 +220,20 @@ class ServingHandler(BaseHTTPRequestHandler):
         if name is None:
             self._reject_unknown("GET" if self.path in GET_ROUTES else None)
             return
+        max_bytes = (
+            MAX_BATCH_BODY_BYTES
+            if self.path == "/predict-batch"
+            else MAX_BODY_BYTES
+        )
         try:
-            payload = self._read_json()
+            payload = self._read_json(max_bytes=max_bytes)
             self._send_json(200, getattr(self, name)(payload))
         except (_RequestError, ValueError, KeyError, TypeError) as exc:
             self._send_json(400, {"error": str(exc)})
 
-    def _predict_home(self, payload: dict) -> dict:
+    def _predict_home(self, payload) -> dict:
         predictor = self.server.predictor
+        payload = self._require_object(payload)
         users = payload.get("users")
         if not isinstance(users, list) or not users:
             raise _RequestError('"users" must be a non-empty list of specs')
@@ -214,8 +248,27 @@ class ServingHandler(BaseHTTPRequestHandler):
             ],
         }
 
-    def _profile(self, payload: dict) -> dict:
+    def _predict_batch(self, payload) -> list:
+        """Bulk scoring: a JSON array of specs in, an array out.
+
+        The body *is* the spec list (no wrapper object), so callers can
+        stream a population dump straight through; predictions come
+        back in request order, scored by the vectorized batch engine
+        past the predictor's crossover size.
+        """
         predictor = self.server.predictor
+        if not isinstance(payload, list):
+            raise _RequestError(
+                "request body must be a JSON array of user specs"
+            )
+        specs = [predictor.resolve_request(entry) for entry in payload]
+        predictions = predictor.predict_batch(specs)
+        gaz = predictor.dataset.gazetteer
+        return [prediction_payload(p, gaz) for p in predictions]
+
+    def _profile(self, payload) -> dict:
+        predictor = self.server.predictor
+        payload = self._require_object(payload)
         if "user_id" not in payload:
             raise _RequestError('"user_id" is required')
         user_id = int(payload["user_id"])
@@ -241,8 +294,9 @@ class ServingHandler(BaseHTTPRequestHandler):
             ],
         }
 
-    def _explain_edge(self, payload: dict) -> dict:
+    def _explain_edge(self, payload) -> dict:
         predictor = self.server.predictor
+        payload = self._require_object(payload)
         if "user" not in payload or "neighbor" not in payload:
             raise _RequestError('"user" and "neighbor" are required')
         spec = predictor.resolve_request(payload["user"])

@@ -332,6 +332,55 @@ class TestServingCommands:
             == result.predicted_home(labeled)
         )
 
+    def test_predict_bulk_jsonl(self, artifact, tmp_path, capsys):
+        """--input specs.jsonl --output preds.jsonl round-trips JSONL."""
+        specs = tmp_path / "specs.jsonl"
+        specs.write_text(
+            '{"user_id": 0}\n\n{"friends": [0, 1]}\n'  # blank line ok
+        )
+        out = tmp_path / "preds.jsonl"
+        rc = main(
+            ["predict", str(artifact), "--input", str(specs), "-o", str(out)]
+        )
+        assert rc == 0
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        assert records[0]["request"] == {"user_id": 0}
+        assert all("home" in r and "converged" in r for r in records)
+
+    def test_predict_bulk_missing_input_keeps_output(
+        self, artifact, tmp_path, capsys
+    ):
+        """A typo'd --input must not truncate an existing output file."""
+        out = tmp_path / "preds.jsonl"
+        out.write_text("precious previous predictions\n")
+        rc = main(
+            [
+                "predict",
+                str(artifact),
+                "--input",
+                str(tmp_path / "nope.jsonl"),
+                "-o",
+                str(out),
+            ]
+        )
+        assert rc == 2
+        assert "cannot read --input" in capsys.readouterr().err
+        assert out.read_text() == "precious previous predictions\n"
+
+    def test_predict_bulk_excludes_other_modes(
+        self, artifact, tmp_path, capsys
+    ):
+        specs = tmp_path / "specs.jsonl"
+        specs.write_text('{"user_id": 0}\n')
+        rc = main(
+            ["predict", str(artifact), "--input", str(specs), "--users", "1"]
+        )
+        assert rc == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
 
 class TestEvaluate:
     def test_prints_table2(self, saved_world, capsys):

@@ -35,6 +35,58 @@ class TestBasics:
         assert len(cache) == 0
         assert cache.stats()["hits"] == 1
 
+    def test_reset_stats_zeroes_counters_keeps_entries(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        cache.reset_stats()
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["size"] == 1
+        assert cache.get("a") == 1
+
+    def test_clear_then_reset_gives_fresh_stats(self):
+        """The artifact-reload flow: clear + reset_stats together."""
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("miss")
+        cache.clear()
+        cache.reset_stats()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "size": 0, "max_size": 4,
+        }
+
+
+class TestBulkOperations:
+    def test_get_many_counts_hits_and_misses(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        found = cache.get_many(["a", "b", "zzz"])
+        assert found == {"a": 1, "b": 2}
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+
+    def test_get_many_refreshes_recency(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get_many(["a"])
+        cache.put("c", 3)  # "b" is now the oldest
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_many_inserts_and_evicts(self):
+        cache = LRUCache(max_size=2)
+        cache.put_many([("a", 1), ("b", 2), ("c", 3)])
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
 
 class TestEviction:
     def test_oldest_entry_evicted(self):

@@ -135,6 +135,30 @@ class TestCache:
         assert not any(p.from_cache for p in cold)
         assert all(p.from_cache for p in warm)
 
+    def test_clear_cache_resets_stats(self, result, world):
+        """The artifact-reload story: /healthz hit rates must describe
+        the current generation, not every artifact ever served."""
+        predictor = FoldInPredictor(result, artifact_id="reload")
+        spec = predictor.spec_for_training_user(1)
+        predictor.predict(spec)
+        predictor.predict(spec)
+        assert predictor.cache.stats()["hits"] == 1
+        predictor.clear_cache()
+        assert len(predictor.cache) == 0
+        assert predictor.cache.stats() == {
+            "hits": 0, "misses": 0, "size": 0,
+            "max_size": predictor.cache.max_size,
+        }
+
+    def test_clear_cache_can_keep_stats(self, result):
+        predictor = FoldInPredictor(result, artifact_id="keep")
+        spec = predictor.spec_for_training_user(2)
+        predictor.predict(spec)
+        predictor.predict(spec)
+        predictor.clear_cache(reset_stats=False)
+        assert len(predictor.cache) == 0
+        assert predictor.cache.stats()["hits"] == 1
+
 
 class TestResolveRequest:
     def test_user_id_replays_training_user(self, predictor):

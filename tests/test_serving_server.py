@@ -44,7 +44,10 @@ def _get(url: str):
 
 
 def _post(url: str, payload) -> tuple[int, dict]:
-    body = json.dumps(payload).encode("utf-8")
+    return _post_raw(url, json.dumps(payload).encode("utf-8"))
+
+
+def _post_raw(url: str, body: bytes) -> tuple[int, dict]:
     request = urllib.request.Request(
         url, data=body, headers={"Content-Type": "application/json"}
     )
@@ -175,6 +178,135 @@ class TestPredictHome:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+
+    def test_malformed_content_length_is_400_not_500(self, base_url):
+        """Regression: 'Content-Length: abc' used to escape as a raw
+        ValueError; it must come back as a clean 400 naming the header,
+        with the connection closed (the body size is unknowable)."""
+        import socket
+
+        host, port = base_url.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(
+                b"POST /predict-home HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: abc\r\n"
+                b"\r\n"
+            )
+            sock.settimeout(10)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        status_line = data.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"Content-Length" in data
+        assert b"Connection: close" in data
+
+    @pytest.mark.parametrize("header", ["1_0", "+10", "-5", "0x10", "²"])
+    def test_non_digit_content_length_rejected(self, base_url, header):
+        """int() quirks ('1_0' == 10, '+10') must not mis-frame bodies,
+        and Unicode digits ('²'.isdigit() is True) must not slip past
+        the guard only to blow up in int()."""
+        import socket
+
+        host, port = base_url.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            # Headers only: the server must answer without waiting for
+            # (or reading) any body it cannot frame.
+            sock.sendall(
+                b"POST /predict-home HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {header}\r\n\r\n".encode()
+            )
+            data = b""
+            while b"invalid Content-Length" not in data:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert b"400" in data.split(b"\r\n", 1)[0]
+        assert b"invalid Content-Length" in data
+
+
+class TestPredictBatch:
+    """The bulk endpoint: a JSON array in, an array out."""
+
+    def test_array_in_array_out(self, base_url, predictor):
+        status, payload = _post(
+            f"{base_url}/predict-batch", [{"user_id": 4}, {"user_id": 9}]
+        )
+        assert status == 200
+        assert isinstance(payload, list) and len(payload) == 2
+        expected = predictor.predict(predictor.spec_for_training_user(4))
+        assert payload[0]["home"] == expected.home
+        assert all("profile" in p and "converged" in p for p in payload)
+
+    def test_matches_predict_home_route(self, base_url):
+        users = [{"user_id": 21}, {"friends": [1, 2]}]
+        _, bulk = _post(f"{base_url}/predict-batch", users)
+        _, single = _post(f"{base_url}/predict-home", {"users": users})
+        homes = [p["home"] for p in single["predictions"]]
+        assert [p["home"] for p in bulk] == homes
+
+    def test_object_body_rejected(self, base_url):
+        status, payload = _post(
+            f"{base_url}/predict-batch", {"users": [{"user_id": 1}]}
+        )
+        assert status == 400
+        assert "array" in payload["error"]
+
+    def test_bad_spec_rejected(self, base_url):
+        status, payload = _post(
+            f"{base_url}/predict-batch", [{"user_id": 99999}]
+        )
+        assert status == 400
+        assert "99999" in payload["error"]
+
+    def test_wrong_method_405(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base_url}/predict-batch")
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "POST"
+
+    def test_accepts_bodies_beyond_single_user_cap(self, base_url):
+        """The bulk route takes population dumps: bodies over the 1 MiB
+        single-user cap (here ~2 MiB of whitespace padding) must pass."""
+        body = (b"[" + b" " * (2 << 20) + b'{"user_id": 2}]')
+        request = urllib.request.Request(
+            f"{base_url}/predict-batch",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+            payload = json.loads(response.read())
+        assert len(payload) == 1
+
+    def test_single_user_routes_keep_the_small_cap(self, base_url):
+        """predict-home still refuses oversized bodies (before reading
+        them, so a plain client sees the 400 or a reset mid-send)."""
+        import socket
+
+        host, port = base_url.removeprefix("http://").split(":")
+        length = 2 << 20
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(
+                b"POST /predict-home HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                + f"Content-Length: {length}\r\n\r\n".encode()
+            )
+            # The server answers without waiting for the body, then
+            # closes; read until that close.
+            data = b""
+            while b"exceeds" not in data:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert b"400" in data.split(b"\r\n", 1)[0]
+        assert b"exceeds" in data
 
 
 class TestProfile:
