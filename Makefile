@@ -1,10 +1,11 @@
 # Developer entry points.  Everything assumes the repo root as cwd and
-# needs no installation beyond python + numpy (+ pytest, pytest-benchmark).
+# needs no installation beyond python + numpy (+ pytest, pytest-benchmark;
+# ruff for `make lint`, pinned in requirements-ci.txt).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke docs-check all
+.PHONY: test bench-smoke bench-gate docs-check lint all
 
 all: docs-check test
 
@@ -14,13 +15,25 @@ test:
 
 ## fast benchmark pass: component micro-benches + engine head-to-head
 ## + serving throughput + batch fold-in + columnar-world compile/fit
-## scaling, writes benchmarks/results/bench_run.json and appends to
+## scaling + streaming-delta splice, writes
+## benchmarks/results/bench_run.json and appends to
 ## benchmarks/results/bench_trajectory.jsonl
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m pytest bench_components.py bench_serving.py \
-		bench_batch_foldin.py bench_columnar.py -q
+		bench_batch_foldin.py bench_columnar.py bench_delta.py -q
+
+## perf-regression gate: compare bench_run.json against the committed
+## baseline bands (run bench-smoke first)
+bench-gate:
+	$(PYTHON) tools/bench_gate.py
 
 ## fail if any public module lacks a module docstring
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+## ruff lint + format check (config in ruff.toml; formatting is adopted
+## incrementally -- see the [format] exclude list there)
+lint:
+	ruff check .
+	ruff format --check .

@@ -27,7 +27,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.params import MLPParams
 from repro.core.priors import UserPriors, build_user_priors

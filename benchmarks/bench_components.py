@@ -10,7 +10,6 @@ dataset (below) and records its numbers to the JSON journal.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.gibbs import GibbsSampler

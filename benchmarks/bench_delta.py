@@ -1,0 +1,183 @@
+"""Streaming-delta benchmarks: splice vs recompile, ingest throughput.
+
+Measures the two claims the streaming ingest layer makes:
+
+1. **Delta apply beats full recompile >= 10x** on the acceptance shape
+   (a 50k-user sparse world absorbing 1% arrivals): the spliced world
+   is first golden-gated to be *bit-identical* to the from-scratch
+   ``ColumnarWorld.from_edge_arrays`` compile (a wrong-but-fast apply
+   must fail loudly, not win the ratio), then both paths are timed
+   interleaved and the median ratio asserted.
+2. **Sustained ingest throughput**: a stream of small deltas applied
+   back to back, journaled as rows/second -- the number capacity
+   planning reads (one "row" = one arriving user, edge or mention).
+
+Everything lands in ``benchmarks/results/bench_run.json`` via the
+session journal, which the CI perf gate (``tools/bench_gate.py``)
+checks against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.data.columnar import WORLD_ARRAY_KEYS, ColumnarWorld
+from repro.data.delta import WorldDelta, apply_delta
+from repro.data.generator import SyntheticWorldConfig, generate_columnar_world
+
+#: The acceptance shape: 50k users, sparse degrees (the sharded
+#: generator's population profile), 1% arrivals per delta.
+DELTA_USERS = 50_000
+DELTA_SHARDS = 8
+DELTA_SEED = 1
+ARRIVAL_FRACTION = 0.01
+
+_world_cache: dict[int, ColumnarWorld] = {}
+
+
+def _base_world(n_users: int = DELTA_USERS) -> ColumnarWorld:
+    if n_users not in _world_cache:
+        _world_cache[n_users] = generate_columnar_world(
+            SyntheticWorldConfig(
+                n_users=n_users,
+                seed=DELTA_SEED,
+                mean_friends=3.0,
+                mean_venues=4.0,
+            ),
+            shards=DELTA_SHARDS,
+        )
+    return _world_cache[n_users]
+
+
+def _arrival_delta(
+    world: ColumnarWorld,
+    rng: np.random.Generator,
+    fraction: float,
+    n_users: int | None = None,
+) -> WorldDelta:
+    """``fraction`` of the world arrives: labeled users + edges + mentions.
+
+    ``n_users`` overrides the current population (used when deltas for
+    a stream are built ahead of the applies that grow the world).
+    """
+    n = world.n_users if n_users is None else n_users
+    n_new = max(1, int(world.n_users * fraction))
+    new_ids = np.arange(n, n + n_new)
+    new_users = [
+        int(rng.integers(world.n_locations)) if rng.random() < 0.8 else None
+        for _ in range(n_new)
+    ]
+    src = np.repeat(new_ids, 3)
+    dst = rng.integers(0, n, size=src.size)
+    keep = src != dst
+    tweet_user = np.repeat(new_ids, 4)
+    tweet_venue = rng.integers(0, world.n_venues, size=tweet_user.size)
+    return WorldDelta(
+        new_users=new_users,
+        edges=list(zip(src[keep].tolist(), dst[keep].tolist())),
+        tweets=list(zip(tweet_user.tolist(), tweet_venue.tolist())),
+    )
+
+
+def _recompile_inputs(world: ColumnarWorld, delta: WorldDelta):
+    observed = np.concatenate([world.observed_location, delta.new_user_labels])
+    observed[delta.label_users] = delta.label_locations
+    return dict(
+        observed_location=observed,
+        edge_src=np.concatenate([world.edge_src, delta.edge_src]),
+        edge_dst=np.concatenate([world.edge_dst, delta.edge_dst]),
+        tweet_user=np.concatenate([world.tweet_user, delta.tweet_user]),
+        tweet_venue=np.concatenate([world.tweet_venue, delta.tweet_venue]),
+    )
+
+
+def test_delta_apply_beats_full_recompile(journal):
+    """Golden-gated speed claim: >= 10x vs from-scratch on 1% arrivals."""
+    world = _base_world()
+    rng = np.random.default_rng(7)
+    delta = _arrival_delta(world, rng, ARRIVAL_FRACTION)
+    world.content_hash  # the chained hash pays the base digest once
+
+    inputs = _recompile_inputs(world, delta)
+    applied = apply_delta(world, delta)
+    scratch = ColumnarWorld.from_edge_arrays(world.gazetteer, **inputs)
+    # The bit-identity gate comes first: a splice that drifted from the
+    # from-scratch compile must fail here, never win the timing below.
+    for key in WORLD_ARRAY_KEYS:
+        assert np.array_equal(getattr(applied, key), getattr(scratch, key)), (
+            f"delta-applied world differs from recompile in {key}"
+        )
+    assert applied.rehash() == scratch.rehash()
+
+    apply_times: list[float] = []
+    recompile_times: list[float] = []
+    for _ in range(7):
+        start = time.perf_counter()
+        apply_delta(world, delta)
+        apply_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        ColumnarWorld.from_edge_arrays(world.gazetteer, **inputs)
+        recompile_times.append(time.perf_counter() - start)
+    apply_s = statistics.median(apply_times)
+    recompile_s = statistics.median(recompile_times)
+    ratio = recompile_s / apply_s
+    journal(
+        "timing",
+        name="delta_apply_vs_recompile",
+        users=world.n_users,
+        arrivals=delta.n_new_users,
+        delta_edges=delta.n_edges,
+        delta_tweets=delta.n_tweets,
+        apply_ms=round(apply_s * 1000, 3),
+        recompile_ms=round(recompile_s * 1000, 3),
+        ratio=round(ratio, 2),
+    )
+    print(
+        f"\n[delta] apply {apply_s * 1000:.1f} ms vs recompile "
+        f"{recompile_s * 1000:.1f} ms on {world.n_users} users "
+        f"({delta.n_new_users} arrivals): {ratio:.1f}x"
+    )
+    assert ratio >= 10.0, (
+        f"delta apply only {ratio:.1f}x faster than full recompile "
+        f"({apply_s * 1000:.1f} ms vs {recompile_s * 1000:.1f} ms)"
+    )
+
+
+def test_ingest_stream_throughput(journal):
+    """Sustained ingest: a stream of small deltas, journaled as rows/s."""
+    world = _base_world()
+    world.content_hash
+    rng = np.random.default_rng(11)
+    current = world
+    rows = 0
+    deltas = []
+    n_virtual = world.n_users
+    for _ in range(20):
+        delta = _arrival_delta(world, rng, 0.0005, n_users=n_virtual)
+        n_virtual += delta.n_new_users
+        deltas.append(delta)
+        rows += delta.n_new_users + delta.n_edges + delta.n_tweets
+    start = time.perf_counter()
+    for delta in deltas:
+        current = apply_delta(current, delta)
+    elapsed = time.perf_counter() - start
+    journal(
+        "timing",
+        name="delta_ingest_stream",
+        users=world.n_users,
+        deltas=len(deltas),
+        rows=rows,
+        seconds=round(elapsed, 4),
+        rows_per_second=round(rows / elapsed),
+        final_generation=current.generation,
+    )
+    print(
+        f"\n[delta] streamed {len(deltas)} deltas ({rows} rows) in "
+        f"{elapsed * 1000:.1f} ms -> {rows / elapsed:,.0f} rows/s, "
+        f"generation {current.generation}"
+    )
+    assert current.generation == len(deltas)
+    assert rows / elapsed > 1_000

@@ -13,8 +13,6 @@ Two extra reference points sharpen the paper's argument:
 Plus the geo-grouping application (Sec. 5.3) made quantitative.
 """
 
-import numpy as np
-import pytest
 
 from conftest import save_artifact
 

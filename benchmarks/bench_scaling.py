@@ -8,7 +8,6 @@ sweep cost stays flat (linear total cost) while accuracy holds.
 
 import time
 
-import pytest
 
 from conftest import save_artifact
 

@@ -13,7 +13,6 @@ edge with Austin, not with her LA home.
 Run:  python examples/carol_scenario.py
 """
 
-import numpy as np
 
 from repro import MLPModel, MLPParams, SyntheticWorldConfig, generate_world
 from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User

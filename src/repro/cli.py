@@ -11,6 +11,9 @@ Commands:
 - ``reproduce`` -- regenerate every paper table/figure;
 - ``predict``   -- offline batch fold-in scoring against a saved
   artifact;
+- ``ingest``    -- stream WorldDelta batches into an artifact's world
+  (the offline twin of the server's ``POST /ingest``), optionally
+  re-scoring the delta-affected users;
 - ``serve``     -- the JSON-over-HTTP inference server over a saved
   artifact;
 - ``info``      -- build/runtime versions (package, engines, numpy,
@@ -252,6 +255,56 @@ def _add_predict(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_ingest(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "ingest",
+        help="stream world deltas into a saved artifact's world offline",
+        description=(
+            "Apply a stream of WorldDelta batches (new users, follow "
+            "edges, venue mentions, label updates) to a saved "
+            "artifact's world -- the offline twin of the server's "
+            "POST /ingest.  Each input line is one delta; each output "
+            "line reports the new world generation and chained hash.  "
+            "Optionally re-scores the delta-affected unlabeled users "
+            "afterwards."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "delta JSONL line format:\n"
+            '  {"new_users": [{"observed_location": 5}, {}],\n'
+            '   "edges": [[0, 3], [612, 4]],\n'
+            '   "tweets": [[612, 17], [3, "austin"]],\n'
+            '   "labels": {"12": 3, "15": null}}\n'
+            "\nexample:\n"
+            "  python -m repro ingest model.mlp.npz --input deltas.jsonl\n"
+            "  python -m repro ingest model.mlp.npz --input deltas.jsonl \\\n"
+            "      --score-output rescored.jsonl\n"
+        ),
+    )
+    p.add_argument("artifact", type=Path, help="model artifact path (.mlp.npz)")
+    p.add_argument(
+        "--input",
+        type=Path,
+        required=True,
+        help="JSONL file of delta payloads (one JSON object per line)",
+    )
+    p.add_argument(
+        "--score-output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="after ingesting, re-score the delta-affected unlabeled "
+        "users through the batch fold-in engine and write JSONL "
+        "predictions here",
+    )
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="profile entries per re-scored prediction (default: %(default)s)",
+    )
+
+
 def _add_serve(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "serve",
@@ -372,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(sub)
     _add_reproduce(sub)
     _add_predict(sub)
+    _add_ingest(sub)
     _add_serve(sub)
     _add_info(sub)
     return parser
@@ -608,6 +662,86 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream deltas into an artifact's world; optionally re-score."""
+    from repro.data.delta import WorldDelta
+    from repro.serving.batch import score_population
+    from repro.serving.foldin import prediction_payload
+
+    predictor = _load_predictor(args.artifact)
+    gaz = predictor.world.gazetteer
+    try:
+        lines = args.input.open()
+    except OSError as exc:
+        print(f"cannot read --input: {exc}", file=sys.stderr)
+        return 2
+    applied = 0
+    with lines:
+        for line_no, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                delta = WorldDelta.from_payload(payload, gazetteer=gaz)
+                world = predictor.refresh(delta)
+            except (json.JSONDecodeError, ValueError, TypeError, KeyError) as exc:
+                print(f"bad delta on line {line_no}: {exc}", file=sys.stderr)
+                return 2
+            applied += 1
+            record = world.delta_log[-1]
+            print(
+                json.dumps(
+                    {
+                        "generation": world.generation,
+                        "world_hash": world.content_hash,
+                        "users": world.n_users,
+                        "new_users": record.n_new_users,
+                        "edges": record.n_edges,
+                        "tweets": record.n_tweets,
+                        "label_updates": record.n_label_updates,
+                        "touched_users": int(record.touched_users.size),
+                    }
+                )
+            )
+    if args.score_output is not None:
+        # Always produce the requested file -- zero applied deltas
+        # means zero affected users, which is an *empty* JSONL, not a
+        # silently missing one.
+        if applied:
+            try:
+                predictions = score_population(
+                    predictor.world,
+                    predictor.result,
+                    predictor=predictor,
+                    since_generation=0,
+                )
+            except ValueError:
+                # A stream longer than the retained delta log: the
+                # touched window is gone, so re-score the whole
+                # unlabeled population instead of failing after a
+                # successful ingest.
+                predictions = score_population(
+                    predictor.world, predictor.result, predictor=predictor
+                )
+        else:
+            predictions = {}
+        with args.score_output.open("w") as out:
+            for uid in sorted(predictions):
+                record = {
+                    "user_id": uid,
+                    **prediction_payload(
+                        predictions[uid], gaz, top_k=args.top_k
+                    ),
+                }
+                out.write(json.dumps(record) + "\n")
+        print(
+            f"re-scored {len(predictions)} delta-affected users -> "
+            f"{args.score_output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import make_server
 
@@ -697,6 +831,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "reproduce": cmd_reproduce,
     "predict": cmd_predict,
+    "ingest": cmd_ingest,
     "serve": cmd_serve,
     "info": cmd_info,
 }

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import MLPResult
-from repro.data.model import Dataset, FollowingEdge, TweetingEdge
+from repro.data.model import FollowingEdge, TweetingEdge
 from repro.mathx.distributions import entropy
 
 

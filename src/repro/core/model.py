@@ -15,7 +15,7 @@ The evaluation's ablations (Sec. 5 "Methods") are parameter presets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

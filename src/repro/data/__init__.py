@@ -10,9 +10,14 @@ three evaluation tasks.
 :class:`~repro.data.columnar.ColumnarWorld` lowers a dataset once into
 integer-indexed arrays that sampling, serving and evaluation share
 (see docs/ARCHITECTURE.md, "The columnar world").
+:mod:`repro.data.delta` keeps that compiled form *live*: a
+:class:`~repro.data.delta.WorldDelta` batch of arrivals splices into an
+existing world in O(|delta| + touched rows), bit-identical to a full
+recompile (see docs/ARCHITECTURE.md, "Streaming ingest").
 """
 
-from repro.data.columnar import ColumnarWorld, compile_world
+from repro.data.columnar import ColumnarWorld, StaleWorldError, compile_world
+from repro.data.delta import DeltaRecord, WorldDelta, apply_delta
 from repro.data.generator import (
     SyntheticWorldConfig,
     generate_columnar_world,
@@ -32,11 +37,15 @@ __all__ = [
     "ColumnarWorld",
     "Dataset",
     "DatasetStats",
+    "DeltaRecord",
     "FollowingEdge",
+    "StaleWorldError",
     "SyntheticWorldConfig",
     "Tweet",
     "TweetingEdge",
     "User",
+    "WorldDelta",
+    "apply_delta",
     "compile_world",
     "compute_stats",
     "generate_columnar_world",

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import hashlib
 import weakref
-from typing import Iterable
 
 import numpy as np
 
@@ -177,6 +176,15 @@ class ColumnarWorld:
         self.n_users = int(self.observed_location.shape[0])
         self._validate()
         self._content_hash = content_hash
+        #: Incremented by every :func:`repro.data.delta.apply_delta`;
+        #: a freshly compiled world is generation 0.  Serving uses it
+        #: to tell world versions apart without hashing.
+        self.generation: int = 0
+        #: One :class:`repro.data.delta.DeltaRecord` per applied delta
+        #: (generation, touched user ids, digest), oldest first --
+        #: ``score_population(since_generation=g)`` reads it to rescore
+        #: only delta-affected users.
+        self.delta_log: tuple = ()
         # Both object-graph links are weak: the compile memo stores this
         # world as a strong *value* keyed weakly by its dataset, so a
         # strong backref here would turn every cache entry into an
@@ -350,23 +358,37 @@ class ColumnarWorld:
 
     @property
     def content_hash(self) -> str:
-        """Deterministic digest over all arrays, computed on first use.
+        """Deterministic digest identifying this world, computed lazily.
 
-        Lazy because most worlds never need it -- only artifact
-        persistence (and its load-time integrity check) pays the
-        full-array sha256.
+        For a compiled world this is the full-array sha256
+        (:meth:`rehash`); for a delta-descendant world it is the
+        *chained* hash ``H(parent_hash, delta_digest)`` stamped by
+        :func:`repro.data.delta.apply_delta` -- same identity power,
+        O(|delta|) to maintain.  Two worlds with equal arrays but
+        different delta histories therefore carry different hashes;
+        compare :meth:`rehash` when array-level equality is the
+        question.
         """
         if self._content_hash is None:
-            digest = hashlib.sha256()
-            digest.update(
-                f"{self.n_users},{self.n_locations},{self.n_venues}".encode()
-            )
-            for key in WORLD_ARRAY_KEYS:
-                arr = getattr(self, key)
-                digest.update(key.encode())
-                digest.update(np.ascontiguousarray(arr).tobytes())
-            self._content_hash = digest.hexdigest()[:16]
+            self._content_hash = self.rehash()
         return self._content_hash
+
+    def rehash(self) -> str:
+        """The full-array content digest, always recomputed.
+
+        Ignores the cached (possibly chained) :attr:`content_hash`:
+        two worlds agree on ``rehash()`` iff their arrays are
+        bit-identical, however they were built.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.n_users},{self.n_locations},{self.n_venues}".encode()
+        )
+        for key in WORLD_ARRAY_KEYS:
+            arr = getattr(self, key)
+            digest.update(key.encode())
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()[:16]
 
     # -- sizes ------------------------------------------------------------
 
@@ -482,12 +504,16 @@ class ColumnarWorld:
             "gazetteer": self.gazetteer,
             "arrays": self.to_arrays(),
             "content_hash": self._content_hash,  # None if never computed
+            "generation": self.generation,
+            "delta_log": self.delta_log,
         }
 
     def __setstate__(self, state):
         self.__init__(
             state["gazetteer"], state["arrays"], state["content_hash"]
         )
+        self.generation = state.get("generation", 0)
+        self.delta_log = state.get("delta_log", ())
 
     def __repr__(self) -> str:
         return (
@@ -502,7 +528,30 @@ class ColumnarWorld:
 _WORLD_CACHE: "weakref.WeakKeyDictionary[Dataset, ColumnarWorld]" = (
     weakref.WeakKeyDictionary()
 )
+#: Cheap shape fingerprint of each memoized dataset, recorded at
+#: compile time.  The memo is keyed by object *identity*; if a caller
+#: mutates a Dataset in place, identity no longer implies content and
+#: the memo would silently serve arrays of the old content.  The
+#: fingerprint (a poor man's generation counter -- it advances exactly
+#: when the relationship multisets or user table change size) lets the
+#: memo detect that and refuse loudly.
+_WORLD_FINGERPRINTS: "weakref.WeakKeyDictionary[Dataset, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
 _COMPILE_COUNT = 0
+
+
+class StaleWorldError(ValueError):
+    """A memoized dataset was mutated in place after compilation."""
+
+
+def _dataset_fingerprint(dataset: Dataset) -> tuple:
+    return (
+        dataset.n_users,
+        len(dataset.following),
+        len(dataset.tweeting),
+        len(dataset.gazetteer),
+    )
 
 
 def compile_world(source: "Dataset | ColumnarWorld") -> ColumnarWorld:
@@ -511,7 +560,14 @@ def compile_world(source: "Dataset | ColumnarWorld") -> ColumnarWorld:
     Passing an already-compiled world is free; passing a dataset
     compiles at most once per dataset identity.  The memo is keyed by
     object identity (datasets are immutable by convention), and holds
-    the dataset weakly so worlds die with their datasets.
+    the dataset weakly so worlds die with their datasets.  Mutating a
+    memoized dataset in place is undefined behaviour; the memo detects
+    the common case -- any mutation that changes the user-table,
+    relationship or gazetteer *sizes* -- and raises
+    :class:`StaleWorldError` instead of serving the stale world
+    (same-size in-place edits cannot be caught without rehashing the
+    content on every call).  Growing a world incrementally is what
+    :mod:`repro.data.delta` is for.
     """
     global _COMPILE_COUNT
     if isinstance(source, ColumnarWorld):
@@ -525,6 +581,17 @@ def compile_world(source: "Dataset | ColumnarWorld") -> ColumnarWorld:
         _COMPILE_COUNT += 1
         world = ColumnarWorld.compile(source)
         _WORLD_CACHE[source] = world
+        _WORLD_FINGERPRINTS[source] = _dataset_fingerprint(source)
+    else:
+        recorded = _WORLD_FINGERPRINTS.get(source)
+        current = _dataset_fingerprint(source)
+        if recorded is not None and recorded != current:
+            raise StaleWorldError(
+                "dataset was mutated in place after its world was "
+                f"compiled (shape {recorded} -> {current}); datasets "
+                "are immutable by convention -- build a new Dataset, "
+                "or stream changes with repro.data.delta.WorldDelta"
+            )
     return world
 
 
@@ -542,6 +609,7 @@ def register_world(dataset: Dataset, world: ColumnarWorld) -> None:
     if current is None:
         world._dataset_ref = weakref.ref(dataset)
     _WORLD_CACHE[dataset] = world
+    _WORLD_FINGERPRINTS[dataset] = _dataset_fingerprint(dataset)
 
 
 def compile_count() -> int:

@@ -17,7 +17,7 @@ them only through :class:`Dataset` accessors that check availability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Iterable, Sequence
 

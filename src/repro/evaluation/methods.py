@@ -12,10 +12,10 @@ home-location Base of Sec. 5.3) attach per-edge ``(x, y)`` assignments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-from repro.core.model import MLPModel, MLPResult
+from repro.core.model import MLPModel
 from repro.core.params import MLPParams
 from repro.data.model import Dataset
 

@@ -24,7 +24,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.data.model import Dataset
-from repro.evaluation.methods import LocationMethod, MethodPrediction
+from repro.evaluation.methods import LocationMethod
 from repro.evaluation.metrics import (
     DEFAULT_MILES,
     aad_curve,

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.convergence import ConvergenceTrace
-from repro.core.gibbs_em import fit_initial_power_law
 from repro.core.model import MLPModel
 from repro.core.params import MLPParams
 from repro.data.model import Dataset
@@ -22,7 +21,7 @@ from repro.evaluation.tasks import (
     HomePredictionResult,
     MultiLocationResult,
 )
-from repro.mathx.buckets import DistanceBuckets, log_spaced_bucket_following_pairs
+from repro.mathx.buckets import log_spaced_bucket_following_pairs
 from repro.mathx.powerlaw import PowerLaw, fit_power_law, r_squared_loglog
 
 

@@ -12,7 +12,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.baselines import BackstromBaseline, HomeLocationExplainer
+from repro.baselines import HomeLocationExplainer
 from repro.data.generator import generate_world
 from repro.data.model import Dataset
 from repro.data.stats import DatasetStats, compute_stats

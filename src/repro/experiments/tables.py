@@ -4,13 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.model import MLPResult
 from repro.data.model import Dataset
-from repro.evaluation.methods import MethodPrediction
 from repro.evaluation.tasks import (
-    ExplanationTaskResult,
     HomePredictionResult,
     MultiLocationResult,
 )

@@ -15,7 +15,14 @@ process-lifetime object into a served product:
 - :mod:`repro.serving.cache` -- the thread-safe LRU map behind it;
 - :mod:`repro.serving.server` -- a stdlib JSON-over-HTTP inference
   server (``repro serve``) exposing predict-home / predict-batch /
-  profile / explain-edge.
+  profile / explain-edge / ingest.
+
+Worlds served here are *live*: ``FoldInPredictor.refresh(delta)``
+splices a :class:`~repro.data.delta.WorldDelta` of arrivals into the
+served world in O(|delta| + touched rows) -- no artifact reload -- and
+invalidates only the cached predictions the delta actually staled
+(``POST /ingest`` is the HTTP face of it, ``repro ingest`` the offline
+streamer).
 
 Typical flow::
 

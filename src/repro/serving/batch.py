@@ -138,17 +138,25 @@ class BatchFoldInEngine:
 
     # -- public API --------------------------------------------------------
 
-    def solve(self, specs: list[UserSpec]) -> list[_Solution]:
+    def solve(
+        self, specs: list[UserSpec], world: ColumnarWorld | None = None
+    ) -> list[_Solution]:
         """Solve every spec; element ``i`` corresponds to ``specs[i]``.
 
         Bit-identical per spec to ``predictor._solve(specs[i])``;
         chunked so arena memory stays bounded on huge populations.
+        One world snapshot covers the whole call (pass the caller's
+        snapshot to share it): a concurrent streaming refresh swaps the
+        predictor's world atomically, and every chunk of this batch
+        must see the same generation.
         """
         specs = list(specs)
+        if world is None:
+            world = self.predictor.world
         solutions: list[_Solution] = []
         for start in range(0, len(specs), self.chunk_size):
             solutions.extend(
-                self._solve_chunk(specs[start:start + self.chunk_size])
+                self._solve_chunk(specs[start:start + self.chunk_size], world)
             )
         return solutions
 
@@ -160,10 +168,11 @@ class BatchFoldInEngine:
         venues: np.ndarray,
         observed: np.ndarray,
         has_observed: np.ndarray,
+        world: ColumnarWorld,
     ) -> None:
         """Vectorized spec validation, same messages as the sequential path."""
         predictor = self.predictor
-        n_users = predictor.world.n_users
+        n_users = world.n_users
         bad = neighbors[(neighbors < 0) | (neighbors >= n_users)]
         if bad.size:
             raise ValueError(f"unknown neighbour user id {int(bad[0])}")
@@ -179,11 +188,10 @@ class BatchFoldInEngine:
 
     # -- arena construction ------------------------------------------------
 
-    def _lower(self, specs: list[UserSpec]) -> _Arena:
+    def _lower(self, specs: list[UserSpec], world: ColumnarWorld) -> _Arena:
         """Lower one chunk of specs into the flat spec arena."""
         predictor = self.predictor
         params = predictor.params
-        world: ColumnarWorld = predictor.world
         n_specs = len(specs)
 
         fr_owner, fr_nb = _field_arrays(specs, "friends")
@@ -203,7 +211,8 @@ class BatchFoldInEngine:
             count=n_specs,
         )
         self._validate(
-            np.concatenate([fr_nb, fo_nb]), ve_vid, observed_raw, has_observed
+            np.concatenate([fr_nb, fo_nb]), ve_vid, observed_raw, has_observed,
+            world,
         )
         observed = np.where(has_observed, observed_raw, -1)
 
@@ -350,12 +359,16 @@ class BatchFoldInEngine:
 
     # -- the batched fixed point -------------------------------------------
 
-    def _solve_chunk(self, specs: list[UserSpec]) -> list[_Solution]:
+    def _solve_chunk(
+        self, specs: list[UserSpec], world: ColumnarWorld | None = None
+    ) -> list[_Solution]:
         if not specs:
             return []
         predictor = self.predictor
         tolerance = predictor.tolerance
-        arena = self._lower(specs)
+        arena = self._lower(
+            specs, world if world is not None else predictor.world
+        )
         n_specs = arena.n_specs
         total_cand = arena.cand_ids.size
         cand_positions = np.arange(total_cand, dtype=np.int64)
@@ -543,6 +556,7 @@ def score_population(
     result,
     predictor: FoldInPredictor | None = None,
     use_cache: bool = False,
+    since_generation: int | None = None,
 ) -> dict[int, FoldInPrediction]:
     """Profile every *unlabeled* user of a dataset in one batch call.
 
@@ -552,28 +566,50 @@ def score_population(
     the vectorized batch engine and return ``{user_id: prediction}``.
     Pass an existing ``predictor`` to reuse its frozen tables and LRU
     cache (``use_cache=True`` then serves repeat populations from it).
+
+    With ``since_generation=g`` only the *delta-affected* slice is
+    re-scored: unlabeled users touched by ingest generations ``> g``
+    (arrivals, endpoints of new edges, tweeters, label updates and
+    their neighbours -- read from the world's ``delta_log``).  A
+    steady-state server keeps a full population scored, streams deltas
+    in, and re-scores just ``since_generation=<last scored>`` instead
+    of the world.
     """
     world = compile_world(world)
     if predictor is None:
+        # Build over the *training* world, so the content check below
+        # still catches a same-size-but-different world; to score a
+        # delta-grown world, pass the refreshed predictor (or build
+        # one with ``FoldInPredictor(result, world=grown)``).
         predictor = FoldInPredictor(result)
     if world.n_users != predictor.world.n_users:
         raise ValueError(
-            f"world has {world.n_users} users but the fitted result was "
-            f"trained on {predictor.world.n_users}"
+            f"world has {world.n_users} users but the predictor serves "
+            f"{predictor.world.n_users}"
         )
     if (
         world is not predictor.world
         and world.content_hash != predictor.world.content_hash
+        # Chained ingest hashes encode a *history*, so two worlds with
+        # identical arrays but different provenance (N deltas vs. a
+        # from-scratch recompile) disagree above; the array-level
+        # rehash settles it before we reject.
+        and world.rehash() != predictor.world.rehash()
     ):
         # Same size but different edges/labels: the specs below replay
-        # the *training* world's evidence, so scoring a different world
+        # the predictor world's evidence, so scoring a different world
         # with them would silently produce stale profiles.
         raise ValueError(
-            "world content does not match the world the result was "
-            f"fitted on ({world.content_hash} != "
+            "world content does not match the world the predictor "
+            f"serves ({world.content_hash} != "
             f"{predictor.world.content_hash})"
         )
     unlabeled = np.flatnonzero(~world.labeled_mask)
+    if since_generation is not None:
+        from repro.data.delta import touched_since
+
+        affected = touched_since(world, since_generation)
+        unlabeled = np.intersect1d(unlabeled, affected, assume_unique=True)
     specs = [
         predictor.spec_for_training_user(int(uid)) for uid in unlabeled
     ]

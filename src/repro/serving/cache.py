@@ -33,6 +33,13 @@ class LRUCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        # Optional entry tags for selective invalidation: tag -> keys
+        # carrying it, plus the reverse map so eviction can clean up.
+        # Streaming ingest tags predictions with the neighbour ids they
+        # read, then drops exactly the entries a label update staled.
+        self._tag_index: dict[Hashable, set[Hashable]] = {}
+        self._key_tags: dict[Hashable, tuple] = {}
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
@@ -45,10 +52,14 @@ class LRUCache:
             self.hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key``, evicting the oldest entry if full."""
+    def put(self, key: Hashable, value: Any, tags: Iterable[Hashable] = ()) -> None:
+        """Insert or refresh ``key``, evicting the oldest entry if full.
+
+        ``tags`` label the entry for :meth:`invalidate_tags`; an entry
+        re-put with different tags keeps only the new ones.
+        """
         with self._lock:
-            self._put_locked(key, value)
+            self._put_locked(key, value, tuple(tags))
 
     def get_many(self, keys: Iterable[Hashable]) -> dict[Hashable, Any]:
         """Bulk :meth:`get` under one lock acquisition.
@@ -70,18 +81,54 @@ class LRUCache:
                     found[key] = value
             return found
 
-    def put_many(self, items: Iterable[tuple[Hashable, Any]]) -> None:
-        """Bulk :meth:`put` under one lock acquisition."""
-        with self._lock:
-            for key, value in items:
-                self._put_locked(key, value)
+    def put_many(self, items: Iterable[tuple]) -> None:
+        """Bulk :meth:`put` under one lock acquisition.
 
-    def _put_locked(self, key: Hashable, value: Any) -> None:
+        Items are ``(key, value)`` or ``(key, value, tags)`` tuples.
+        """
+        with self._lock:
+            for item in items:
+                key, value = item[0], item[1]
+                tags = tuple(item[2]) if len(item) > 2 else ()
+                self._put_locked(key, value, tags)
+
+    def invalidate_tags(self, tags: Iterable[Hashable]) -> int:
+        """Drop every entry carrying any of ``tags``; returns the count.
+
+        The serving layer calls this on streaming ingest: a label
+        update stales exactly the predictions tagged with that user,
+        and nothing else -- no wholesale flush, hit-rate history kept.
+        """
+        with self._lock:
+            doomed: set[Hashable] = set()
+            for tag in tags:
+                doomed.update(self._tag_index.get(tag, ()))
+            for key in doomed:
+                del self._data[key]
+                self._drop_tags_locked(key)
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def _put_locked(self, key: Hashable, value: Any, tags: tuple = ()) -> None:
         if key in self._data:
             self._data.move_to_end(key)
+            self._drop_tags_locked(key)
         self._data[key] = value
+        if tags:
+            self._key_tags[key] = tags
+            for tag in tags:
+                self._tag_index.setdefault(tag, set()).add(key)
         while len(self._data) > self.max_size:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            self._drop_tags_locked(evicted)
+
+    def _drop_tags_locked(self, key: Hashable) -> None:
+        for tag in self._key_tags.pop(key, ()):
+            keys = self._tag_index.get(tag)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._tag_index[tag]
 
     def __len__(self) -> int:
         with self._lock:
@@ -95,6 +142,8 @@ class LRUCache:
         """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:
             self._data.clear()
+            self._tag_index.clear()
+            self._key_tags.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (entries are kept).
@@ -107,6 +156,7 @@ class LRUCache:
         with self._lock:
             self.hits = 0
             self.misses = 0
+            self.invalidations = 0
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/size snapshot for health endpoints and benchmarks."""
@@ -114,6 +164,7 @@ class LRUCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "invalidations": self.invalidations,
                 "size": len(self._data),
                 "max_size": self.max_size,
             }

@@ -219,6 +219,19 @@ class FoldInPredictor:
         ``predict_batch`` delegates to the vectorized batch engine
         (:mod:`repro.serving.batch`) once at least this many unique,
         cache-missing specs need solving.
+    world:
+        The *evidence* world to serve against -- the training world
+        grown by ingested :class:`~repro.data.delta.WorldDelta`
+        batches (or a from-scratch recompile of the same final
+        dataset).  Defaults to the training world itself.  The frozen
+        posterior tables (neighbour profiles, psi, the FR/TR noise
+        models, the fitted law) always come from the *training* world:
+        they are model artifacts, fixed at fit time; the evidence
+        world only supplies candidacy labels, adjacency and spec
+        replay.  Users beyond the training set carry an empty frozen
+        profile (their edges contribute only the noise branch until a
+        refit), but their observed labels feed candidacy -- which is
+        what makes fold-in of fresh arrivals meaningful.
     """
 
     def __init__(
@@ -229,6 +242,7 @@ class FoldInPredictor:
         tolerance: float = 1e-9,
         cache_size: int = 1024,
         batch_threshold: int = BATCH_CROSSOVER,
+        world=None,
     ):
         if result.venue_counts is None:
             raise ValueError(
@@ -265,11 +279,38 @@ class FoldInPredictor:
         #: fit in this process (or an artifact that persisted its world),
         #: the memoized compile returns the existing world -- serving
         #: re-derives nothing.
-        world = compile_world(result.dataset)
+        train_world = compile_world(result.dataset)
+        #: Users with a frozen posterior profile; anyone beyond this
+        #: (ingested after the fit) folds in with an empty profile.
+        self._n_train = train_world.n_users
+        if world is None:
+            world = train_world
+        elif world.gazetteer is not train_world.gazetteer and (
+            world.n_locations != train_world.n_locations
+            or world.n_venues != train_world.n_venues
+            # Same sizes is not same id space: two regional gazetteers
+            # of equal size would silently cross-index the law matrix
+            # and psi.  Vocabulary equality pins the venue/location id
+            # mapping itself (cheap: a one-time list compare).
+            or list(world.gazetteer.venue_vocabulary)
+            != list(train_world.gazetteer.venue_vocabulary)
+        ):
+            raise ValueError(
+                "evidence world was built over a different gazetteer "
+                "than the fitted result"
+            )
+        elif world.n_users < train_world.n_users:
+            raise ValueError(
+                f"evidence world has {world.n_users} users but the "
+                f"result was trained on {train_world.n_users}; serving "
+                "worlds may only grow"
+            )
+        #: The live evidence world; swapped atomically by
+        #: :meth:`refresh` as deltas stream in.
         self.world = world
-        gaz = world.gazetteer
-        self.n_locations = world.n_locations
-        self.n_venues = world.n_venues
+        gaz = train_world.gazetteer
+        self.n_locations = train_world.n_locations
+        self.n_venues = train_world.n_venues
         #: Cache at most ~256 MB of kernel rows, whatever the
         #: gazetteer size (each row is ``n_locations`` float64).
         self._kernel_cache_limit = max(
@@ -284,11 +325,15 @@ class FoldInPredictor:
         self._psi = (result.venue_counts + delta) / (
             totals + delta * self.n_venues
         )[:, None]
+        # FR/TR are empirical models of the *training* corpus, frozen
+        # with the rest of the posterior -- ingested traffic must not
+        # silently reweight every cached prediction's noise branch.
         self._fr_noise = result.params.rho_f * (
-            world.n_following / float(world.n_users * world.n_users)
+            train_world.n_following
+            / float(train_world.n_users * train_world.n_users)
         )
         self._tr_probs = RandomTweetingModel.from_world(
-            world
+            train_world
         ).venue_probabilities
         #: Sparse frozen neighbour profiles as one CSR arena: the
         #: sequential solver slices it per neighbour, the batch engine
@@ -314,10 +359,14 @@ class FoldInPredictor:
     # -- spec construction -------------------------------------------------
 
     def spec_for_training_user(self, user_id: int) -> UserSpec:
-        """The spec that replays a training user's exact evidence."""
+        """The spec replaying a known user's exact world evidence.
+
+        Covers ingested users too: a user added by a delta replays the
+        friends/followers/venues the delta gave them.
+        """
         world = self.world
         if not 0 <= user_id < world.n_users:
-            raise ValueError(f"user {user_id} not in the training set")
+            raise ValueError(f"user {user_id} not in the served world")
         observed = int(world.observed_location[user_id])
         return UserSpec(
             friends=tuple(world.friends_of(user_id).tolist()),
@@ -373,8 +422,8 @@ class FoldInPredictor:
         self._validate(spec)
         return spec
 
-    def _validate(self, spec: UserSpec) -> None:
-        n = self.world.n_users
+    def _validate(self, spec: UserSpec, world=None) -> None:
+        n = (world if world is not None else self.world).n_users
         for uid in spec.friends + spec.followers:
             if not 0 <= uid < n:
                 raise ValueError(f"unknown neighbour user id {uid}")
@@ -390,7 +439,9 @@ class FoldInPredictor:
 
     # -- prior construction (mirrors core.priors) --------------------------
 
-    def _candidates_for(self, spec: UserSpec) -> tuple[np.ndarray, np.ndarray]:
+    def _candidates_for(
+        self, spec: UserSpec, world=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Candidacy vector and gamma prior, exactly as in training.
 
         Reads the compiled world's user table and referent CSR -- the
@@ -398,7 +449,8 @@ class FoldInPredictor:
         replayed training user gets byte-identical candidacy.
         """
         params = self.params
-        world = self.world
+        if world is None:
+            world = self.world
         observed = world.observed_location
         cand_set: set[int] = set()
         if params.use_candidacy:
@@ -426,7 +478,14 @@ class FoldInPredictor:
     # -- the fold-in solve -------------------------------------------------
 
     def _profile_of(self, user_id: int) -> tuple[np.ndarray, np.ndarray]:
-        """One neighbour's frozen sparse profile (CSR slice views)."""
+        """One neighbour's frozen sparse profile (CSR slice views).
+
+        Users ingested after the fit have no frozen posterior: their
+        profile is empty, so edges to them contribute only the noise
+        branch (``K_j = 0``) until a refit produces a new artifact.
+        """
+        if user_id >= self._n_train:
+            return self._prof_locs[:0], self._prof_probs[:0]
         start, end = self._prof_indptr[user_id], self._prof_indptr[user_id + 1]
         return self._prof_locs[start:end], self._prof_probs[start:end]
 
@@ -482,9 +541,17 @@ class FoldInPredictor:
             return np.zeros((0, cand.size)), zero, zero
         return np.stack(rows), np.array(noise), np.array(factor)
 
-    def _solve(self, spec: UserSpec) -> _Solution:
-        self._validate(spec)
-        cand, gamma = self._candidates_for(spec)
+    def _solve(self, spec: UserSpec, world=None) -> _Solution:
+        # One world snapshot per solve: a concurrent refresh() swaps
+        # self.world atomically, and mixing two generations inside one
+        # solve would validate against one world and build candidacy
+        # from another.  Callers that cache pass the snapshot in, so
+        # they can refuse to cache a result solved against a world that
+        # was refreshed away mid-solve.
+        if world is None:
+            world = self.world
+        self._validate(spec, world)
+        cand, gamma = self._candidates_for(spec, world)
         n_cand = cand.size
         one_segment = np.zeros(1, dtype=np.intp)
         gamma_sum = float(contiguous_segment_sum(gamma, one_segment)[0])
@@ -561,6 +628,32 @@ class FoldInPredictor:
                     self._batch_engine = BatchFoldInEngine(self)
         return self._batch_engine
 
+    @staticmethod
+    def _spec_tags(spec: UserSpec) -> tuple[int, ...]:
+        """Cache-invalidation tags: the neighbours a prediction read.
+
+        A cached prediction depends on the served world only through
+        its neighbours' *observed labels* (candidacy); profiles, psi
+        and the noise models are frozen.  Tagging entries with their
+        neighbour ids lets :meth:`refresh` drop exactly the
+        predictions a label update staled -- nothing else.
+        """
+        return tuple(set(spec.friends) | set(spec.followers))
+
+    def _cache_put(self, items, world) -> None:
+        """Cache solved predictions -- unless the world moved mid-solve.
+
+        Checked under the predictor lock, against which :meth:`refresh`
+        serializes its swap + tag invalidation: a prediction solved
+        over a world that was refreshed away must not land *after* the
+        refresh's invalidation pass, or it would serve stale until the
+        next touching delta.  Dropping it is cheap (the next request
+        re-solves against the live world).
+        """
+        with self._lock:
+            if self.world is world:
+                self.cache.put_many(items)
+
     def predict(self, spec: UserSpec, use_cache: bool = True) -> FoldInPrediction:
         """Score one user; served from the LRU cache when possible."""
         key = (self.artifact_id, spec.signature())
@@ -570,9 +663,10 @@ class FoldInPredictor:
                 return replace(cached, from_cache=True)
         with self._lock:
             self.solve_count += 1
-        prediction = self._render(self._solve(spec))
+        world = self.world
+        prediction = self._render(self._solve(spec, world))
         if use_cache:
-            self.cache.put(key, prediction)
+            self._cache_put([(key, prediction, self._spec_tags(spec))], world)
         return prediction
 
     def predict_batch(
@@ -608,18 +702,23 @@ class FoldInPredictor:
         miss_indices = [i for i in unique_indices if keys[i] not in cached]
         rendered: dict[tuple[str, str], FoldInPrediction] = {}
         if miss_indices:
+            world = self.world
             to_solve = [specs[i] for i in miss_indices]
             if len(to_solve) >= self.batch_threshold:
-                solutions = self.batch_engine.solve(to_solve)
+                solutions = self.batch_engine.solve(to_solve, world)
             else:
-                solutions = [self._solve(spec) for spec in to_solve]
+                solutions = [self._solve(spec, world) for spec in to_solve]
             with self._lock:
                 self.solve_count += len(to_solve)
             for index, solution in zip(miss_indices, solutions):
                 rendered[keys[index]] = self._render(solution)
             if use_cache:
-                self.cache.put_many(
-                    (keys[i], rendered[keys[i]]) for i in miss_indices
+                self._cache_put(
+                    [
+                        (keys[i], rendered[keys[i]], self._spec_tags(specs[i]))
+                        for i in miss_indices
+                    ],
+                    world,
                 )
         results: list[FoldInPrediction] = []
         for index, key in enumerate(keys):
@@ -646,6 +745,39 @@ class FoldInPredictor:
         self.cache.clear()
         if reset_stats:
             self.cache.reset_stats()
+
+    def refresh(self, delta):
+        """Apply a :class:`~repro.data.delta.WorldDelta` to the served world.
+
+        Splices the delta into the evidence world in
+        O(|delta| + touched rows) and re-attaches it -- no artifact
+        reload, no recompile, no cold start.  Returns the new
+        :class:`~repro.data.columnar.ColumnarWorld` (its
+        ``content_hash`` is the chained ingest hash and ``generation``
+        advanced by one).
+
+        Cache policy is surgical, not wholesale: the frozen posterior
+        tables are untouched by ingest, so the kernel-row cache stays
+        valid verbatim, and only cached predictions *tagged* with a
+        label-updated neighbour are invalidated (new users and new
+        edges produce new signatures, which miss naturally).
+        Concurrent refreshes serialize on the predictor lock, and the
+        swap + invalidation happen atomically under it: an in-flight
+        solve keeps the world snapshot it started with, and its result
+        is cached only if that snapshot is still the served world
+        (:meth:`_cache_put`), so a stale prediction can never land
+        *after* the invalidation pass.
+        """
+        from repro.data.delta import apply_delta
+
+        with self._lock:
+            new_world = apply_delta(self.world, delta)
+            self.world = new_world
+            if delta.label_users.size:
+                self.cache.invalidate_tags(
+                    int(uid) for uid in delta.label_users
+                )
+        return new_world
 
     def explain_edge(
         self,

@@ -17,6 +17,13 @@ statement as endpoints:
 - ``POST /explain-edge``   -- the blocked-conditional explanation of
   one edge between a spec'd user and a training neighbour
   (``{"user": {...}, "neighbor": j, "direction": "out"|"in"}``);
+- ``POST /ingest``         -- streaming world ingest: a
+  :class:`~repro.data.delta.WorldDelta` payload (``{"new_users":
+  [...], "edges": [...], "tweets": [...], "labels": {...}}``) is
+  spliced into the served world in O(|delta| + touched rows), no
+  artifact reload; returns the new chained world hash + generation
+  (body capped at the standard 1 MiB budget -- stream larger backlogs
+  as multiple deltas);
 - ``GET /healthz``         -- liveness plus cache hit/miss counters;
 - ``GET /artifact``        -- the artifact's identity and parameters.
 
@@ -56,6 +63,7 @@ POST_HANDLERS = {
     "/predict-batch": "_predict_batch",
     "/profile": "_profile",
     "/explain-edge": "_explain_edge",
+    "/ingest": "_ingest",
 }
 GET_ROUTES = tuple(GET_HANDLERS)
 POST_ROUTES = tuple(POST_HANDLERS)
@@ -174,10 +182,12 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     def _healthz(self) -> dict:
         predictor = self.server.predictor
+        world = predictor.world
         return {
             "status": "ok",
             "artifact_id": predictor.artifact_id,
-            "users": predictor.world.n_users,
+            "users": world.n_users,
+            "world_generation": world.generation,
             "cache": predictor.cache.stats(),
         }
 
@@ -292,6 +302,40 @@ class ServingHandler(BaseHTTPRequestHandler):
                 }
                 for loc, prob in profile.entries[:top_k]
             ],
+        }
+
+    def _ingest(self, payload) -> dict:
+        """Apply one delta batch to the served world, live.
+
+        The response names the new world's identity (chained hash +
+        generation) so callers can checkpoint their ingest position --
+        ``score_population(since_generation=...)`` re-scores exactly
+        the users this delta touched.
+        """
+        from repro.data.delta import WorldDelta
+
+        predictor = self.server.predictor
+        payload = self._require_object(payload)
+        delta = WorldDelta.from_payload(
+            payload, gazetteer=predictor.world.gazetteer
+        )
+        world = predictor.refresh(delta)
+        record = world.delta_log[-1]
+        return {
+            "artifact_id": predictor.artifact_id,
+            "world_hash": world.content_hash,
+            "generation": world.generation,
+            "users": world.n_users,
+            "following": world.n_following,
+            "tweeting": world.n_tweeting,
+            "applied": {
+                "new_users": record.n_new_users,
+                "edges": record.n_edges,
+                "tweets": record.n_tweets,
+                "label_updates": record.n_label_updates,
+                "touched_users": int(record.touched_users.size),
+            },
+            "cache": predictor.cache.stats(),
         }
 
     def _explain_edge(self, payload) -> dict:

@@ -399,3 +399,107 @@ class TestEvaluate:
         assert "Table 2" in out
         for name in ("BaseU", "BaseC", "MLP"):
             assert name in out
+
+
+class TestIngestCommand:
+    @pytest.fixture(scope="class")
+    def artifact(self, saved_world, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ingest-artifact") / "model.mlp.npz"
+        rc = main(
+            [
+                "fit",
+                str(saved_world),
+                "--iterations",
+                "6",
+                "--burn-in",
+                "2",
+                "--save-artifact",
+                str(path),
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_ingest_streams_deltas(self, artifact, tmp_path, capsys):
+        deltas = tmp_path / "deltas.jsonl"
+        deltas.write_text(
+            '{"new_users": [{"observed_location": 2}], "edges": [[0, 3]]}\n'
+            "\n"  # blank lines are skipped
+            '{"labels": {"1": 5}}\n'
+        )
+        rc = main(["ingest", str(artifact), "--input", str(deltas)])
+        assert rc == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert [entry["generation"] for entry in lines] == [1, 2]
+        assert lines[0]["new_users"] == 1
+        assert lines[1]["label_updates"] == 1
+        assert lines[0]["world_hash"] != lines[1]["world_hash"]
+
+    def test_ingest_rescores_affected(self, artifact, tmp_path, capsys):
+        deltas = tmp_path / "deltas.jsonl"
+        # Touch user 0 (an edge) so the rescore set is non-deterministic
+        # only in content, not in mechanics.
+        deltas.write_text('{"edges": [[0, 2], [4, 0]]}\n')
+        out = tmp_path / "rescored.jsonl"
+        rc = main(
+            [
+                "ingest",
+                str(artifact),
+                "--input",
+                str(deltas),
+                "--score-output",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert all("user_id" in r and "home" in r for r in records)
+
+    def test_ingest_bad_delta_fails_cleanly(self, artifact, tmp_path, capsys):
+        deltas = tmp_path / "bad.jsonl"
+        deltas.write_text('{"edges": [[0, 999999]]}\n')
+        rc = main(["ingest", str(artifact), "--input", str(deltas)])
+        assert rc == 2
+        assert "bad delta on line 1" in capsys.readouterr().err
+
+    def test_ingest_malformed_delta_shape_fails_cleanly(
+        self, artifact, tmp_path, capsys
+    ):
+        deltas = tmp_path / "shape.jsonl"
+        deltas.write_text('{"edges": [5]}\n')
+        rc = main(["ingest", str(artifact), "--input", str(deltas)])
+        assert rc == 2
+        assert "bad delta on line 1" in capsys.readouterr().err
+
+    def test_ingest_empty_input_still_writes_score_output(
+        self, artifact, tmp_path, capsys
+    ):
+        deltas = tmp_path / "empty.jsonl"
+        deltas.write_text("\n")
+        out = tmp_path / "rescored.jsonl"
+        rc = main(
+            [
+                "ingest",
+                str(artifact),
+                "--input",
+                str(deltas),
+                "--score-output",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert out.read_text() == ""
+
+    def test_ingest_missing_input(self, artifact, tmp_path, capsys):
+        rc = main(
+            ["ingest", str(artifact), "--input", str(tmp_path / "nope.jsonl")]
+        )
+        assert rc == 2
+        assert "cannot read --input" in capsys.readouterr().err

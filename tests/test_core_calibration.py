@@ -1,6 +1,5 @@
 """Tests for (alpha, beta) calibration: initial fit and EM refit."""
 
-import numpy as np
 import pytest
 
 from repro.core.calibration import fit_initial_power_law, refit_power_law

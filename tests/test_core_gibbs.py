@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.gibbs import NO_ASSIGNMENT, GibbsSampler, _draw_index
 from repro.core.params import MLPParams
-from repro.core.priors import build_user_priors
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the MLPModel facade and its result types."""
 
-import numpy as np
 import pytest
 
 from repro.core.model import MLPModel, mlp_c_params, mlp_u_params

@@ -13,7 +13,7 @@ from repro.core.priors import (
 )
 from repro.data import columnar
 from repro.data.columnar import ColumnarWorld, compile_world, register_world
-from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
+from repro.data.model import Dataset, FollowingEdge, User
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,386 @@
+"""Streaming delta tests: splice vs from-scratch recompile bit-identity.
+
+The contract under test is the golden one of :mod:`repro.data.delta`:
+applying any sequence of :class:`WorldDelta` batches to a compiled
+world must produce *bit-identical arrays* to compiling the final
+inputs from scratch -- across interleavings, batch compositions and
+edge cases.  Everything downstream (fold-in, serving, evaluation) then
+inherits exactness for free; the serving-level golden test lives in
+``tests/test_serving_refresh.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.columnar import (
+    WORLD_ARRAY_KEYS,
+    ColumnarWorld,
+    StaleWorldError,
+    compile_world,
+)
+from repro.data.delta import (
+    DeltaRecord,
+    WorldDelta,
+    apply_delta,
+    chain_hash,
+    touched_since,
+)
+from repro.data.generator import SyntheticWorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def base_world():
+    dataset = generate_world(SyntheticWorldConfig(n_users=150, seed=21))
+    return compile_world(dataset)
+
+
+def recompiled(world, deltas):
+    """The from-scratch comparator: compile the final inputs directly."""
+    observed = world.observed_location.copy()
+    src, dst = [world.edge_src], [world.edge_dst]
+    t_user, t_venue = [world.tweet_user], [world.tweet_venue]
+    for delta in deltas:
+        observed = np.concatenate([observed, delta.new_user_labels])
+        observed[delta.label_users] = delta.label_locations
+        src.append(delta.edge_src)
+        dst.append(delta.edge_dst)
+        t_user.append(delta.tweet_user)
+        t_venue.append(delta.tweet_venue)
+    return ColumnarWorld.from_edge_arrays(
+        world.gazetteer,
+        observed_location=observed,
+        edge_src=np.concatenate(src),
+        edge_dst=np.concatenate(dst),
+        tweet_user=np.concatenate(t_user),
+        tweet_venue=np.concatenate(t_venue),
+    )
+
+
+def assert_worlds_identical(applied, scratch):
+    for key in WORLD_ARRAY_KEYS:
+        a, b = getattr(applied, key), getattr(scratch, key)
+        assert a.dtype == b.dtype, key
+        assert np.array_equal(a, b), f"{key} differs from recompile"
+    assert applied.rehash() == scratch.rehash()
+
+
+def random_delta(world, rng, n_new=5, n_edges=20, n_tweets=25, n_labels=4):
+    n = world.n_users
+    total = n + n_new
+    new_users = [
+        int(rng.integers(world.n_locations)) if rng.random() < 0.7 else None
+        for _ in range(n_new)
+    ]
+    edges = [
+        (int(s), int(d))
+        for s, d in zip(
+            rng.integers(0, total, n_edges), rng.integers(0, total, n_edges)
+        )
+        if s != d
+    ]
+    tweets = [
+        (int(rng.integers(total)), int(rng.integers(world.n_venues)))
+        for _ in range(n_tweets)
+    ]
+    labels = {
+        int(rng.integers(n)): (
+            int(rng.integers(world.n_locations))
+            if rng.random() < 0.7
+            else None
+        )
+        for _ in range(n_labels)
+    }
+    return WorldDelta(new_users=new_users, edges=edges, tweets=tweets, labels=labels)
+
+
+class TestGoldenBitIdentity:
+    def test_single_mixed_delta(self, base_world, rng):
+        delta = random_delta(base_world, rng)
+        assert_worlds_identical(
+            apply_delta(base_world, delta), recompiled(base_world, [delta])
+        )
+
+    def test_interleaved_deltas_match_one_recompile(self, base_world, rng):
+        """Acceptance: N interleaved applies == one from-scratch compile."""
+        current = base_world
+        deltas = []
+        for _ in range(6):
+            delta = random_delta(current, rng)
+            deltas.append(delta)
+            current = apply_delta(current, delta)
+        assert current.generation == 6
+        assert_worlds_identical(current, recompiled(base_world, deltas))
+
+    def test_chunking_is_invisible(self, base_world, rng):
+        """One big batch and the same rows split across batches agree.
+
+        (On arrays -- chained hashes intentionally differ per history.)
+        """
+        big = random_delta(base_world, rng, n_new=8, n_edges=30, n_tweets=30)
+        one = apply_delta(base_world, big)
+        n = base_world.n_users
+        first = WorldDelta(
+            new_users=[
+                None if loc < 0 else int(loc)
+                for loc in big.new_user_labels[:4]
+            ],
+            edges=[
+                (int(s), int(d))
+                for s, d in zip(big.edge_src, big.edge_dst)
+                if s < n + 4 and d < n + 4
+            ],
+        )
+        rest_edges = [
+            (int(s), int(d))
+            for s, d in zip(big.edge_src, big.edge_dst)
+            if not (s < n + 4 and d < n + 4)
+        ]
+        second = WorldDelta(
+            new_users=[
+                None if loc < 0 else int(loc)
+                for loc in big.new_user_labels[4:]
+            ],
+            edges=rest_edges,
+            tweets=list(zip(big.tweet_user.tolist(), big.tweet_venue.tolist())),
+            labels={
+                int(u): (None if loc < 0 else int(loc))
+                for u, loc in zip(big.label_users, big.label_locations)
+            },
+        )
+        split = apply_delta(apply_delta(base_world, first), second)
+        # Edge *order* differs between the two splits, so the arenas
+        # and CSR rows legitimately differ -- but every derived
+        # per-user set (candidacy, neighbourhoods) must agree.
+        assert np.array_equal(one.cand_indptr, split.cand_indptr)
+        assert np.array_equal(one.cand_indices, split.cand_indices)
+        assert np.array_equal(one.nbr_indptr, split.nbr_indptr)
+        assert np.array_equal(one.nbr_indices, split.nbr_indices)
+        assert np.array_equal(one.observed_location, split.observed_location)
+        assert np.array_equal(
+            one.venue_mention_counts, split.venue_mention_counts
+        )
+
+    def test_base_world_arrays_unchanged(self, base_world, rng):
+        """Applies never mutate the parent world (prefix views stay valid)."""
+        before = {
+            key: getattr(base_world, key).copy() for key in WORLD_ARRAY_KEYS
+        }
+        current = base_world
+        for _ in range(3):
+            current = apply_delta(current, random_delta(current, rng))
+        for key in WORLD_ARRAY_KEYS:
+            assert np.array_equal(getattr(base_world, key), before[key]), key
+
+    def test_branching_from_one_parent(self, base_world, rng):
+        """Two deltas applied to the same parent don't corrupt each other."""
+        d1 = random_delta(base_world, rng)
+        d2 = random_delta(base_world, rng)
+        w1 = apply_delta(base_world, d1)
+        w2 = apply_delta(base_world, d2)
+        assert_worlds_identical(w1, recompiled(base_world, [d1]))
+        assert_worlds_identical(w2, recompiled(base_world, [d2]))
+
+
+class TestEdgeCases:
+    def test_empty_delta(self, base_world):
+        world = apply_delta(base_world, WorldDelta())
+        assert world.generation == base_world.generation + 1
+        assert world.content_hash != base_world.content_hash
+        # No copies: every array is shared with the parent.
+        for key in WORLD_ARRAY_KEYS:
+            assert getattr(world, key) is getattr(base_world, key), key
+        assert world.delta_log[-1].touched_users.size == 0
+
+    def test_duplicate_edges_kept_as_multiset(self, base_world):
+        """Following relationships are a multiset: duplicates count."""
+        delta = WorldDelta(edges=[(3, 7), (3, 7), (3, 7)])
+        applied = apply_delta(base_world, delta)
+        assert_worlds_identical(applied, recompiled(base_world, [delta]))
+        row = applied.friends_of(3).tolist()
+        assert row.count(7) == base_world.friends_of(3).tolist().count(7) + 3
+
+    def test_duplicate_label_updates_last_wins(self, base_world):
+        """labels is a mapping: one update per user per batch, by design."""
+        delta = WorldDelta(labels={9: 3})
+        merged = WorldDelta(labels={**{9: 1}, **{9: 3}})
+        assert merged.n_label_updates == 1
+        assert_worlds_identical(
+            apply_delta(base_world, merged),
+            apply_delta(base_world, delta),
+        )
+
+    def test_edge_to_unknown_user_rejected(self, base_world):
+        n = base_world.n_users
+        with pytest.raises(ValueError, match="unknown user"):
+            apply_delta(base_world, WorldDelta(edges=[(0, n + 1)]))
+        with pytest.raises(ValueError, match="unknown user"):
+            apply_delta(base_world, WorldDelta(tweets=[(n, 0)]))
+        # One new user makes id n valid but n+1 still unknown.
+        with pytest.raises(ValueError, match="unknown user"):
+            apply_delta(
+                base_world, WorldDelta(new_users=[None], edges=[(n + 1, 0)])
+            )
+
+    def test_self_follow_rejected(self, base_world):
+        with pytest.raises(ValueError, match="self-follow"):
+            apply_delta(base_world, WorldDelta(edges=[(4, 4)]))
+
+    def test_unknown_venue_and_location_rejected(self, base_world):
+        with pytest.raises(ValueError, match="venue"):
+            apply_delta(
+                base_world, WorldDelta(tweets=[(0, base_world.n_venues)])
+            )
+        with pytest.raises(ValueError, match="location"):
+            apply_delta(
+                base_world,
+                WorldDelta(new_users=[base_world.n_locations]),
+            )
+        with pytest.raises(ValueError, match="location"):
+            apply_delta(
+                base_world, WorldDelta(labels={0: base_world.n_locations})
+            )
+
+    def test_unseen_venue_string_rejected_in_payload(self, base_world):
+        with pytest.raises(ValueError, match="unknown venue name"):
+            WorldDelta.from_payload(
+                {"tweets": [[0, "atlantis-under-the-sea"]]},
+                gazetteer=base_world.gazetteer,
+            )
+
+    def test_delta_on_world_with_zero_edges(self, base_world):
+        gaz = base_world.gazetteer
+        empty = ColumnarWorld.from_edge_arrays(
+            gaz,
+            observed_location=np.array([2, -1, 7], dtype=np.int64),
+            edge_src=np.empty(0, dtype=np.int64),
+            edge_dst=np.empty(0, dtype=np.int64),
+            tweet_user=np.empty(0, dtype=np.int64),
+            tweet_venue=np.empty(0, dtype=np.int64),
+        )
+        delta = WorldDelta(
+            new_users=[4], edges=[(0, 1), (3, 2)], tweets=[(1, 5)]
+        )
+        assert_worlds_identical(
+            apply_delta(empty, delta), recompiled(empty, [delta])
+        )
+
+    def test_label_update_reaches_neighbour_candidacy(self, base_world):
+        """Relabeling u must update every neighbour's candidate set."""
+        # Find a user with at least one neighbour.
+        uid = next(
+            u
+            for u in range(base_world.n_users)
+            if base_world.neighbors_of(u).size
+        )
+        new_loc = int(base_world.n_locations - 1)
+        delta = WorldDelta(labels={uid: new_loc})
+        applied = apply_delta(base_world, delta)
+        assert_worlds_identical(applied, recompiled(base_world, [delta]))
+        for nb in applied.neighbors_of(uid).tolist():
+            assert new_loc in applied.candidates_of(nb).tolist()
+
+    def test_label_removal(self, base_world, rng):
+        labeled = int(np.flatnonzero(base_world.labeled_mask)[0])
+        delta = WorldDelta(labels={labeled: None})
+        applied = apply_delta(base_world, delta)
+        assert applied.observed_location[labeled] == -1
+        assert_worlds_identical(applied, recompiled(base_world, [delta]))
+
+
+class TestDeltaObject:
+    def test_payload_round_trip(self, base_world):
+        delta = WorldDelta(
+            new_users=[3, None],
+            edges=[(0, 5)],
+            tweets=[(1, 2)],
+            labels={4: 9, 6: None},
+        )
+        clone = WorldDelta.from_payload(
+            delta.to_payload(), gazetteer=base_world.gazetteer
+        )
+        assert clone.digest() == delta.digest()
+
+    def test_venue_names_resolve(self, base_world):
+        gaz = base_world.gazetteer
+        name = gaz.venue_vocabulary[3]
+        delta = WorldDelta.from_payload(
+            {"tweets": [[0, name]]}, gazetteer=gaz
+        )
+        assert delta.tweet_venue.tolist() == [3]
+
+    def test_unknown_payload_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown delta fields"):
+            WorldDelta.from_payload({"edgez": []})
+
+    def test_digest_is_content_addressed(self):
+        a = WorldDelta(edges=[(1, 2)])
+        b = WorldDelta(edges=[(1, 2)])
+        c = WorldDelta(edges=[(2, 1)])
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_chain_hash_is_order_sensitive(self):
+        assert chain_hash("aa", "bb") != chain_hash("bb", "aa")
+
+
+class TestGenerationBookkeeping:
+    def test_delta_log_and_touched_since(self, base_world, rng):
+        current = base_world
+        d1 = WorldDelta(edges=[(1, 2)])
+        d2 = WorldDelta(tweets=[(5, 0)])
+        current = apply_delta(apply_delta(current, d1), d2)
+        assert [r.generation for r in current.delta_log] == [1, 2]
+        assert isinstance(current.delta_log[0], DeltaRecord)
+        assert touched_since(current, 0).tolist() == sorted({1, 2, 5})
+        assert touched_since(current, 1).tolist() == [5]
+        assert touched_since(current, 2).size == 0
+
+    def test_delta_log_is_bounded(self, base_world, monkeypatch):
+        """Streaming forever must not grow the log without bound; a
+        consumer behind the retained window gets a loud error, never a
+        silently incomplete touched set."""
+        import repro.data.delta as delta_mod
+
+        monkeypatch.setattr(delta_mod, "DELTA_LOG_LIMIT", 3)
+        current = base_world
+        for i in range(5):
+            current = apply_delta(current, WorldDelta(edges=[(i, i + 1)]))
+        assert [r.generation for r in current.delta_log] == [3, 4, 5]
+        assert touched_since(current, 2).tolist() == [2, 3, 4, 5]
+        assert touched_since(current, 5).size == 0
+        with pytest.raises(ValueError, match="full re-score"):
+            touched_since(current, 1)
+
+    def test_touched_since_negative_generation_on_base_world(self, base_world):
+        assert touched_since(base_world, -5).size == 0
+
+    def test_content_hash_chains_deterministically(self, base_world):
+        delta = WorldDelta(edges=[(1, 2)])
+        a = apply_delta(base_world, delta)
+        b = apply_delta(base_world, delta)
+        assert a.content_hash == b.content_hash
+        assert a.content_hash == chain_hash(
+            base_world.content_hash, delta.digest()
+        )
+
+    def test_pickle_round_trip_keeps_generation(self, base_world):
+        import pickle
+
+        applied = apply_delta(base_world, WorldDelta(edges=[(1, 2)]))
+        clone = pickle.loads(pickle.dumps(applied))
+        assert clone.generation == 1
+        assert clone.content_hash == applied.content_hash
+        assert clone.delta_log[-1].touched_users.tolist() == [1, 2]
+
+
+class TestStaleMemoDetection:
+    def test_in_place_mutation_raises(self):
+        dataset = generate_world(SyntheticWorldConfig(n_users=40, seed=3))
+        compile_world(dataset)
+        dataset.following = dataset.following[:-5]
+        with pytest.raises(StaleWorldError, match="mutated in place"):
+            compile_world(dataset)
+
+    def test_untouched_dataset_still_memoized(self):
+        dataset = generate_world(SyntheticWorldConfig(n_users=40, seed=4))
+        assert compile_world(dataset) is compile_world(dataset)

@@ -1,9 +1,8 @@
 """Unit tests for the dataset containers."""
 
-import numpy as np
 import pytest
 
-from repro.data.model import Dataset, FollowingEdge, Tweet, TweetingEdge, User
+from repro.data.model import Dataset, FollowingEdge, TweetingEdge, User
 from repro.geo.gazetteer import Gazetteer, Location
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.evaluation.significance import (
-    BootstrapComparison,
     mcnemar_test,
     paired_bootstrap,
 )

@@ -1,6 +1,5 @@
 """Tests for cross-validation splits and the three task runners."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.home_explainer import HomeLocationExplainer

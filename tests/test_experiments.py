@@ -5,7 +5,7 @@ import pytest
 
 from repro.experiments import ExperimentSuite, report
 from repro.experiments.config import ExperimentConfig, quick_config
-from repro.experiments.figures import fig3a, fig3b, fig3c
+from repro.experiments.figures import fig3a, fig3c
 from repro.experiments.tables import METHOD_ORDER
 
 

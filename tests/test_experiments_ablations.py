@@ -1,6 +1,5 @@
 """Tests for the ablation drivers."""
 
-import numpy as np
 import pytest
 
 from repro.core.params import MLPParams

@@ -1,6 +1,5 @@
 """Unit tests for repro.geo.gazetteer."""
 
-import numpy as np
 import pytest
 
 from repro.geo.gazetteer import Gazetteer, Location, normalize_place_name

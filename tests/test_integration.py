@@ -5,18 +5,16 @@ check the *direction* of the paper's headline comparisons.  Absolute
 numbers are scale-dependent; directions are not.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import HomeLocationExplainer, PopulationPriorBaseline
 from repro.core.model import MLPModel
 from repro.core.params import MLPParams
 from repro.data.generator import SyntheticWorldConfig, generate_world
-from repro.evaluation.metrics import accuracy_at, dr_at_k
+from repro.evaluation.metrics import accuracy_at
 from repro.evaluation.methods import MLPMethod
 from repro.evaluation.splits import single_holdout_split
 from repro.evaluation.tasks import (
-    run_explanation_task,
     run_multi_location_discovery,
 )
 from repro.text.venues import VenueExtractor

@@ -1,13 +1,11 @@
 """Property-based tests on the evaluation metrics and splits."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.evaluation.metrics import (
     accuracy_at,
-    dp_at_k,
     dp_of_user,
     dr_at_k,
     dr_of_user,

@@ -56,7 +56,8 @@ class TestBasics:
         cache.clear()
         cache.reset_stats()
         assert cache.stats() == {
-            "hits": 0, "misses": 0, "size": 0, "max_size": 4,
+            "hits": 0, "misses": 0, "invalidations": 0,
+            "size": 0, "max_size": 4,
         }
 
 
@@ -156,3 +157,57 @@ class TestThreadSafety:
             t.join()
         assert not errors
         assert len(cache) <= 16
+
+
+class TestTags:
+    """Tagged entries + selective invalidation (the streaming-ingest hook)."""
+
+    def test_invalidate_tags_drops_exactly_tagged(self):
+        cache = LRUCache(max_size=8)
+        cache.put("a", 1, tags=(7, 9))
+        cache.put("b", 2, tags=(9,))
+        cache.put("c", 3)
+        assert cache.invalidate_tags([7]) == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.invalidate_tags([9]) == 1
+        assert cache.get("b") is None
+        assert cache.stats()["invalidations"] == 2
+
+    def test_invalidate_unknown_tag_is_noop(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1, tags=(1,))
+        assert cache.invalidate_tags([99]) == 0
+        assert cache.get("a") == 1
+
+    def test_eviction_cleans_tag_index(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1, tags=(5,))
+        cache.put("b", 2, tags=(5,))
+        cache.put("c", 3, tags=(5,))  # evicts "a"
+        assert cache.invalidate_tags([5]) == 2  # only b and c remain
+        assert len(cache) == 0
+        assert cache._tag_index == {}
+        assert cache._key_tags == {}
+
+    def test_re_put_replaces_tags(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1, tags=(1,))
+        cache.put("a", 2, tags=(2,))
+        assert cache.invalidate_tags([1]) == 0
+        assert cache.invalidate_tags([2]) == 1
+
+    def test_put_many_accepts_tagged_triples(self):
+        cache = LRUCache(max_size=8)
+        cache.put_many([("a", 1), ("b", 2, (4,)), ("c", 3, (4, 5))])
+        assert cache.get("a") == 1
+        assert cache.invalidate_tags([4]) == 2
+        assert cache.get("a") == 1
+
+    def test_clear_drops_tag_state(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1, tags=(1,))
+        cache.clear()
+        assert cache._tag_index == {}
+        assert cache.invalidate_tags([1]) == 0

@@ -146,7 +146,7 @@ class TestCache:
         predictor.clear_cache()
         assert len(predictor.cache) == 0
         assert predictor.cache.stats() == {
-            "hits": 0, "misses": 0, "size": 0,
+            "hits": 0, "misses": 0, "invalidations": 0, "size": 0,
             "max_size": predictor.cache.max_size,
         }
 

@@ -64,7 +64,9 @@ class TestHealthAndMetadata:
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["artifact_id"] == "server-test"
-        assert set(payload["cache"]) == {"hits", "misses", "size", "max_size"}
+        assert set(payload["cache"]) == {
+            "hits", "misses", "invalidations", "size", "max_size",
+        }
 
     def test_artifact_metadata(self, base_url, world):
         status, payload = _get(f"{base_url}/artifact")
@@ -422,3 +424,98 @@ class TestConcurrency:
         assert not errors
         assert len(results) == 12
         assert all(status == 200 for status, _ in results)
+
+
+class TestIngest:
+    """POST /ingest: streaming world deltas into the live server.
+
+    Runs against its own server (fresh predictor over the shared
+    fitted result), so world growth never leaks into the other route
+    tests' fixtures.
+    """
+
+    @pytest.fixture(scope="class")
+    def live(self, predictor):
+        fresh = FoldInPredictor(predictor.result, artifact_id="ingest-test")
+        server = make_server(fresh, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield fresh, f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_ingest_applies_and_reports_identity(self, live):
+        fresh, url = live
+        users_before = fresh.world.n_users
+        status, payload = _post(
+            f"{url}/ingest",
+            {
+                "new_users": [{"observed_location": 3}, {}],
+                "edges": [[users_before, 0], [1, users_before + 1]],
+                "tweets": [[users_before, 2]],
+                "labels": {"5": 4},
+            },
+        )
+        assert status == 200
+        assert payload["generation"] == fresh.world.generation
+        assert payload["world_hash"] == fresh.world.content_hash
+        assert payload["users"] == users_before + 2
+        assert payload["applied"]["new_users"] == 2
+        assert payload["applied"]["edges"] == 2
+        assert payload["applied"]["label_updates"] == 1
+        assert payload["applied"]["touched_users"] >= 3
+
+    def test_ingested_user_is_servable_immediately(self, live):
+        fresh, url = live
+        uid = fresh.world.n_users - 2  # arrival from the previous test
+        status, payload = _post(
+            f"{url}/predict-home", {"users": [{"user_id": uid}]}
+        )
+        assert status == 200
+        assert payload["predictions"][0]["converged"]
+
+    def test_healthz_reports_generation(self, live):
+        fresh, url = live
+        status, payload = _get(f"{url}/healthz")
+        assert status == 200
+        assert payload["world_generation"] == fresh.world.generation
+        assert payload["users"] == fresh.world.n_users
+
+    def test_bad_delta_is_a_400(self, live):
+        fresh, url = live
+        generation = fresh.world.generation
+        status, payload = _post(
+            f"{url}/ingest", {"edges": [[0, 10_000_000]]}
+        )
+        assert status == 400
+        assert "unknown user" in payload["error"]
+        status, payload = _post(
+            f"{url}/ingest", {"tweets": [[0, "venue-that-never-was"]]}
+        )
+        assert status == 400
+        assert "unknown venue name" in payload["error"]
+        status, payload = _post(f"{url}/ingest", {"bogus_field": 1})
+        assert status == 400
+        assert "unknown delta fields" in payload["error"]
+        # Structurally malformed fields are clean 400s too, never a
+        # dropped connection from an uncaught AttributeError/TypeError.
+        status, payload = _post(f"{url}/ingest", {"labels": [1, 2]})
+        assert status == 400
+        assert "labels" in payload["error"]
+        status, payload = _post(f"{url}/ingest", {"edges": [5]})
+        assert status == 400
+        assert "two-element pair" in payload["error"]
+        status, payload = _post(f"{url}/ingest", {"new_users": 3})
+        assert status == 400
+        assert "new_users" in payload["error"]
+        # Failed ingests must not advance the world.
+        assert fresh.world.generation == generation
+
+    def test_get_on_ingest_is_405(self, live):
+        _, url = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{url}/ingest")
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "POST"

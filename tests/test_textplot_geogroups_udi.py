@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines.udi import UDIConfig, UnifiedInfluenceBaseline
 from repro.evaluation.geo_groups import (
-    GroupingScore,
     mean_grouping_score,
     score_grouping,
     true_geo_groups,

@@ -1,0 +1,161 @@
+"""CI perf-regression gate: bench_run.json vs the committed baseline.
+
+The benchmark harness (``make bench-smoke``) writes machine-readable
+measurements to ``benchmarks/results/bench_run.json``.  This gate
+compares that run against ``benchmarks/results/baseline.json`` -- a
+*committed* contract naming, per benchmark, the machine-independent
+numbers (speedup ratios, not wall-clock seconds) that must not drop
+below their floor.  A PR that silently costs the vectorized engine its
+2x, the batch fold-in its 5x or the delta splice its 10x fails CI here
+instead of shipping.
+
+Baseline format (one entry per check)::
+
+    {"checks": [
+        {"name": "batch_foldin_throughput",   # matched on the journal
+         "match": {"name": "batch_foldin_throughput"},  # entry fields
+         "field": "batch_over_sequential",
+         "min": 5.0},                          # optional: "max", too
+        {"name": "columnar scaling points",
+         "match": {"name": "columnar_generate_compile"},
+         "count": 3}                           # presence-only check
+    ]}
+
+Every check must match at least one journal entry (a vanished
+benchmark is itself a regression).  Run directly or via
+``make bench-gate``::
+
+    python tools/bench_gate.py
+    python tools/bench_gate.py --run path/to/bench_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RUN = REPO_ROOT / "benchmarks" / "results" / "bench_run.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "baseline.json"
+
+
+def matching_entries(entries: list[dict], match: dict) -> list[dict]:
+    """Journal entries whose fields equal every ``match`` item."""
+    return [
+        entry
+        for entry in entries
+        if all(entry.get(key) == value for key, value in match.items())
+    ]
+
+
+def run_check(check: dict, entries: list[dict]) -> list[str]:
+    """Evaluate one baseline check; returns failure messages (empty = pass)."""
+    name = check.get("name", "<unnamed check>")
+    matched = matching_entries(entries, check.get("match", {}))
+    failures: list[str] = []
+    if not matched:
+        return [
+            f"{name}: no journal entry matches {check.get('match', {})} "
+            "(benchmark removed or renamed without updating the baseline?)"
+        ]
+    expected_count = check.get("count")
+    if expected_count is not None and len(matched) < expected_count:
+        failures.append(
+            f"{name}: expected >= {expected_count} matching entries, "
+            f"found {len(matched)}"
+        )
+    field = check.get("field")
+    if field is None:
+        return failures
+    for entry in matched:
+        if field not in entry:
+            failures.append(f"{name}: entry lacks field {field!r}: {entry}")
+            continue
+        value = entry[field]
+        low, high = check.get("min"), check.get("max")
+        if low is not None and value < low:
+            failures.append(
+                f"{name}: {field} = {value} dropped below the baseline "
+                f"floor {low}"
+            )
+        if high is not None and value > high:
+            failures.append(
+                f"{name}: {field} = {value} exceeds the baseline "
+                f"ceiling {high}"
+            )
+    return failures
+
+
+def gate(run_path: Path, baseline_path: Path) -> int:
+    """Compare one bench run against the baseline; 0 = pass, 1 = fail."""
+    try:
+        run = json.loads(run_path.read_text())
+    except FileNotFoundError:
+        print(
+            f"bench-gate: no bench run at {run_path} -- run "
+            "`make bench-smoke` first",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    entries = [
+        entry for entry in run.get("entries", ())
+        if entry.get("kind") == "timing"
+    ]
+    if run.get("exit_status") not in (0, None):
+        print(
+            f"bench-gate: bench run recorded exit status "
+            f"{run['exit_status']} -- fix the benchmarks before gating",
+            file=sys.stderr,
+        )
+        return 1
+    failures: list[str] = []
+    passed = 0
+    for check in baseline.get("checks", ()):
+        problems = run_check(check, entries)
+        if problems:
+            failures.extend(problems)
+        else:
+            passed += 1
+    for message in failures:
+        print(f"bench-gate: FAIL {message}", file=sys.stderr)
+    total = passed + len(failures)
+    if failures:
+        print(
+            f"bench-gate: {len(failures)} of {total} checks failed "
+            f"against {baseline_path.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench-gate: all {passed} baseline checks passed "
+        f"({run.get('python', '?')} / numpy {run.get('numpy', '?')})"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when bench_run.json regresses past the "
+        "committed baseline bands"
+    )
+    parser.add_argument(
+        "--run",
+        type=Path,
+        default=DEFAULT_RUN,
+        help="bench run journal (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline contract (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    return gate(args.run, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
