@@ -21,7 +21,8 @@ test:
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m pytest bench_components.py bench_serving.py \
-		bench_batch_foldin.py bench_columnar.py bench_delta.py -q
+		bench_batch_foldin.py bench_columnar.py bench_delta.py \
+		bench_journal.py -q
 
 ## perf-regression gate: compare bench_run.json against the committed
 ## baseline bands (run bench-smoke first)

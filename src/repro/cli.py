@@ -13,9 +13,16 @@ Commands:
   artifact;
 - ``ingest``    -- stream WorldDelta batches into an artifact's world
   (the offline twin of the server's ``POST /ingest``), optionally
-  re-scoring the delta-affected users;
+  re-scoring the delta-affected users; ``--journal DIR`` makes every
+  delta durable through the write-ahead journal;
+- ``replay``    -- recover a journaled world (snapshot + tail replay)
+  and report its generation/chained hash; ``--verify`` golden-checks
+  the replayed arrays against a from-scratch recompile;
+- ``compact``   -- snapshot a journaled world and truncate the journal
+  behind it, bounding future recovery time;
 - ``serve``     -- the JSON-over-HTTP inference server over a saved
-  artifact;
+  artifact; ``--journal DIR`` recovers the durable world on boot and
+  write-ahead journals every ``POST /ingest``;
 - ``info``      -- build/runtime versions (package, engines, numpy,
   artifact format), for triaging served artifacts.
 
@@ -278,7 +285,7 @@ def _add_ingest(sub: argparse._SubParsersAction) -> None:
             "\nexample:\n"
             "  python -m repro ingest model.mlp.npz --input deltas.jsonl\n"
             "  python -m repro ingest model.mlp.npz --input deltas.jsonl \\\n"
-            "      --score-output rescored.jsonl\n"
+            "      --journal journal/ --score-output rescored.jsonl\n"
         ),
     )
     p.add_argument("artifact", type=Path, help="model artifact path (.mlp.npz)")
@@ -287,6 +294,16 @@ def _add_ingest(sub: argparse._SubParsersAction) -> None:
         type=Path,
         required=True,
         help="JSONL file of delta payloads (one JSON object per line)",
+    )
+    p.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="durable ingest: recover this write-ahead journal "
+        "directory first, then append every delta to it before "
+        "applying -- repeated invocations continue the generation "
+        "chain",
     )
     p.add_argument(
         "--score-output",
@@ -339,6 +356,87 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument(
         "--verbose", action="store_true", help="log every request"
+    )
+    p.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="durable ingest: recover this write-ahead journal "
+        "directory on boot (snapshot + tail replay) and journal every "
+        "POST /ingest before applying it",
+    )
+    p.add_argument(
+        "--journal-fsync",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="fsync the journal every N appends (default: %(default)s "
+        "-- every acknowledged ingest survives kill -9)",
+    )
+
+
+def _add_replay(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "replay",
+        help="recover a journaled world and report its identity",
+        description=(
+            "Open a write-ahead journal directory against an "
+            "artifact's world, recover it (load the newest chaining "
+            "snapshot, replay the delta tail, repair any torn/corrupt "
+            "suffix) and print the recovery report as JSON: final "
+            "generation, chained world hash, records replayed/dropped "
+            "and bytes repaired."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example:\n"
+            "  python -m repro replay model.mlp.npz --journal journal/\n"
+            "  python -m repro replay model.mlp.npz --journal journal/ "
+            "--verify\n"
+        ),
+    )
+    p.add_argument("artifact", type=Path, help="model artifact path (.mlp.npz)")
+    p.add_argument(
+        "--journal",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="write-ahead journal directory to recover",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="golden check: recompile the replayed world from its raw "
+        "relationship arrays and require bit-identical derived arrays "
+        "(exit 1 on mismatch)",
+    )
+
+
+def _add_compact(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "compact",
+        help="snapshot a journaled world and truncate the journal",
+        description=(
+            "Recover a journal directory, checkpoint the recovered "
+            "world as a versioned snapshot (.world.npz) and truncate "
+            "the journal behind it -- future recoveries load the "
+            "snapshot and replay only the post-compaction tail.  "
+            "Prints the compaction report as JSON."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example:\n"
+            "  python -m repro compact model.mlp.npz --journal journal/\n"
+        ),
+    )
+    p.add_argument("artifact", type=Path, help="model artifact path (.mlp.npz)")
+    p.add_argument(
+        "--journal",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="write-ahead journal directory to compact",
     )
 
 
@@ -426,6 +524,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reproduce(sub)
     _add_predict(sub)
     _add_ingest(sub)
+    _add_replay(sub)
+    _add_compact(sub)
     _add_serve(sub)
     _add_info(sub)
     return parser
@@ -662,6 +762,35 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rebuild_predictor(predictor, world):
+    """A predictor over a journal-recovered world, same frozen tables."""
+    from repro.serving.foldin import FoldInPredictor
+
+    return FoldInPredictor(
+        predictor.result,
+        artifact_id=predictor.artifact_id,
+        cache_size=predictor.cache.max_size,
+        world=world,
+    )
+
+
+def _recover_journaled_predictor(predictor, journal_dir, fsync_every=1):
+    """Open + recover a journal over the predictor's world.
+
+    Returns ``(predictor, journal, report)``, the predictor swapped to
+    the recovered world when the journal was ahead of the artifact.
+    ``JournalError`` propagates for the caller to turn into exit code 2.
+    """
+    from repro.data.journal import open_journal
+
+    world, journal, report = open_journal(
+        journal_dir, predictor.world, fsync_every=fsync_every
+    )
+    if world is not predictor.world:
+        predictor = _rebuild_predictor(predictor, world)
+    return predictor, journal, report
+
+
 def cmd_ingest(args: argparse.Namespace) -> int:
     """Stream deltas into an artifact's world; optionally re-score."""
     from repro.data.delta import WorldDelta
@@ -670,75 +799,167 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
     predictor = _load_predictor(args.artifact)
     gaz = predictor.world.gazetteer
-    try:
-        lines = args.input.open()
-    except OSError as exc:
-        print(f"cannot read --input: {exc}", file=sys.stderr)
-        return 2
-    applied = 0
-    with lines:
-        for line_no, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                payload = json.loads(line)
-                delta = WorldDelta.from_payload(payload, gazetteer=gaz)
-                world = predictor.refresh(delta)
-            except (json.JSONDecodeError, ValueError, TypeError, KeyError) as exc:
-                print(f"bad delta on line {line_no}: {exc}", file=sys.stderr)
-                return 2
-            applied += 1
-            record = world.delta_log[-1]
-            print(
-                json.dumps(
-                    {
-                        "generation": world.generation,
-                        "world_hash": world.content_hash,
-                        "users": world.n_users,
-                        "new_users": record.n_new_users,
-                        "edges": record.n_edges,
-                        "tweets": record.n_tweets,
-                        "label_updates": record.n_label_updates,
-                        "touched_users": int(record.touched_users.size),
-                    }
-                )
+    journal = None
+    boot_generation = 0
+    if args.journal is not None:
+        from repro.data.journal import JournalError, journaled_ingest
+
+        try:
+            predictor, journal, report = _recover_journaled_predictor(
+                predictor, args.journal
             )
-    if args.score_output is not None:
-        # Always produce the requested file -- zero applied deltas
-        # means zero affected users, which is an *empty* JSONL, not a
-        # silently missing one.
-        if applied:
-            try:
-                predictions = score_population(
-                    predictor.world,
-                    predictor.result,
-                    predictor=predictor,
-                    since_generation=0,
+        except JournalError as exc:
+            print(f"cannot open --journal: {exc}", file=sys.stderr)
+            return 2
+        boot_generation = predictor.world.generation
+        print(json.dumps({"recovered": report}), file=sys.stderr)
+    try:
+        try:
+            lines = args.input.open()
+        except OSError as exc:
+            print(f"cannot read --input: {exc}", file=sys.stderr)
+            return 2
+        applied = 0
+        with lines:
+            for line_no, line in enumerate(lines, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                    delta = WorldDelta.from_payload(payload, gazetteer=gaz)
+                    if journal is not None:
+                        world = journaled_ingest(predictor, journal, delta)
+                    else:
+                        world = predictor.refresh(delta)
+                except (
+                    json.JSONDecodeError,
+                    ValueError,
+                    TypeError,
+                    KeyError,
+                ) as exc:
+                    print(
+                        f"bad delta on line {line_no}: {exc}", file=sys.stderr
+                    )
+                    return 2
+                applied += 1
+                record = world.delta_log[-1]
+                print(
+                    json.dumps(
+                        {
+                            "generation": world.generation,
+                            "world_hash": world.content_hash,
+                            "users": world.n_users,
+                            "new_users": record.n_new_users,
+                            "edges": record.n_edges,
+                            "tweets": record.n_tweets,
+                            "label_updates": record.n_label_updates,
+                            "touched_users": int(record.touched_users.size),
+                        }
+                    )
                 )
-            except ValueError:
-                # A stream longer than the retained delta log: the
-                # touched window is gone, so re-score the whole
-                # unlabeled population instead of failing after a
-                # successful ingest.
-                predictions = score_population(
-                    predictor.world, predictor.result, predictor=predictor
-                )
-        else:
-            predictions = {}
-        with args.score_output.open("w") as out:
-            for uid in sorted(predictions):
-                record = {
-                    "user_id": uid,
-                    **prediction_payload(
-                        predictions[uid], gaz, top_k=args.top_k
-                    ),
-                }
-                out.write(json.dumps(record) + "\n")
+        if args.score_output is not None:
+            # Always produce the requested file -- zero applied deltas
+            # means zero affected users, which is an *empty* JSONL, not
+            # a silently missing one.  On a journaled run the window
+            # starts at the *recovered* generation -- only this
+            # invocation's deltas are re-scored -- and the journal
+            # answers the touched window even past DELTA_LOG_LIMIT.
+            if applied:
+                try:
+                    predictions = score_population(
+                        predictor.world,
+                        predictor.result,
+                        predictor=predictor,
+                        since_generation=boot_generation,
+                        journal=journal,
+                    )
+                except ValueError:
+                    # A stream longer than the retained log (or a
+                    # window behind the last compaction): the touched
+                    # set is gone, so re-score the whole unlabeled
+                    # population instead of failing after a successful
+                    # ingest.
+                    predictions = score_population(
+                        predictor.world, predictor.result, predictor=predictor
+                    )
+            else:
+                predictions = {}
+            with args.score_output.open("w") as out:
+                for uid in sorted(predictions):
+                    record = {
+                        "user_id": uid,
+                        **prediction_payload(
+                            predictions[uid], gaz, top_k=args.top_k
+                        ),
+                    }
+                    out.write(json.dumps(record) + "\n")
+            print(
+                f"re-scored {len(predictions)} delta-affected users -> "
+                f"{args.score_output}",
+                file=sys.stderr,
+            )
+        return 0
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Recover a journaled world; print the report; optionally verify."""
+    from repro.data.journal import JournalError, open_journal
+
+    predictor = _load_predictor(args.artifact)
+    try:
+        world, journal, report = open_journal(
+            args.journal, predictor.world, create=False
+        )
+    except JournalError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    journal.close()
+    print(json.dumps(report))
+    if args.verify:
+        from repro.data.columnar import ColumnarWorld
+
+        rebuilt = ColumnarWorld.from_edge_arrays(
+            world.gazetteer,
+            world.observed_location,
+            world.edge_src,
+            world.edge_dst,
+            world.tweet_user,
+            world.tweet_venue,
+        )
+        if rebuilt.rehash() != world.rehash():
+            print(
+                "verify FAILED: replayed arrays differ from a "
+                "from-scratch recompile of the same relationships",
+                file=sys.stderr,
+            )
+            return 1
         print(
-            f"re-scored {len(predictions)} delta-affected users -> "
-            f"{args.score_output}",
+            f"verify ok: generation {world.generation} is bit-identical "
+            "to a from-scratch recompile",
             file=sys.stderr,
         )
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Recover a journaled world, snapshot it, truncate the journal."""
+    from repro.data.journal import JournalError, open_journal
+
+    predictor = _load_predictor(args.artifact)
+    try:
+        world, journal, _report = open_journal(
+            args.journal, predictor.world, create=False
+        )
+    except JournalError as exc:
+        print(f"compact failed: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(json.dumps(journal.compact(world)))
+    finally:
+        journal.close()
     return 0
 
 
@@ -746,13 +967,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import make_server
 
     predictor = _load_predictor(args.artifact, cache_size=args.cache_size)
+    journal = None
+    if args.journal is not None:
+        from repro.data.journal import JournalError
+
+        try:
+            predictor, journal, report = _recover_journaled_predictor(
+                predictor, args.journal, fsync_every=args.journal_fsync
+            )
+        except JournalError as exc:
+            print(f"cannot open --journal: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"journal {args.journal}: recovered generation "
+            f"{report['generation']} ({report['world_hash']}), "
+            f"replayed {report['replayed']} of {report['records']} "
+            f"records"
+            + (
+                f" from snapshot generation "
+                f"{report['snapshot_generation']}"
+                if report["snapshot"] is not None
+                else ""
+            ),
+            flush=True,
+        )
     server = make_server(
-        predictor, host=args.host, port=args.port, quiet=not args.verbose
+        predictor,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        journal=journal,
     )
     host, port = server.server_address[:2]
     print(
         f"serving artifact {predictor.artifact_id} "
-        f"({predictor.dataset.n_users} users) on http://{host}:{port}",
+        f"({predictor.world.n_users} users, generation "
+        f"{predictor.world.generation}) on http://{host}:{port}",
         flush=True,
     )
     try:
@@ -761,6 +1011,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.server_close()
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -832,6 +1084,8 @@ _COMMANDS = {
     "reproduce": cmd_reproduce,
     "predict": cmd_predict,
     "ingest": cmd_ingest,
+    "replay": cmd_replay,
+    "compact": cmd_compact,
     "serve": cmd_serve,
     "info": cmd_info,
 }

@@ -54,7 +54,13 @@ import numpy as np
 
 from repro.data.columnar import ColumnarWorld, expand_csr
 
-__all__ = ["WorldDelta", "DeltaRecord", "apply_delta", "chain_hash"]
+__all__ = [
+    "WorldDelta",
+    "DeltaRecord",
+    "apply_delta",
+    "chain_hash",
+    "validate_delta",
+]
 
 
 def _as_int_array(values, count: int | None = None) -> np.ndarray:
@@ -730,6 +736,19 @@ def _validate_delta(
         raise ValueError(
             f"label update references unknown user {int(bad[0])}"
         )
+
+
+def validate_delta(world: ColumnarWorld, delta: WorldDelta) -> None:
+    """Raise ``ValueError`` unless ``delta`` can apply cleanly to ``world``.
+
+    The same checks ``apply_delta`` runs, exposed separately so a
+    write-ahead consumer (the durable journal) can reject a bad delta
+    *before* committing it to disk -- a journaled record must always
+    replay.
+    """
+    if not isinstance(delta, WorldDelta):
+        raise TypeError(f"expected a WorldDelta, got {type(delta).__name__}")
+    _validate_delta(world, delta, world.n_users + delta.n_new_users)
 
 
 def apply_delta(world: ColumnarWorld, delta: WorldDelta) -> ColumnarWorld:

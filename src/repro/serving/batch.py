@@ -557,6 +557,7 @@ def score_population(
     predictor: FoldInPredictor | None = None,
     use_cache: bool = False,
     since_generation: int | None = None,
+    journal=None,
 ) -> dict[int, FoldInPrediction]:
     """Profile every *unlabeled* user of a dataset in one batch call.
 
@@ -574,6 +575,12 @@ def score_population(
     steady-state server keeps a full population scored, streams deltas
     in, and re-scores just ``since_generation=<last scored>`` instead
     of the world.
+
+    The in-memory ``delta_log`` forgets generations past
+    ``DELTA_LOG_LIMIT``; pass ``journal=`` (a
+    :class:`repro.data.journal.DeltaJournal`) to answer the touched
+    window from the durable log instead, which covers everything since
+    the last compaction.
     """
     world = compile_world(world)
     if predictor is None:
@@ -606,9 +613,12 @@ def score_population(
         )
     unlabeled = np.flatnonzero(~world.labeled_mask)
     if since_generation is not None:
-        from repro.data.delta import touched_since
+        if journal is not None:
+            affected = journal.touched_since(since_generation)
+        else:
+            from repro.data.delta import touched_since
 
-        affected = touched_since(world, since_generation)
+            affected = touched_since(world, since_generation)
         unlabeled = np.intersect1d(unlabeled, affected, assume_unique=True)
     specs = [
         predictor.spec_for_training_user(int(uid)) for uid in unlabeled

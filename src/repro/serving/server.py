@@ -75,9 +75,19 @@ class ServingServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, predictor: FoldInPredictor, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        predictor: FoldInPredictor,
+        quiet: bool = True,
+        journal=None,
+    ):
         self.predictor = predictor
         self.quiet = quiet
+        #: Optional :class:`repro.data.journal.DeltaJournal`: when set,
+        #: ``POST /ingest`` write-ahead journals every delta before
+        #: applying it, and ``/healthz`` reports the journal position.
+        self.journal = journal
         super().__init__(address, ServingHandler)
 
 
@@ -183,13 +193,17 @@ class ServingHandler(BaseHTTPRequestHandler):
     def _healthz(self) -> dict:
         predictor = self.server.predictor
         world = predictor.world
-        return {
+        payload = {
             "status": "ok",
             "artifact_id": predictor.artifact_id,
             "users": world.n_users,
             "world_generation": world.generation,
             "cache": predictor.cache.stats(),
         }
+        journal = getattr(self.server, "journal", None)
+        if journal is not None:
+            payload["journal"] = journal.stats()
+        return payload
 
     def _artifact(self) -> dict:
         predictor = self.server.predictor
@@ -311,6 +325,10 @@ class ServingHandler(BaseHTTPRequestHandler):
         generation) so callers can checkpoint their ingest position --
         ``score_population(since_generation=...)`` re-scores exactly
         the users this delta touched.
+
+        On a journaled server (``repro serve --journal``) the delta is
+        validated, write-ahead appended to the journal and only then
+        applied -- an acknowledged ingest survives ``kill -9``.
         """
         from repro.data.delta import WorldDelta
 
@@ -319,9 +337,15 @@ class ServingHandler(BaseHTTPRequestHandler):
         delta = WorldDelta.from_payload(
             payload, gazetteer=predictor.world.gazetteer
         )
-        world = predictor.refresh(delta)
+        journal = getattr(self.server, "journal", None)
+        if journal is not None:
+            from repro.data.journal import journaled_ingest
+
+            world = journaled_ingest(predictor, journal, delta)
+        else:
+            world = predictor.refresh(delta)
         record = world.delta_log[-1]
-        return {
+        response = {
             "artifact_id": predictor.artifact_id,
             "world_hash": world.content_hash,
             "generation": world.generation,
@@ -337,6 +361,9 @@ class ServingHandler(BaseHTTPRequestHandler):
             },
             "cache": predictor.cache.stats(),
         }
+        if journal is not None:
+            response["journal"] = journal.stats()
+        return response
 
     def _explain_edge(self, payload) -> dict:
         predictor = self.server.predictor
@@ -374,6 +401,7 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8000,
     quiet: bool = True,
+    journal=None,
 ) -> ServingServer:
     """Bind a serving server (``port=0`` picks a free port -- tests)."""
-    return ServingServer((host, port), predictor, quiet=quiet)
+    return ServingServer((host, port), predictor, quiet=quiet, journal=journal)
