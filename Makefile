@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-gate docs-check lint all
+.PHONY: test bench-smoke bench-gate loadgen-smoke docs-check lint all
 
 all: docs-check test
 
@@ -15,14 +15,19 @@ test:
 
 ## fast benchmark pass: component micro-benches + engine head-to-head
 ## + serving throughput + batch fold-in + columnar-world compile/fit
-## scaling + streaming-delta splice, writes
+## scaling + streaming-delta splice + observability overhead, writes
 ## benchmarks/results/bench_run.json and appends to
 ## benchmarks/results/bench_trajectory.jsonl
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m pytest bench_components.py bench_serving.py \
 		bench_batch_foldin.py bench_columnar.py bench_delta.py \
-		bench_journal.py -q
+		bench_journal.py bench_obs.py -q
+
+## short open-loop load run against an in-process server; appends
+## p50/p99 + rps to benchmarks/results/bench_trajectory.jsonl
+loadgen-smoke:
+	$(PYTHON) tools/loadgen.py --smoke --label loadgen_smoke
 
 ## perf-regression gate: compare bench_run.json against the committed
 ## baseline bands (run bench-smoke first)

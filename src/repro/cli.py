@@ -358,6 +358,15 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         "--verbose", action="store_true", help="log every request"
     )
     p.add_argument(
+        "--access-log",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit one structured JSON line per request (route, status, "
+        "latency_ms, trace id) to FILE, or stderr when no FILE is given",
+    )
+    p.add_argument(
         "--journal",
         type=Path,
         default=None,
@@ -511,6 +520,44 @@ def _add_reproduce(sub: argparse._SubParsersAction) -> None:
     _add_engine_arguments(p)
 
 
+def _add_metrics(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "metrics",
+        help="dump (or watch) a running server's /metrics",
+        description=(
+            "Fetch GET /metrics from a running `repro serve` instance "
+            "and print the Prometheus text exposition, optionally "
+            "filtered and refreshed on an interval."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example:\n"
+            "  python -m repro metrics\n"
+            "  python -m repro metrics --url http://127.0.0.1:8000 "
+            "--grep http_request --watch 2\n"
+        ),
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        help="server base URL (default: %(default)s)",
+    )
+    p.add_argument(
+        "--grep",
+        default=None,
+        metavar="SUBSTR",
+        help="only print sample/comment lines containing SUBSTR",
+    )
+    p.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS until interrupted instead of "
+        "dumping once",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -527,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_replay(sub)
     _add_compact(sub)
     _add_serve(sub)
+    _add_metrics(sub)
     _add_info(sub)
     return parser
 
@@ -991,12 +1039,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             flush=True,
         )
+    access_log = None
+    access_log_fh = None
+    if args.access_log is not None:
+        if args.access_log == "-":
+            access_log = sys.stderr
+        else:
+            access_log_fh = open(args.access_log, "a", encoding="utf-8")
+            access_log = access_log_fh
     server = make_server(
         predictor,
         host=args.host,
         port=args.port,
         quiet=not args.verbose,
         journal=journal,
+        access_log=access_log,
     )
     host, port = server.server_address[:2]
     print(
@@ -1013,7 +1070,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if journal is not None:
             journal.close()
+        if access_log_fh is not None:
+            access_log_fh.close()
     return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/metrics"
+
+    def fetch_and_print() -> int:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                text = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot fetch {url}: {exc}", file=sys.stderr)
+            return 1
+        if args.grep is not None:
+            text = "\n".join(
+                line for line in text.splitlines() if args.grep in line
+            )
+            if text:
+                text += "\n"
+        print(text, end="" if text.endswith("\n") or not text else "\n")
+        return 0
+
+    if args.watch is None:
+        return fetch_and_print()
+    try:
+        while True:
+            print(f"--- {url} @ {_time.strftime('%H:%M:%S')} ---")
+            fetch_and_print()
+            _time.sleep(max(args.watch, 0.1))
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -1087,6 +1180,7 @@ _COMMANDS = {
     "replay": cmd_replay,
     "compact": cmd_compact,
     "serve": cmd_serve,
+    "metrics": cmd_metrics,
     "info": cmd_info,
 }
 

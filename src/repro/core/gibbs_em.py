@@ -12,6 +12,7 @@ slots into the same schedule (including mid-run law swaps) unchanged.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -91,6 +92,24 @@ def run_inference(
     trace = ConvergenceTrace()
     it = 0
 
+    # Opt-in sweep observer (repro.obs.hooks): fetched once per fit; the
+    # hot loop pays a None check per sweep when nobody is observing and a
+    # perf_counter pair + callback when somebody is.  Observers receive
+    # only (engine, iteration, seconds) -- never sampler state -- so they
+    # cannot perturb the chain.
+    from repro.obs.hooks import sweep_observer
+
+    observer = sweep_observer()
+    engine_name = str(params.engine)
+
+    def timed_sweep() -> float:
+        if observer is None:
+            return sampler.sweep()
+        t0 = time.perf_counter()
+        changed = sampler.sweep()
+        observer(engine_name, it, time.perf_counter() - t0)
+        return changed
+
     def record(changed: float) -> None:
         nonlocal it
         metric = metric_callback(sampler, it) if metric_callback else None
@@ -110,7 +129,7 @@ def run_inference(
         it += 1
 
     for _ in range(params.burn_in):
-        record(sampler.sweep())
+        record(timed_sweep())
 
     if params.fit_alpha_beta and params.use_following:
         for _ in range(params.em_rounds):
@@ -123,7 +142,7 @@ def run_inference(
     )
     venue_samples = 0
     for _ in range(params.n_iterations - params.burn_in):
-        record(sampler.sweep())
+        record(timed_sweep())
         sampler.state.accumulate_theta_snapshot()
         sampler.state.record_edge_snapshot()
         sampler.tweeting_model.add_counts_into(venue_acc)

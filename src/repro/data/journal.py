@@ -76,6 +76,45 @@ from repro.data.delta import (
     chain_hash,
     validate_delta,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+
+#: Durability-path instrumentation: append/fsync/snapshot/replay
+#: timings and counts.  All read-only -- the journal bytes and the
+#: replayed worlds are bit-identical with metrics on or off.
+_REG = obs_metrics.get_registry()
+JOURNAL_APPENDS = _REG.counter(
+    "repro_journal_appends_total", "Delta records appended to the journal"
+)
+JOURNAL_APPEND_SECONDS = _REG.histogram(
+    "repro_journal_append_seconds",
+    "Wall time of one journal append (encode + write + flush, "
+    "including any fsync the batching policy triggered)",
+)
+JOURNAL_FSYNCS = _REG.counter(
+    "repro_journal_fsyncs_total", "fsync calls issued on the journal file"
+)
+JOURNAL_FSYNC_SECONDS = _REG.histogram(
+    "repro_journal_fsync_seconds", "Wall time of journal fsync calls"
+)
+JOURNAL_SNAPSHOTS = _REG.counter(
+    "repro_journal_snapshots_total", "World snapshots written"
+)
+JOURNAL_SNAPSHOT_SECONDS = _REG.histogram(
+    "repro_journal_snapshot_seconds",
+    "Wall time to write + fsync one world snapshot",
+)
+JOURNAL_REPLAYS = _REG.counter(
+    "repro_journal_replays_total", "Journal recovery passes run"
+)
+JOURNAL_REPLAYED_RECORDS = _REG.counter(
+    "repro_journal_replayed_records_total",
+    "Delta records re-applied during recovery",
+)
+JOURNAL_REPLAY_SECONDS = _REG.histogram(
+    "repro_journal_replay_seconds",
+    "Wall time of one full recovery (scan + repair + replay)",
+)
 
 __all__ = [
     "DeltaJournal",
@@ -337,17 +376,24 @@ class DeltaJournal:
                     f"append out of order: journal is at generation "
                     f"{self._generation}, record claims {generation}"
                 )
+            t0 = time.perf_counter()
             payload = delta.to_payload()
             encoded = _encode_record(generation, world_hash, payload)
             fh = self._handle()
             start = fh.tell()
-            fh.write(encoded)
-            fh.flush()
-            self._pending_sync += 1
-            if self._pending_sync >= self.fsync_every:
-                os.fsync(fh.fileno())
-                self._pending_sync = 0
-                self._last_sync = time.time()
+            with span("journal.append"):
+                fh.write(encoded)
+                fh.flush()
+                self._pending_sync += 1
+                if self._pending_sync >= self.fsync_every:
+                    t_sync = time.perf_counter()
+                    os.fsync(fh.fileno())
+                    JOURNAL_FSYNC_SECONDS.observe(time.perf_counter() - t_sync)
+                    JOURNAL_FSYNCS.inc()
+                    self._pending_sync = 0
+                    self._last_sync = time.time()
+            JOURNAL_APPEND_SECONDS.observe(time.perf_counter() - t0)
+            JOURNAL_APPENDS.inc()
             self._n_records += 1
             self._generation = generation
             self._last_hash = world_hash
@@ -364,7 +410,10 @@ class DeltaJournal:
         with self.lock:
             if self._fh is not None and self._pending_sync:
                 self._fh.flush()
+                t0 = time.perf_counter()
                 os.fsync(self._fh.fileno())
+                JOURNAL_FSYNC_SECONDS.observe(time.perf_counter() - t0)
+                JOURNAL_FSYNCS.inc()
                 self._pending_sync = 0
                 self._last_sync = time.time()
 
@@ -437,6 +486,7 @@ class DeltaJournal:
         and the journal it truncates was the space concern.
         """
         with self.lock:
+            t0 = time.perf_counter()
             meta = {
                 "format_version": SNAPSHOT_VERSION,
                 "generation": world.generation,
@@ -447,20 +497,23 @@ class DeltaJournal:
             }
             name = f"snapshot-{world.generation:012d}.world.npz"
             tmp = self.directory / (name + ".tmp")
-            with open(tmp, "wb") as fh:
-                np.savez(
-                    fh,
-                    meta=np.array(json.dumps(meta)),
-                    **{
-                        f"world_{key}": arr
-                        for key, arr in world.to_arrays().items()
-                    },
-                )
-                fh.flush()
-                os.fsync(fh.fileno())
-            path = self.directory / name
-            os.replace(tmp, path)
-            _fsync_dir(self.directory)
+            with span("journal.snapshot"):
+                with open(tmp, "wb") as fh:
+                    np.savez(
+                        fh,
+                        meta=np.array(json.dumps(meta)),
+                        **{
+                            f"world_{key}": arr
+                            for key, arr in world.to_arrays().items()
+                        },
+                    )
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                path = self.directory / name
+                os.replace(tmp, path)
+                _fsync_dir(self.directory)
+            JOURNAL_SNAPSHOT_SECONDS.observe(time.perf_counter() - t0)
+            JOURNAL_SNAPSHOTS.inc()
             return path
 
     def compact(self, world: ColumnarWorld) -> dict:
@@ -611,6 +664,7 @@ class DeltaJournal:
         history and appends continue from it.
         """
         with self.lock:
+            t0 = time.perf_counter()
             self.close()
             records, valid_end, scan_error = scan_journal(self.path)
             size = self.path.stat().st_size
@@ -671,6 +725,10 @@ class DeltaJournal:
                     str(snapshot_path) if snapshot_path is not None else None
                 ),
             }
+            JOURNAL_REPLAY_SECONDS.observe(time.perf_counter() - t0)
+            JOURNAL_REPLAYS.inc()
+            if replayed:
+                JOURNAL_REPLAYED_RECORDS.inc(replayed)
             return world, report
 
 

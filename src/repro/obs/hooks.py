@@ -1,0 +1,62 @@
+"""Opt-in observer hooks for the sampler hot loop.
+
+The Gibbs/EM inference loop is the hottest code in the repo; it must not
+pay for instrumentation nobody asked for.  Instead of importing metrics
+directly, ``run_inference`` fetches the module-level sweep observer
+*once* per fit and calls it only when it is not ``None`` -- the disabled
+cost is a single global read per fit, zero per sweep.
+
+An observer is any callable ``(engine, iteration, seconds)`` where
+``engine`` is the sampler engine name, ``iteration`` the 0-based sweep
+index across burn-in and accumulation, and ``seconds`` the wall time of
+that sweep.  :func:`metrics_sweep_observer` builds the standard one that
+feeds the process metrics registry.
+
+Observers are observational only: they receive timings, never the
+sampler state, so installing one cannot perturb the chain (golden-tested
+in tests/test_obs_trace.py).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+SweepObserver = Callable[[str, int, float], None]
+
+_SWEEP_OBSERVER: SweepObserver | None = None
+
+
+def set_sweep_observer(observer: SweepObserver | None) -> SweepObserver | None:
+    """Install (or clear with ``None``) the sweep observer; returns previous."""
+    global _SWEEP_OBSERVER
+    previous = _SWEEP_OBSERVER
+    _SWEEP_OBSERVER = observer
+    return previous
+
+
+def sweep_observer() -> SweepObserver | None:
+    """The currently installed sweep observer, if any."""
+    return _SWEEP_OBSERVER
+
+
+def metrics_sweep_observer(registry=None) -> SweepObserver:
+    """Build the standard observer that records sweeps into a registry."""
+    from repro.obs import metrics
+
+    registry = registry if registry is not None else metrics.get_registry()
+    sweep_seconds = registry.histogram(
+        "repro_sampler_sweep_seconds",
+        "Wall time of one Gibbs sweep over all users",
+        labelnames=("engine",),
+    )
+    sweeps_total = registry.counter(
+        "repro_sampler_sweeps_total",
+        "Completed Gibbs sweeps",
+        labelnames=("engine",),
+    )
+
+    def observe(engine: str, iteration: int, seconds: float) -> None:
+        sweep_seconds.labels(engine=engine).observe(seconds)
+        sweeps_total.labels(engine=engine).inc()
+
+    return observe

@@ -52,6 +52,7 @@ docs/PERFORMANCE.md).
 
 from __future__ import annotations
 
+import time
 from itertools import chain
 
 import numpy as np
@@ -62,7 +63,11 @@ from repro.data.columnar import (
     compile_world,
     expand_csr,
 )
+from repro.obs.trace import span
 from repro.serving.foldin import (
+    ITERATIONS_TOTAL,
+    SOLVE_SECONDS,
+    SOLVES_TOTAL,
     FoldInPrediction,
     FoldInPredictor,
     UserSpec,
@@ -72,6 +77,13 @@ from repro.serving.foldin import (
 )
 
 __all__ = ["BatchFoldInEngine", "score_population"]
+
+#: Batch-path instrumentation is per *chunk*, not per spec: one
+#: histogram observation per ~2048 solves keeps the overhead on the
+#: population-scoring path unmeasurable (gated by bench_obs.py).
+_BATCH_SECONDS = SOLVE_SECONDS.labels(path="batch")
+_BATCH_SOLVES = SOLVES_TOTAL.labels(path="batch")
+_BATCH_ITERATIONS = ITERATIONS_TOTAL.labels(path="batch")
 
 
 def _offsets(counts: np.ndarray) -> np.ndarray:
@@ -155,9 +167,14 @@ class BatchFoldInEngine:
             world = self.predictor.world
         solutions: list[_Solution] = []
         for start in range(0, len(specs), self.chunk_size):
-            solutions.extend(
-                self._solve_chunk(specs[start:start + self.chunk_size], world)
-            )
+            chunk = specs[start:start + self.chunk_size]
+            t0 = time.perf_counter()
+            with span("foldin.batch_chunk"):
+                solved = self._solve_chunk(chunk, world)
+            _BATCH_SECONDS.observe(time.perf_counter() - t0)
+            _BATCH_SOLVES.inc(len(solved))
+            _BATCH_ITERATIONS.inc(sum(s.iterations for s in solved))
+            solutions.extend(solved)
         return solutions
 
     # -- validation --------------------------------------------------------

@@ -10,7 +10,10 @@ thread-safe map behind that.
 Implemented on :class:`collections.OrderedDict` with a lock around
 every operation: the stdlib HTTP server handles each request on its own
 thread, so gets and puts race by design.  Hit/miss counters feed the
-``/healthz`` endpoint and the serving benchmark.
+``/healthz`` endpoint and the serving benchmark, and are mirrored onto
+the process metrics registry (``repro_cache_{hits,misses,
+invalidations}_total{cache=...}``) so ``/metrics`` sees them too; the
+instance-local integers remain the source of truth for ``stats()``.
 """
 
 from __future__ import annotations
@@ -19,13 +22,28 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterable
 
+from repro.obs import metrics as obs_metrics
+
 _MISSING = object()
+
+_REG = obs_metrics.get_registry()
+CACHE_HITS = _REG.counter(
+    "repro_cache_hits_total", "LRU cache hits", labelnames=("cache",)
+)
+CACHE_MISSES = _REG.counter(
+    "repro_cache_misses_total", "LRU cache misses", labelnames=("cache",)
+)
+CACHE_INVALIDATIONS = _REG.counter(
+    "repro_cache_invalidations_total",
+    "LRU cache entries dropped by tag invalidation",
+    labelnames=("cache",),
+)
 
 
 class LRUCache:
     """Bounded least-recently-used mapping with hit/miss accounting."""
 
-    def __init__(self, max_size: int = 1024):
+    def __init__(self, max_size: int = 1024, metrics_label: str = "prediction"):
         if max_size < 1:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.max_size = max_size
@@ -34,6 +52,12 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Registry children resolved once here: the hot path pays one
+        # counter increment, not a label lookup.  All instances with the
+        # same label aggregate into one /metrics time series.
+        self._m_hits = CACHE_HITS.labels(cache=metrics_label)
+        self._m_misses = CACHE_MISSES.labels(cache=metrics_label)
+        self._m_invalidations = CACHE_INVALIDATIONS.labels(cache=metrics_label)
         # Optional entry tags for selective invalidation: tag -> keys
         # carrying it, plus the reverse map so eviction can clean up.
         # Streaming ingest tags predictions with the neighbour ids they
@@ -47,10 +71,14 @@ class LRUCache:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
                 self.misses += 1
-                return default
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+        if value is _MISSING:
+            self._m_misses.inc()
+            return default
+        self._m_hits.inc()
+        return value
 
     def put(self, key: Hashable, value: Any, tags: Iterable[Hashable] = ()) -> None:
         """Insert or refresh ``key``, evicting the oldest entry if full.
@@ -69,9 +97,11 @@ class LRUCache:
         fold-in path looks up a whole request's signatures through
         this instead of taking the lock once per spec.
         """
+        n_requested = 0
         with self._lock:
             found: dict[Hashable, Any] = {}
             for key in keys:
+                n_requested += 1
                 value = self._data.get(key, _MISSING)
                 if value is _MISSING:
                     self.misses += 1
@@ -79,7 +109,11 @@ class LRUCache:
                     self._data.move_to_end(key)
                     self.hits += 1
                     found[key] = value
-            return found
+        if found:
+            self._m_hits.inc(len(found))
+        if n_requested > len(found):
+            self._m_misses.inc(n_requested - len(found))
+        return found
 
     def put_many(self, items: Iterable[tuple]) -> None:
         """Bulk :meth:`put` under one lock acquisition.
@@ -107,7 +141,9 @@ class LRUCache:
                 del self._data[key]
                 self._drop_tags_locked(key)
             self.invalidations += len(doomed)
-            return len(doomed)
+        if doomed:
+            self._m_invalidations.inc(len(doomed))
+        return len(doomed)
 
     def _put_locked(self, key: Hashable, value: Any, tags: tuple = ()) -> None:
         if key in self._data:

@@ -56,6 +56,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -65,7 +66,46 @@ from repro.core.results import LocationProfile
 from repro.core.tweeting import RandomTweetingModel
 from repro.data.columnar import compile_world
 from repro.geo.gazetteer import normalize_place_name
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.serving.cache import LRUCache
+
+#: Fold-in + ingest instrumentation (read-only: timings and counts,
+#: never inputs to the solve).  Children are resolved once at import so
+#: the hot path pays a single increment per event.
+_REG = obs_metrics.get_registry()
+SOLVE_SECONDS = _REG.histogram(
+    "repro_foldin_solve_seconds",
+    "Wall time of fold-in fixed-point solves "
+    "(per user sequentially, per chunk for the batch path)",
+    labelnames=("path",),
+)
+SOLVES_TOTAL = _REG.counter(
+    "repro_foldin_solves_total",
+    "Fold-in fixed-point solves performed (cache hits excluded)",
+    labelnames=("path",),
+)
+ITERATIONS_TOTAL = _REG.counter(
+    "repro_foldin_iterations_total",
+    "Fixed-point iterations summed over all fold-in solves",
+    labelnames=("path",),
+)
+_SEQ_SECONDS = SOLVE_SECONDS.labels(path="sequential")
+_SEQ_SOLVES = SOLVES_TOTAL.labels(path="sequential")
+_SEQ_ITERATIONS = ITERATIONS_TOTAL.labels(path="sequential")
+INGEST_DELTAS = _REG.counter(
+    "repro_ingest_deltas_total",
+    "World deltas applied to the served world",
+)
+INGEST_SECONDS = _REG.histogram(
+    "repro_ingest_apply_seconds",
+    "Wall time to splice one delta into the served world "
+    "(including cache invalidation)",
+)
+INGEST_TOUCHED = _REG.counter(
+    "repro_ingest_touched_users_total",
+    "Users touched by applied world deltas",
+)
 
 #: ``predict_batch`` hands off to the vectorized batch engine once at
 #: least this many unique, cache-missing specs need solving; below it
@@ -542,6 +582,20 @@ class FoldInPredictor:
         return np.stack(rows), np.array(noise), np.array(factor)
 
     def _solve(self, spec: UserSpec, world=None) -> _Solution:
+        """Instrumented sequential solve: timing + iteration accounting.
+
+        The numerical work lives in :meth:`_solve_exact`; this wrapper
+        only observes it, so instrumentation cannot perturb the result.
+        """
+        t0 = time.perf_counter()
+        with span("foldin.solve"):
+            solution = self._solve_exact(spec, world)
+        _SEQ_SECONDS.observe(time.perf_counter() - t0)
+        _SEQ_SOLVES.inc()
+        _SEQ_ITERATIONS.inc(solution.iterations)
+        return solution
+
+    def _solve_exact(self, spec: UserSpec, world=None) -> _Solution:
         # One world snapshot per solve: a concurrent refresh() swaps
         # self.world atomically, and mixing two generations inside one
         # solve would validate against one world and build candidacy
@@ -770,13 +824,18 @@ class FoldInPredictor:
         """
         from repro.data.delta import apply_delta
 
-        with self._lock:
-            new_world = apply_delta(self.world, delta)
-            self.world = new_world
-            if delta.label_users.size:
-                self.cache.invalidate_tags(
-                    int(uid) for uid in delta.label_users
-                )
+        t0 = time.perf_counter()
+        with span("ingest.apply"):
+            with self._lock:
+                new_world = apply_delta(self.world, delta)
+                self.world = new_world
+                if delta.label_users.size:
+                    self.cache.invalidate_tags(
+                        int(uid) for uid in delta.label_users
+                    )
+        INGEST_SECONDS.observe(time.perf_counter() - t0)
+        INGEST_DELTAS.inc()
+        INGEST_TOUCHED.inc(int(new_world.delta_log[-1].touched_users.size))
         return new_world
 
     def explain_edge(

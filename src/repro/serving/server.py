@@ -24,24 +24,44 @@ statement as endpoints:
   artifact reload; returns the new chained world hash + generation
   (body capped at the standard 1 MiB budget -- stream larger backlogs
   as multiple deltas);
-- ``GET /healthz``         -- liveness plus cache hit/miss counters;
+- ``GET /healthz``         -- liveness plus per-subsystem status blocks
+  under stable top-level keys (``artifact``/``world``/``cache``/
+  ``journal``/``metrics``);
+- ``GET /metrics``         -- the process metrics registry in the
+  Prometheus text exposition format (request counts and latency
+  histograms per route, fold-in solve timings, cache hit/miss, journal
+  fsync/append timings, ...);
 - ``GET /artifact``        -- the artifact's identity and parameters.
 
-Requests and responses are JSON; errors come back as
-``{"error": ...}`` with a 400 (bad request), a 404 (unknown route) or
--- when a known route is hit with the wrong HTTP method -- a 405 with
-an ``Allow`` header naming the supported method.  Each connection is
-handled on its own thread -- the predictor's shared mutable state (the
-LRU cache, the kernel-row cache, the solve counter) is lock-protected
-inside the predictor.
+Requests and responses are JSON (except ``/metrics``, which is
+Prometheus text); errors come back as ``{"error": ...}`` with a 400
+(bad request), a 404 (unknown route), a 500 (unexpected server fault)
+or -- when a known route is hit with the wrong HTTP method -- a 405
+with an ``Allow`` header naming the supported method.  Each connection
+is handled on its own thread -- the predictor's shared mutable state
+(the LRU cache, the kernel-row cache, the solve counter) is
+lock-protected inside the predictor.
+
+Every request is measured: a per-route latency histogram, request and
+error counters, and an in-flight gauge feed ``/metrics``, and each
+request runs under a :func:`repro.obs.trace.trace_request` trace whose
+span breakdown lands in the server's bounded trace ring (slow requests
+in a separate log).  With ``access_log`` set (``repro serve
+--access-log``), one structured JSON line per request (route, status,
+latency_ms, trace id) is written -- the stdlib ``log_message`` chatter
+stays opt-in via ``quiet=False`` as before.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import TraceBuffer, trace_request
 from repro.serving.foldin import FoldInPredictor, prediction_payload
 
 #: Cap on accepted request bodies (1 MiB): a single-user serving
@@ -57,7 +77,11 @@ MAX_BATCH_BODY_BYTES = 64 << 20
 #: The single route table: route -> handler method name.  Both method
 #: dispatch and 405-vs-404 classification read it, so a route added
 #: here automatically gets the right ``Allow`` header everywhere.
-GET_HANDLERS = {"/healthz": "_healthz", "/artifact": "_artifact"}
+GET_HANDLERS = {
+    "/healthz": "_healthz",
+    "/artifact": "_artifact",
+    "/metrics": "_metrics",
+}
 POST_HANDLERS = {
     "/predict-home": "_predict_home",
     "/predict-batch": "_predict_batch",
@@ -67,6 +91,32 @@ POST_HANDLERS = {
 }
 GET_ROUTES = tuple(GET_HANDLERS)
 POST_ROUTES = tuple(POST_HANDLERS)
+
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request metrics, resolved once at import.  The route label is always
+#: a route-table entry or the literal ``<unknown>`` so cardinality is
+#: bounded by the route table, never by client-controlled paths.
+_REG = obs_metrics.get_registry()
+HTTP_REQUESTS = _REG.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route, method, and status code",
+    labelnames=("route", "method", "status"),
+)
+HTTP_ERRORS = _REG.counter(
+    "repro_http_errors_total",
+    "HTTP responses with status >= 400, by route and status code",
+    labelnames=("route", "status"),
+)
+HTTP_LATENCY = _REG.histogram(
+    "repro_http_request_seconds",
+    "Wall time from request dispatch to response written, by route",
+    labelnames=("route",),
+)
+HTTP_INFLIGHT = _REG.gauge(
+    "repro_http_inflight_requests",
+    "Requests currently being handled across all server threads",
+)
 
 
 class ServingServer(ThreadingHTTPServer):
@@ -81,6 +131,8 @@ class ServingServer(ThreadingHTTPServer):
         predictor: FoldInPredictor,
         quiet: bool = True,
         journal=None,
+        access_log=None,
+        slow_request_seconds: float = 0.5,
     ):
         self.predictor = predictor
         self.quiet = quiet
@@ -88,6 +140,13 @@ class ServingServer(ThreadingHTTPServer):
         #: ``POST /ingest`` write-ahead journals every delta before
         #: applying it, and ``/healthz`` reports the journal position.
         self.journal = journal
+        #: Optional writable text stream: when set, every request emits
+        #: one structured JSON access-log line (route, status,
+        #: latency_ms, trace id).
+        self.access_log = access_log
+        self.trace_buffer = TraceBuffer(slow_threshold=slow_request_seconds)
+        self.started_unix = time.time()
+        self._access_log_lock = threading.Lock()
         super().__init__(address, ServingHandler)
 
 
@@ -110,12 +169,16 @@ class ServingHandler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
-    def _send_json(
-        self, status: int, payload, extra_headers: dict | None = None
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._response_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
@@ -125,6 +188,12 @@ class ServingHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(
+        self, status: int, payload, extra_headers: dict | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json", extra_headers)
 
     def _reject_unknown(self, allowed: str | None) -> None:
         """404 for an unknown route, 405 + Allow for a known one.
@@ -181,29 +250,152 @@ class ServingHandler(BaseHTTPRequestHandler):
             raise _RequestError("request body must be a JSON object")
         return payload
 
+    # -- instrumented dispatch ---------------------------------------------
+
+    def _route_label(self) -> str:
+        """The metrics label for this request's path (bounded cardinality)."""
+        if self.path in GET_HANDLERS or self.path in POST_HANDLERS:
+            return self.path
+        return "<unknown>"
+
+    def _dispatch(self, method: str) -> None:
+        """Run one request under metrics + tracing + the access log.
+
+        All response paths funnel through :meth:`_send_body`, which
+        records the status; anything a handler raises past the expected
+        client-error types becomes a 500 instead of killing the
+        connection thread silently.
+        """
+        route = self._route_label()
+        self._response_status = 0
+        trace_id = ""
+        t0 = time.perf_counter()
+        HTTP_INFLIGHT.inc()
+        try:
+            buffer = getattr(self.server, "trace_buffer", None)
+            with trace_request(
+                f"{method} {route}", buffer, meta={"route": route}
+            ) as trace:
+                trace_id = trace.trace_id
+                try:
+                    if method == "GET":
+                        self._handle_get()
+                    else:
+                        self._handle_post()
+                except (_RequestError, ValueError, KeyError, TypeError) as exc:
+                    self._send_json(400, {"error": str(exc)})
+                except Exception as exc:
+                    # Defensive catch-all: answer 500 if the socket is
+                    # still writable, and always close -- the failed
+                    # handler may have left the body half-read.
+                    self.close_connection = True
+                    try:
+                        self._send_json(
+                            500,
+                            {"error": f"internal error: {type(exc).__name__}"},
+                        )
+                    except OSError:
+                        pass
+                trace.meta["status"] = self._response_status
+        finally:
+            HTTP_INFLIGHT.dec()
+            elapsed = time.perf_counter() - t0
+            status = str(self._response_status)
+            HTTP_REQUESTS.labels(route=route, method=method, status=status).inc()
+            HTTP_LATENCY.labels(route=route).observe(elapsed)
+            if self._response_status >= 400:
+                HTTP_ERRORS.labels(route=route, status=status).inc()
+            self._write_access_log(method, route, elapsed, trace_id)
+
+    def _write_access_log(
+        self, method: str, route: str, elapsed: float, trace_id: str
+    ) -> None:
+        stream = getattr(self.server, "access_log", None)
+        if stream is None:
+            return
+        line = json.dumps(
+            {
+                "ts": round(time.time(), 6),
+                "method": method,
+                "route": route,
+                "path": self.path,
+                "status": self._response_status,
+                "latency_ms": round(elapsed * 1e3, 3),
+                "trace_id": trace_id,
+            }
+        )
+        lock = getattr(self.server, "_access_log_lock", None)
+        try:
+            if lock is not None:
+                with lock:
+                    stream.write(line + "\n")
+                    stream.flush()
+            else:
+                stream.write(line + "\n")
+                stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead log sink must never fail the request
+
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        self._dispatch("GET")
+
+    def _handle_get(self) -> None:
         name = GET_HANDLERS.get(self.path)
         if name is None:
             self._reject_unknown("POST" if self.path in POST_ROUTES else None)
             return
-        self._send_json(200, getattr(self, name)())
+        result = getattr(self, name)()
+        if isinstance(result, bytes):
+            # /metrics returns a pre-encoded non-JSON body.
+            self._send_body(200, result, METRICS_CONTENT_TYPE)
+        else:
+            self._send_json(200, result)
 
     def _healthz(self) -> dict:
-        predictor = self.server.predictor
+        """Liveness plus per-subsystem blocks under stable top-level keys.
+
+        Schema contract (tests/test_serving_obs.py): ``status`` plus the
+        blocks ``artifact``/``world``/``cache``/``journal``/``metrics``
+        are always present; ``journal`` is ``None`` on an unjournaled
+        server rather than absent.
+        """
+        server = self.server
+        predictor = server.predictor
         world = predictor.world
-        payload = {
+        journal = getattr(server, "journal", None)
+        trace_buffer = getattr(server, "trace_buffer", None)
+        started = getattr(server, "started_unix", None)
+        return {
             "status": "ok",
-            "artifact_id": predictor.artifact_id,
-            "users": world.n_users,
-            "world_generation": world.generation,
+            "artifact": {"id": predictor.artifact_id},
+            "world": {
+                "users": world.n_users,
+                "generation": world.generation,
+                "following": world.n_following,
+                "tweeting": world.n_tweeting,
+                "hash": world.content_hash,
+            },
             "cache": predictor.cache.stats(),
+            "journal": journal.stats() if journal is not None else None,
+            "metrics": {
+                "uptime_seconds": (
+                    round(time.time() - started, 3) if started else None
+                ),
+                "requests_total": HTTP_REQUESTS.total(),
+                "errors_total": HTTP_ERRORS.total(),
+                "inflight": HTTP_INFLIGHT.value,
+                "solves_total": predictor.solve_count,
+                "traces": (
+                    trace_buffer.stats() if trace_buffer is not None else None
+                ),
+            },
         }
-        journal = getattr(self.server, "journal", None)
-        if journal is not None:
-            payload["journal"] = journal.stats()
-        return payload
+
+    def _metrics(self) -> bytes:
+        """The process registry in Prometheus text exposition format."""
+        return obs_metrics.render_prometheus().encode("utf-8")
 
     def _artifact(self) -> dict:
         predictor = self.server.predictor
@@ -240,6 +432,9 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- POST --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        self._dispatch("POST")
+
+    def _handle_post(self) -> None:
         name = POST_HANDLERS.get(self.path)
         if name is None:
             self._reject_unknown("GET" if self.path in GET_ROUTES else None)
@@ -249,11 +444,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             if self.path == "/predict-batch"
             else MAX_BODY_BYTES
         )
-        try:
-            payload = self._read_json(max_bytes=max_bytes)
-            self._send_json(200, getattr(self, name)(payload))
-        except (_RequestError, ValueError, KeyError, TypeError) as exc:
-            self._send_json(400, {"error": str(exc)})
+        payload = self._read_json(max_bytes=max_bytes)
+        self._send_json(200, getattr(self, name)(payload))
 
     def _predict_home(self, payload) -> dict:
         predictor = self.server.predictor
@@ -402,6 +594,13 @@ def make_server(
     port: int = 8000,
     quiet: bool = True,
     journal=None,
+    access_log=None,
 ) -> ServingServer:
     """Bind a serving server (``port=0`` picks a free port -- tests)."""
-    return ServingServer((host, port), predictor, quiet=quiet, journal=journal)
+    return ServingServer(
+        (host, port),
+        predictor,
+        quiet=quiet,
+        journal=journal,
+        access_log=access_log,
+    )

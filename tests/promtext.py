@@ -1,0 +1,198 @@
+"""A strict little parser for the Prometheus text exposition format.
+
+Used by the observability tests to assert that ``GET /metrics`` output
+is *well-formed* at the line-grammar level -- not just that some
+substring appears: every line must be a comment (``# HELP`` /
+``# TYPE``) or a valid sample (``name{labels} value``), label values
+must be properly quoted/escaped, no sample may appear twice with the
+same name + label set, and every sample must belong to a ``# TYPE``-d
+family.
+
+This is deliberately independent of :mod:`repro.obs.metrics` -- it
+re-derives validity from the wire format, so an encoder bug cannot hide
+behind its own definitions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+@dataclass
+class Sample:
+    """One parsed sample line."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+    @property
+    def key(self) -> tuple:
+        return (self.name, tuple(sorted(self.labels.items())))
+
+
+@dataclass
+class Family:
+    """One metric family: its declared type, help, and samples."""
+
+    name: str
+    kind: str | None = None
+    help: str | None = None
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)  # raises ValueError on garbage -- wanted
+
+
+def _parse_labels(raw: str | None) -> dict[str, str]:
+    if raw is None or raw == "":
+        return {}
+    labels: dict[str, str] = {}
+    position = 0
+    while position < len(raw):
+        match = _LABEL_RE.match(raw, position)
+        if match is None:
+            raise ValueError(f"malformed label pair at {raw[position:]!r}")
+        name = match.group("name")
+        if name in labels:
+            raise ValueError(f"duplicate label name {name!r} in {raw!r}")
+        value = match.group("value")
+        value = (
+            value.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        labels[name] = value
+        position = match.end()
+        if position < len(raw):
+            if raw[position] != ",":
+                raise ValueError(f"expected ',' at {raw[position:]!r}")
+            position += 1
+    return labels
+
+
+def parse(text: str) -> dict[str, Family]:
+    """Parse exposition text; raises ``ValueError`` on any grammar error.
+
+    Checks, beyond per-line syntax: families are contiguous (HELP/TYPE
+    precede their samples), every sample belongs to a typed family
+    (histogram samples may use the ``_bucket``/``_sum``/``_count``
+    suffixes of their family name), and no (name, labels) sample key
+    repeats.
+    """
+    families: dict[str, Family] = {}
+    seen_keys: set[tuple] = set()
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                if parts[1:2] and parts[1] in ("HELP", "TYPE"):
+                    raise ValueError(f"line {line_no}: truncated {parts[1]}")
+                continue  # free-form comment: legal, ignored
+            _, keyword, name, rest = parts
+            if not _NAME_RE.fullmatch(name):
+                raise ValueError(f"line {line_no}: bad metric name {name!r}")
+            family = families.setdefault(name, Family(name))
+            if keyword == "HELP":
+                if family.help is not None:
+                    raise ValueError(f"line {line_no}: second HELP for {name}")
+                family.help = rest
+            else:
+                if family.kind is not None:
+                    raise ValueError(f"line {line_no}: second TYPE for {name}")
+                if rest not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {line_no}: bad type {rest!r}")
+                if family.samples:
+                    raise ValueError(
+                        f"line {line_no}: TYPE for {name} after its samples"
+                    )
+                family.kind = rest
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        family = _resolve_family(families, name)
+        if family is None:
+            raise ValueError(
+                f"line {line_no}: sample {name!r} has no TYPE declaration"
+            )
+        sample = Sample(name=name, labels=labels, value=value)
+        if sample.key in seen_keys:
+            raise ValueError(f"line {line_no}: duplicate sample {sample.key}")
+        seen_keys.add(sample.key)
+        family.samples.append(sample)
+    return families
+
+
+def _resolve_family(
+    families: dict[str, Family], sample_name: str
+) -> Family | None:
+    """The declared family a sample belongs to, honouring suffixes."""
+    family = families.get(sample_name)
+    if family is not None and family.kind is not None:
+        return family
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = families.get(sample_name[: -len(suffix)])
+            if base is not None and base.kind == "histogram":
+                return base
+    return None
+
+
+def assert_histogram_consistent(family: Family) -> None:
+    """Bucket counts must be cumulative and agree with ``_count``."""
+    by_series: dict[tuple, list[Sample]] = {}
+    counts: dict[tuple, float] = {}
+    for sample in family.samples:
+        plain = tuple(
+            sorted(
+                (k, v) for k, v in sample.labels.items() if k != "le"
+            )
+        )
+        if sample.name.endswith("_bucket"):
+            by_series.setdefault(plain, []).append(sample)
+        elif sample.name.endswith("_count"):
+            counts[plain] = sample.value
+    for plain, buckets in by_series.items():
+        previous = 0.0
+        inf_value = None
+        for sample in buckets:
+            assert sample.value >= previous, (
+                f"{family.name}{dict(plain)}: bucket counts not cumulative"
+            )
+            previous = sample.value
+            if sample.labels.get("le") == "+Inf":
+                inf_value = sample.value
+        assert inf_value is not None, (
+            f"{family.name}{dict(plain)}: no +Inf bucket"
+        )
+        assert inf_value == counts.get(plain), (
+            f"{family.name}{dict(plain)}: +Inf bucket != _count"
+        )

@@ -576,7 +576,7 @@ class TestJournaledServer:
         for i in range(3):
             self._post(base, "/ingest", {"edges": [[i, n - 1 - i]]})
         pre_crash = self._get(base, "/healthz")
-        assert pre_crash["world_generation"] == 3
+        assert pre_crash["world"]["generation"] == 3
 
         # "Restart": recover the directory into a fresh predictor/server.
         base_world = compile_world(fitted_result.dataset)
@@ -591,7 +591,7 @@ class TestJournaledServer:
             health = self._get(
                 f"http://127.0.0.1:{server2.server_address[1]}", "/healthz"
             )
-            assert health["world_generation"] == 3
+            assert health["world"]["generation"] == 3
             assert health["journal"]["generation"] == 3
         finally:
             server2.shutdown()
@@ -663,7 +663,7 @@ class TestKillNineMidIngest:
         try:
             n_users = None
             with urllib.request.urlopen(base + "/healthz") as response:
-                n_users = json.loads(response.read())["users"]
+                n_users = json.loads(response.read())["world"]["users"]
             # 8 synchronous ingests: each acknowledged before the next.
             for i in range(8):
                 payload = {
@@ -732,7 +732,7 @@ class TestKillNineMidIngest:
                 f"http://127.0.0.1:{port2}/healthz"
             ) as response:
                 health = json.loads(response.read())
-            assert health["world_generation"] == world.generation
+            assert health["world"]["generation"] == world.generation
             assert health["journal"]["generation"] == world.generation
         finally:
             proc2.send_signal(signal.SIGTERM)

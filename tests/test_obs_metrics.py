@@ -1,0 +1,302 @@
+"""Unit tests for the metrics registry (repro.obs.metrics).
+
+Covers registration semantics (get-or-create, kind/label conflicts),
+counter/gauge/histogram behaviour, quantile estimation accuracy on a
+known distribution, the enable/disable switch, in-place reset (handles
+resolved before a reset keep recording after it), thread-safety under a
+multi-thread hammer, and Prometheus exposition validity through the
+independent parser in tests/promtext.py.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import promtext
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestRegistration:
+    def test_get_or_create_returns_same_metric(self, registry):
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total", "different help ignored")
+        assert a is b
+
+    def test_kind_conflict_is_an_error(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_labelnames_conflict_is_an_error(self, registry):
+        registry.counter("x_total", labelnames=("route",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labelnames=("method",))
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "9lives", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_buckets_only_for_histograms(self, registry):
+        with pytest.raises(ValueError, match="only valid for histograms"):
+            registry._register("g", "", "gauge", (), np.array([1.0]))
+
+    def test_collect_preserves_registration_order(self, registry):
+        names = [f"metric_{i}_total" for i in range(5)]
+        for name in names:
+            registry.counter(name)
+        assert [m.name for m in registry.collect()] == names
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        c = registry.counter("hits_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self, registry):
+        c = registry.counter("hits_total")
+        with pytest.raises(ValueError, match="only increase"):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self, registry):
+        c = registry.counter("hits_total", labelnames=("route",))
+        c.labels(route="/a").inc()
+        c.labels(route="/b").inc(2)
+        assert c.labels(route="/a").value == 1
+        assert c.labels(route="/b").value == 2
+        assert c.total() == 3
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("hits_total", labelnames=("route",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.labels(method="GET")
+        with pytest.raises(ValueError, match="use .labels"):
+            c.inc()
+
+    def test_label_child_is_cached(self, registry):
+        c = registry.counter("hits_total", labelnames=("route",))
+        assert c.labels(route="/a") is c.labels(route="/a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("inflight")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7
+
+    def test_callback_gauge(self, registry):
+        g = registry.gauge("uptime_seconds")
+        g.set_function(lambda: 42.5)
+        assert g.value == 42.5
+
+
+class TestHistogram:
+    def test_observe_and_summary(self, registry):
+        h = registry.histogram("latency_seconds")
+        for value in (0.001, 0.002, 0.004, 0.008):
+            h.observe(value)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(0.015)
+        assert s["min"] == 0.001
+        assert s["max"] == 0.008
+
+    def test_empty_summary(self, registry):
+        h = registry.histogram("latency_seconds")
+        assert h.summary() == {"count": 0, "sum": 0.0}
+        assert h.quantile(0.5) == 0.0
+
+    def test_single_sample_quantiles_are_exact(self, registry):
+        h = registry.histogram("latency_seconds")
+        h.observe(0.0042)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.0042)
+
+    def test_quantiles_on_lognormal_within_bucket_resolution(self, registry):
+        h = registry.histogram("latency_seconds")
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-5.0, sigma=0.5, size=20_000)
+        for value in samples:
+            h.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            true = float(np.quantile(samples, q))
+            estimate = h.quantile(q)
+            # Log-bucketed at 5/decade: one bucket is a ~1.58x band, so
+            # the interpolated estimate must land well within +-30%.
+            assert estimate == pytest.approx(true, rel=0.30)
+
+    def test_quantile_bounds_validated(self, registry):
+        h = registry.histogram("latency_seconds")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_custom_buckets_must_increase(self, registry):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h", buckets=np.array([1.0, 1.0, 2.0]))
+
+    def test_time_context_manager(self, registry):
+        h = registry.histogram("latency_seconds")
+        with h.time():
+            pass
+        assert h.summary()["count"] == 1
+
+
+class TestEnableDisable:
+    def test_disabled_records_nothing(self, registry):
+        c = registry.counter("hits_total")
+        h = registry.histogram("latency_seconds")
+        g = registry.gauge("inflight")
+        previous = obs_metrics.set_enabled(False)
+        try:
+            c.inc()
+            h.observe(1.0)
+            g.set(5)
+        finally:
+            obs_metrics.set_enabled(previous)
+        assert c.value == 0
+        assert h.summary()["count"] == 0
+        assert g.value == 0
+
+    def test_set_enabled_returns_previous(self):
+        previous = obs_metrics.set_enabled(False)
+        try:
+            assert obs_metrics.set_enabled(True) is False
+            assert obs_metrics.set_enabled(True) is True
+        finally:
+            obs_metrics.set_enabled(previous)
+            obs_metrics.set_enabled(previous)
+
+
+class TestReset:
+    def test_reset_zeroes_in_place(self, registry):
+        c = registry.counter("hits_total", labelnames=("route",))
+        handle = c.labels(route="/a")
+        handle.inc(5)
+        h = registry.histogram("latency_seconds")
+        h.observe(0.5)
+        registry.reset()
+        assert handle.value == 0
+        assert h.summary()["count"] == 0
+        # Pre-resolved handles keep recording after the reset.
+        handle.inc()
+        assert c.labels(route="/a").value == 1
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    N_OPS = 2_000
+
+    def test_concurrent_counter_and_histogram(self, registry):
+        c = registry.counter("hits_total", labelnames=("route",))
+        h = registry.histogram("latency_seconds", labelnames=("route",))
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def hammer(thread_id: int) -> None:
+            child_c = c.labels(route=f"/{thread_id % 2}")
+            child_h = h.labels(route=f"/{thread_id % 2}")
+            barrier.wait()
+            for i in range(self.N_OPS):
+                child_c.inc()
+                child_h.observe(0.001 * (i % 10 + 1))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert c.total() == self.N_THREADS * self.N_OPS
+        total_observed = sum(
+            child.count for _, child in h.children()
+        )
+        assert total_observed == self.N_THREADS * self.N_OPS
+
+
+class TestPrometheusRender:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        c = registry.counter(
+            "repro_requests_total", "requests", labelnames=("route", "status")
+        )
+        c.labels(route="/predict-home", status="200").inc(3)
+        c.labels(route="/ingest", status="400").inc()
+        g = registry.gauge("repro_inflight", "in flight")
+        g.set(2)
+        h = registry.histogram(
+            "repro_latency_seconds", "latency", labelnames=("route",)
+        )
+        for value in (0.001, 0.003, 0.2, 5.0):
+            h.labels(route="/predict-home").observe(value)
+        return registry
+
+    def test_output_parses_and_has_no_duplicates(self):
+        text = render_prometheus(self._populated())
+        families = promtext.parse(text)
+        assert set(families) == {
+            "repro_requests_total",
+            "repro_inflight",
+            "repro_latency_seconds",
+        }
+        assert families["repro_requests_total"].kind == "counter"
+        assert families["repro_inflight"].kind == "gauge"
+        assert families["repro_latency_seconds"].kind == "histogram"
+
+    def test_counter_values_roundtrip(self):
+        text = render_prometheus(self._populated())
+        families = promtext.parse(text)
+        samples = {
+            s.key: s.value for s in families["repro_requests_total"].samples
+        }
+        key = (
+            "repro_requests_total",
+            (("route", "/predict-home"), ("status", "200")),
+        )
+        assert samples[key] == 3
+
+    def test_histogram_buckets_cumulative_and_count_consistent(self):
+        text = render_prometheus(self._populated())
+        family = promtext.parse(text)["repro_latency_seconds"]
+        promtext.assert_histogram_consistent(family)
+        count = [
+            s for s in family.samples if s.name.endswith("_count")
+        ][0]
+        assert count.value == 4
+
+    def test_label_escaping_roundtrips(self):
+        registry = MetricsRegistry()
+        c = registry.counter("weird_total", "w", labelnames=("k",))
+        nasty = 'a"b\\c\nd'
+        c.labels(k=nasty).inc()
+        families = promtext.parse(render_prometheus(registry))
+        (sample,) = families["weird_total"].samples
+        assert sample.labels["k"] == nasty
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, registry):
+        c = registry.counter("hits_total", labelnames=("route",))
+        c.labels(route="/a").inc(2)
+        h = registry.histogram("latency_seconds")
+        h.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["hits_total"]["kind"] == "counter"
+        assert snap["hits_total"]["series"]["route=/a"] == 2
+        assert snap["latency_seconds"]["series"][""]["count"] == 1

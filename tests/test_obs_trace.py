@@ -1,0 +1,219 @@
+"""Unit tests for tracing (repro.obs.trace) and the sampler hook.
+
+Covers span nesting into a tree, the no-op fast path when no trace is
+active, trace-buffer ring bounds and the slow-request log, thread
+isolation of the span stack, and the opt-in sweep observer hook --
+including the golden guarantee that installing the observer does not
+perturb inference results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.gibbs_em import MLPParams, run_inference
+from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.obs import hooks as obs_hooks
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    Trace,
+    TraceBuffer,
+    current_trace,
+    span,
+    trace_request,
+)
+
+
+class TestSpans:
+    def test_noop_when_no_trace_active(self):
+        assert current_trace() is None
+        first = span("anything")
+        second = span("something.else")
+        # Shared singleton: no allocation on the disabled path.
+        assert first is second
+        with first:
+            pass  # must be harmless
+
+    def test_spans_nest_into_a_tree(self):
+        with trace_request("GET /x") as trace:
+            with span("outer"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+            with span("sibling"):
+                pass
+        assert [record.name for record in trace.spans] == ["outer", "sibling"]
+        outer = trace.spans[0]
+        assert [record.name for record in outer.children] == [
+            "inner.a",
+            "inner.b",
+        ]
+        assert trace.duration >= outer.duration >= 0.0
+
+    def test_trace_cleared_after_exit(self):
+        with trace_request("GET /x"):
+            assert current_trace() is not None
+        assert current_trace() is None
+        assert span("after") is span("after")  # back to the no-op
+
+    def test_nested_trace_request_is_passthrough(self):
+        buffer = TraceBuffer()
+        with trace_request("outer", buffer) as outer:
+            with trace_request("inner", buffer) as inner:
+                assert inner is outer
+        # Only the outer trace is deposited.
+        assert buffer.stats()["captured"] == 1
+
+    def test_trace_ids_are_unique_and_deterministic_format(self):
+        ids = set()
+        for _ in range(5):
+            with trace_request("GET /x") as trace:
+                ids.add(trace.trace_id)
+        assert len(ids) == 5
+        for trace_id in ids:
+            pid_part, counter_part = trace_id.split("-")
+            int(pid_part, 16)
+            int(counter_part, 16)
+
+    def test_meta_and_to_dict(self):
+        with trace_request("GET /x", meta={"route": "/x"}) as trace:
+            trace.meta["status"] = 200
+            with span("work"):
+                pass
+        payload = trace.to_dict()
+        assert payload["name"] == "GET /x"
+        assert payload["meta"] == {"route": "/x", "status": 200}
+        assert payload["spans"][0]["name"] == "work"
+        assert payload["duration_ms"] >= 0.0
+
+    def test_thread_isolation(self):
+        """A trace on one thread must be invisible to spans on another."""
+        seen_on_worker = []
+        ready = threading.Event()
+        done = threading.Event()
+
+        def worker():
+            ready.wait(5)
+            seen_on_worker.append(current_trace())
+            with span("worker.section"):
+                pass
+            done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        with trace_request("GET /main") as trace:
+            ready.set()
+            assert done.wait(5)
+            with span("main.section"):
+                pass
+        thread.join()
+        assert seen_on_worker == [None]
+        assert [record.name for record in trace.spans] == ["main.section"]
+
+
+class TestTraceBuffer:
+    def _trace(self, duration: float) -> Trace:
+        trace = Trace("GET /x")
+        trace.duration = duration
+        return trace
+
+    def test_ring_is_bounded(self):
+        buffer = TraceBuffer(capacity=4, slow_threshold=10.0)
+        for _ in range(10):
+            buffer.add(self._trace(0.001))
+        stats = buffer.stats()
+        assert stats["captured"] == 10
+        assert stats["buffered"] == 4
+        assert len(buffer.recent()) == 4
+
+    def test_slow_log_threshold_and_bound(self):
+        buffer = TraceBuffer(capacity=64, slow_threshold=0.25, slow_capacity=2)
+        for duration in (0.1, 0.3, 0.26, 0.9, 0.2):
+            buffer.add(self._trace(duration))
+        stats = buffer.stats()
+        assert stats["slow_seen"] == 3
+        assert stats["slow_buffered"] == 2
+        assert stats["slow_threshold_ms"] == 250.0
+        slow = buffer.slow()
+        assert [entry["duration_ms"] for entry in slow] == [260.0, 900.0]
+
+
+class TestSweepObserver:
+    def test_default_is_none_and_set_returns_previous(self):
+        assert obs_hooks.sweep_observer() is None
+        sentinel = lambda engine, iteration, seconds: None  # noqa: E731
+        previous = obs_hooks.set_sweep_observer(sentinel)
+        try:
+            assert previous is None
+            assert obs_hooks.sweep_observer() is sentinel
+        finally:
+            obs_hooks.set_sweep_observer(previous)
+        assert obs_hooks.sweep_observer() is None
+
+    def test_metrics_observer_records_per_engine(self):
+        registry = MetricsRegistry()
+        observer = obs_hooks.metrics_sweep_observer(registry)
+        observer("vectorized", 0, 0.01)
+        observer("vectorized", 1, 0.02)
+        observer("reference", 0, 0.05)
+        sweeps = registry.get("repro_sampler_sweeps_total")
+        assert sweeps.labels(engine="vectorized").value == 2
+        assert sweeps.labels(engine="reference").value == 1
+        seconds = registry.get("repro_sampler_sweep_seconds")
+        assert seconds.labels(engine="vectorized").count == 2
+
+    def test_observer_does_not_perturb_inference(self, tiny_world):
+        """Golden: results with the observer installed are bit-identical."""
+        params = MLPParams(
+            n_iterations=6, burn_in=2, seed=11, engine="vectorized"
+        )
+        baseline = run_inference(tiny_world, params)
+
+        registry = MetricsRegistry()
+        calls: list[tuple[str, int]] = []
+        observer = obs_hooks.metrics_sweep_observer(registry)
+
+        def recording(engine, iteration, seconds):
+            calls.append((engine, iteration))
+            observer(engine, iteration, seconds)
+
+        previous = obs_hooks.set_sweep_observer(recording)
+        try:
+            observed = run_inference(tiny_world, params)
+        finally:
+            obs_hooks.set_sweep_observer(previous)
+
+        assert calls, "observer was never invoked"
+        assert all(engine == "vectorized" for engine, _ in calls)
+        for attr in ("mu", "x", "y", "nu", "z"):
+            np.testing.assert_array_equal(
+                getattr(baseline.sampler.state, attr),
+                getattr(observed.sampler.state, attr),
+            )
+        np.testing.assert_array_equal(
+            baseline.sampler.state.user_counts.phi,
+            observed.sampler.state.user_counts.phi,
+        )
+        assert (
+            baseline.trace.changed_fractions()
+            == observed.trace.changed_fractions()
+        )
+
+    def test_observer_sees_every_sweep(self):
+        world = generate_world(SyntheticWorldConfig(n_users=40, seed=21))
+        params = MLPParams(
+            n_iterations=5, burn_in=2, seed=4, engine="vectorized"
+        )
+        calls: list[int] = []
+        previous = obs_hooks.set_sweep_observer(
+            lambda engine, iteration, seconds: calls.append(iteration)
+        )
+        try:
+            run_inference(world, params)
+        finally:
+            obs_hooks.set_sweep_observer(previous)
+        # Total sweep budget is exactly n_iterations (burn-in included).
+        assert len(calls) == params.n_iterations

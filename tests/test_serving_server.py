@@ -63,10 +63,14 @@ class TestHealthAndMetadata:
         status, payload = _get(f"{base_url}/healthz")
         assert status == 200
         assert payload["status"] == "ok"
-        assert payload["artifact_id"] == "server-test"
+        assert payload["artifact"]["id"] == "server-test"
         assert set(payload["cache"]) == {
             "hits", "misses", "invalidations", "size", "max_size",
         }
+        assert payload["journal"] is None
+        # The handler itself is the in-flight request; its own counter
+        # increment lands only after the response is written.
+        assert payload["metrics"]["inflight"] >= 1
 
     def test_artifact_metadata(self, base_url, world):
         status, payload = _get(f"{base_url}/artifact")
@@ -480,8 +484,8 @@ class TestIngest:
         fresh, url = live
         status, payload = _get(f"{url}/healthz")
         assert status == 200
-        assert payload["world_generation"] == fresh.world.generation
-        assert payload["users"] == fresh.world.n_users
+        assert payload["world"]["generation"] == fresh.world.generation
+        assert payload["world"]["users"] == fresh.world.n_users
 
     def test_bad_delta_is_a_400(self, live):
         fresh, url = live

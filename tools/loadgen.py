@@ -1,0 +1,384 @@
+"""Open-loop load harness for the repro serving layer.
+
+Drives a running ``repro serve`` instance with a Poisson arrival
+process (seeded, so a run is reproducible) over a mixed workload of
+``POST /predict-home`` and ``POST /ingest`` requests, then reports
+throughput and latency quantiles and appends them to the performance
+trajectory journal (``benchmarks/results/bench_trajectory.jsonl``)
+under ``"source": "loadgen"``.
+
+Open loop means arrivals are dispatched on schedule regardless of how
+fast the server answers -- the harness measures the latency a given
+*offered* load produces instead of letting a slow server throttle its
+own measurement (closed-loop coordination omission).  Each arrival runs
+on its own thread; ``--max-inflight`` bounds runaway concurrency if the
+server falls far behind.
+
+Usage::
+
+    python tools/loadgen.py --url http://127.0.0.1:8000 \\
+        --rate 200 --duration 10 --ingest-fraction 0.05
+
+    # Self-contained smoke (builds a tiny artifact, serves in-process):
+    PYTHONPATH=src python tools/loadgen.py --smoke
+
+Exit status is non-zero when the error rate exceeds ``--max-error-rate``
+(default 1%), so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="loadgen",
+        description="Open-loop Poisson load harness for `repro serve`.",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        help="server base URL (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="mean offered load in requests/second (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="length of the arrival schedule in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ingest-fraction",
+        type=float,
+        default=0.05,
+        help="fraction of arrivals that POST /ingest instead of "
+        "/predict-home (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for arrivals and workload (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="cap on concurrently dispatched requests (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-error-rate",
+        type=float,
+        default=0.01,
+        help="exit non-zero past this error fraction (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--label",
+        default="loadgen",
+        help="timing entry name in the trajectory journal "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="print the summary but do not append to bench_trajectory.jsonl",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-contained mode: fit a tiny artifact, serve it "
+        "in-process, drive a short load, then exit (needs "
+        "PYTHONPATH=src)",
+    )
+    parser.add_argument(
+        "--smoke-users",
+        type=int,
+        default=120,
+        help="world size for --smoke (default: %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def poisson_arrivals(
+    rate: float, duration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival offsets (seconds) of a Poisson process over [0, duration)."""
+    if rate <= 0 or duration <= 0:
+        return np.empty(0, dtype=np.float64)
+    # Draw enough exponential gaps to cover the window, then trim.
+    expected = int(rate * duration * 1.5) + 32
+    gaps = rng.exponential(1.0 / rate, size=expected)
+    times = np.cumsum(gaps)
+    while times.size and times[-1] < duration:
+        gaps = rng.exponential(1.0 / rate, size=expected)
+        times = np.concatenate([times, times[-1] + np.cumsum(gaps)])
+    return times[times < duration]
+
+
+def _request(
+    url: str, payload: dict | list | None, timeout: float
+) -> tuple[int, float]:
+    """One HTTP call; returns (status, latency_seconds)."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    t0 = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        status = error.code
+    except (urllib.error.URLError, OSError, TimeoutError):
+        status = 0
+    return status, time.perf_counter() - t0
+
+
+def run_load(
+    base_url: str,
+    rate: float,
+    duration: float,
+    ingest_fraction: float,
+    seed: int,
+    max_inflight: int,
+    timeout: float,
+) -> dict:
+    """Drive the open-loop schedule; returns the summary dict."""
+    rng = np.random.default_rng(seed)
+    status, artifact, _ = _get_json(f"{base_url}/artifact", timeout)
+    if status != 200:
+        raise RuntimeError(
+            f"cannot reach {base_url}/artifact (status {status}); "
+            "is the server running?"
+        )
+    n_users = int(artifact["users"])
+
+    arrivals = poisson_arrivals(rate, duration, rng)
+    kinds = rng.random(arrivals.size) < ingest_fraction
+    user_ids = rng.integers(0, n_users, size=arrivals.size)
+
+    results: list[tuple[str, int, float]] = []
+    results_lock = threading.Lock()
+    inflight = threading.Semaphore(max_inflight)
+    threads: list[threading.Thread] = []
+
+    def fire(kind: str, user_id: int) -> None:
+        try:
+            if kind == "ingest":
+                status, latency = _request(
+                    f"{base_url}/ingest", {"new_users": [{}]}, timeout
+                )
+            else:
+                status, latency = _request(
+                    f"{base_url}/predict-home",
+                    {"users": [{"user_id": user_id}]},
+                    timeout,
+                )
+            with results_lock:
+                results.append((kind, status, latency))
+        finally:
+            inflight.release()
+
+    start = time.perf_counter()
+    for offset, is_ingest, user_id in zip(
+        arrivals.tolist(), kinds.tolist(), user_ids.tolist()
+    ):
+        now = time.perf_counter() - start
+        if offset > now:
+            time.sleep(offset - now)
+        inflight.acquire()
+        kind = "ingest" if is_ingest else "predict"
+        thread = threading.Thread(
+            target=fire, args=(kind, int(user_id)), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=timeout + 5)
+    elapsed = time.perf_counter() - start
+
+    return summarize(results, offered=arrivals.size, elapsed=elapsed)
+
+
+def _get_json(url: str, timeout: float) -> tuple[int, dict, float]:
+    t0 = time.perf_counter()
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                time.perf_counter() - t0,
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), time.perf_counter() - t0
+    except (urllib.error.URLError, OSError, TimeoutError):
+        return 0, {}, time.perf_counter() - t0
+
+
+def summarize(
+    results: list[tuple[str, int, float]], offered: int, elapsed: float
+) -> dict:
+    """Throughput + latency quantiles over one completed run."""
+    latencies = np.array([latency for _, _, latency in results])
+    ok = sum(1 for _, status, _ in results if status == 200)
+    errors = len(results) - ok
+    summary = {
+        "offered": int(offered),
+        "completed": len(results),
+        "ok": ok,
+        "errors": errors,
+        "error_rate": (errors / len(results)) if results else 1.0,
+        "duration_s": round(elapsed, 3),
+        "rps": round(len(results) / elapsed, 2) if elapsed > 0 else 0.0,
+        "predict_requests": sum(1 for k, _, _ in results if k == "predict"),
+        "ingest_requests": sum(1 for k, _, _ in results if k == "ingest"),
+    }
+    if latencies.size:
+        summary.update(
+            p50_ms=round(float(np.percentile(latencies, 50)) * 1e3, 3),
+            p95_ms=round(float(np.percentile(latencies, 95)) * 1e3, 3),
+            p99_ms=round(float(np.percentile(latencies, 99)) * 1e3, 3),
+            max_ms=round(float(latencies.max()) * 1e3, 3),
+        )
+    return summary
+
+
+def _git_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
+def append_trajectory(summary: dict, label: str) -> Path:
+    """Append one loadgen run to the shared perf trajectory journal."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "source": "loadgen",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "commit": _git_commit(),
+        "timings": [{"kind": "timing", "name": label, **summary}],
+    }
+    path = RESULTS_DIR / "bench_trajectory.jsonl"
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    return path
+
+
+def run_smoke(args: argparse.Namespace) -> dict:
+    """Fit a tiny artifact, serve it in-process, and drive a short load."""
+    from repro.core.model import MLPModel
+    from repro.core.params import MLPParams
+    from repro.data.generator import SyntheticWorldConfig, generate_world
+    from repro.serving.foldin import FoldInPredictor
+    from repro.serving.server import make_server
+
+    world = generate_world(
+        SyntheticWorldConfig(n_users=args.smoke_users, seed=7)
+    )
+    params = MLPParams(
+        n_iterations=8,
+        burn_in=3,
+        seed=0,
+        engine="vectorized",
+        track_edge_assignments=False,
+    )
+    result = MLPModel(params).fit(world)
+    predictor = FoldInPredictor(result, artifact_id="loadgen-smoke")
+    server = make_server(predictor, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        return run_load(
+            base_url=f"http://{host}:{port}",
+            rate=args.rate,
+            duration=args.duration,
+            ingest_fraction=args.ingest_fraction,
+            seed=args.seed,
+            max_inflight=args.max_inflight,
+            timeout=args.timeout,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    if args.smoke:
+        # Short, self-contained, CI-friendly defaults unless overridden.
+        if args.rate == 100.0:
+            args.rate = 50.0
+        if args.duration == 10.0:
+            args.duration = 4.0
+        summary = run_smoke(args)
+    else:
+        summary = run_load(
+            base_url=args.url.rstrip("/"),
+            rate=args.rate,
+            duration=args.duration,
+            ingest_fraction=args.ingest_fraction,
+            seed=args.seed,
+            max_inflight=args.max_inflight,
+            timeout=args.timeout,
+        )
+    summary["rate"] = args.rate
+    summary["ingest_fraction"] = args.ingest_fraction
+    summary["seed"] = args.seed
+    print(json.dumps(summary, indent=2))
+    if not args.no_journal:
+        path = append_trajectory(summary, args.label)
+        print(f"[loadgen] appended run to {path}", file=sys.stderr)
+    if summary["error_rate"] > args.max_error_rate:
+        print(
+            f"[loadgen] error rate {summary['error_rate']:.3f} exceeds "
+            f"--max-error-rate {args.max_error_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
