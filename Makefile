@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-gate loadgen-smoke docs-check lint all
+.PHONY: test bench-smoke bench-large bench-gate loadgen-smoke docs-check lint all
 
 all: docs-check test
 
@@ -22,7 +22,18 @@ bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m pytest bench_components.py bench_serving.py \
 		bench_batch_foldin.py bench_columnar.py bench_delta.py \
-		bench_journal.py bench_obs.py -q
+		bench_journal.py bench_obs.py bench_scaling.py -q
+
+## large-world scaling points (minutes + gigabytes): 50k partitioned
+## head-to-head, 500k partitioned fit, 1M generate+compile -- then the
+## env-gated baseline checks that only apply to these points
+bench-large:
+	cd benchmarks && BENCH_LARGE=1 \
+		PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) -m pytest bench_components.py bench_serving.py \
+		bench_batch_foldin.py bench_columnar.py bench_delta.py \
+		bench_journal.py bench_obs.py bench_scaling.py -q
+	BENCH_LARGE=1 $(PYTHON) tools/bench_gate.py
 
 ## short open-loop load run against an in-process server; appends
 ## p50/p99 + rps to benchmarks/results/bench_trajectory.jsonl

@@ -1,23 +1,66 @@
-"""Scaling study: sampler cost and accuracy versus corpus size.
+"""Scaling study: sampler cost versus corpus size, small to 1M users.
 
-The paper argues complexity "scales with the number of observed
-relationships rather than the number of user pairs" (Sec. 4.4).  This
-bench fits MLP at three corpus sizes and checks that per-relationship
-sweep cost stays flat (linear total cost) while accuracy holds.
+Three tiers:
+
+1. **Always on** -- the paper's Sec. 4.4 claim that complexity "scales
+   with the number of observed relationships rather than the number of
+   user pairs": fit MLP at three small corpus sizes and check that
+   per-relationship sweep cost stays flat while accuracy holds.
+2. **Gated (BENCH_LARGE=1)** -- the 50k-user partitioned-vs-vectorized
+   head-to-head behind the committed ``partitioned_over_vectorized``
+   bench-gate floor, and a 500k-user partitioned fit journaled with
+   wall time and peak RSS (the "journaled time/memory budget").
+3. **Gated (BENCH_LARGE=1)** -- the million-user generate+compile
+   point: sharded columnar generation straight into a compiled world,
+   with the per-arena memory ledger journaled.
+
+The large points take minutes and gigabytes, so CI runs skip them by
+default; ``make bench-large`` opts in.  Their journal entries carry
+``requires_env`` baselines in ``benchmarks/results/baseline.json``, so
+the gate checks them exactly when they ran.
 """
 
+import os
+import resource
 import time
 
+import pytest
 
 from conftest import save_artifact
 
 from repro.core.gibbs import GibbsSampler
 from repro.core.params import MLPParams
-from repro.data.generator import SyntheticWorldConfig, generate_world
+from repro.data.generator import (
+    SyntheticWorldConfig,
+    generate_columnar_world,
+    generate_world,
+)
+from repro.engine.factory import make_sampler
 from repro.evaluation.metrics import accuracy_at
 from repro.evaluation.splits import single_holdout_split
 
 SIZES = (200, 400, 800)
+
+BENCH_LARGE = os.environ.get("BENCH_LARGE", "") not in ("", "0")
+large = pytest.mark.skipif(
+    not BENCH_LARGE,
+    reason="large-world scaling points run only with BENCH_LARGE=1 "
+    "(make bench-large)",
+)
+
+
+def _peak_rss_mb() -> float:
+    """Process peak resident set size in MiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _per_sweep_seconds(sampler, sweeps: int) -> float:
+    sampler.initialize()
+    sampler.sweep()  # pay one-time layout builds outside the timed window
+    start = time.perf_counter()
+    for _ in range(sweeps):
+        sampler.sweep()
+    return (time.perf_counter() - start) / sweeps
 
 
 def _sweep_cost_and_accuracy(n_users: int) -> tuple[float, float, int]:
@@ -69,3 +112,131 @@ def test_scaling_linear_in_relationships(benchmark, artifact_dir):
     # Accuracy does not degrade with scale.
     accs = [acc for _c, acc, _n in rows]
     assert accs[-1] >= accs[0] - 0.05
+
+
+@large
+def test_partitioned_head_to_head_50k(artifact_dir, journal):
+    """The bench-gate point: partitioned(n_jobs=4) vs vectorized, 50k.
+
+    Per-sweep wall time over identical worlds and schedules; the
+    machine-independent ratio carries the committed >= 2x floor.
+    """
+    n_users, sweeps = 50_000, 3
+    world = generate_columnar_world(
+        SyntheticWorldConfig(n_users=n_users, seed=29), shards=16
+    )
+
+    def sampler(engine, n_jobs=1):
+        params = MLPParams(
+            engine=engine, n_jobs=n_jobs, seed=0, n_iterations=sweeps + 2,
+            burn_in=1, track_edge_assignments=False,
+        )
+        return make_sampler(world, params)
+
+    vec_seconds = _per_sweep_seconds(sampler("vectorized"), sweeps)
+    part = sampler("partitioned", n_jobs=4)
+    part_seconds = _per_sweep_seconds(part, sweeps)
+    ratio = vec_seconds / part_seconds
+    stats = part.partition.stats()
+
+    lines = [
+        "Partitioned head-to-head (50k users, n_jobs=4)", "-" * 64,
+        f"vectorized     {vec_seconds:8.2f} s/sweep",
+        f"partitioned    {part_seconds:8.2f} s/sweep",
+        f"speedup        {ratio:8.2f}x",
+        f"colors={stats['n_colors']}  conflict_edges={stats['conflict_edges']}"
+        f"  largest_block={stats['largest_block']}",
+        f"peak RSS       {_peak_rss_mb():8.0f} MiB",
+    ]
+    save_artifact(artifact_dir, "partitioned_head_to_head", "\n".join(lines))
+    journal(
+        "timing",
+        name="partitioned_head_to_head",
+        n_users=n_users,
+        n_jobs=4,
+        vectorized_seconds_per_sweep=vec_seconds,
+        partitioned_seconds_per_sweep=part_seconds,
+        partitioned_over_vectorized=ratio,
+        n_colors=stats["n_colors"],
+        peak_rss_mb=_peak_rss_mb(),
+    )
+    assert ratio >= 2.0
+
+
+@large
+def test_partitioned_fit_500k(artifact_dir, journal):
+    """A 500k-user partitioned fit inside the journaled budget.
+
+    The budget is deliberately loose -- an order-of-magnitude tripwire
+    for the single-core container, not a tuned bound: the fit must
+    finish its schedule in under 30 minutes and under 24 GiB peak RSS.
+    """
+    n_users = 500_000
+    t0 = time.perf_counter()
+    world = generate_columnar_world(
+        SyntheticWorldConfig(n_users=n_users, seed=29), shards=64
+    )
+    gen_seconds = time.perf_counter() - t0
+    params = MLPParams(
+        engine="partitioned", n_jobs=4, seed=0, n_iterations=8, burn_in=3,
+        track_edge_assignments=False,
+    )
+    t0 = time.perf_counter()
+    sampler = make_sampler(world, params)
+    trace = sampler.run()
+    fit_seconds = time.perf_counter() - t0
+    rss = _peak_rss_mb()
+
+    lines = [
+        "Partitioned fit (500k users, n_jobs=4)", "-" * 64,
+        f"generate+compile {gen_seconds:8.1f} s",
+        f"fit ({params.n_iterations} sweeps) {fit_seconds:8.1f} s",
+        f"noise fraction   {trace.noise_following_fractions()[-1]:8.3f}",
+        f"peak RSS         {rss:8.0f} MiB",
+    ]
+    save_artifact(artifact_dir, "partitioned_fit_500k", "\n".join(lines))
+    journal(
+        "timing",
+        name="partitioned_fit_500k",
+        n_users=n_users,
+        generate_seconds=gen_seconds,
+        fit_seconds=fit_seconds,
+        n_iterations=params.n_iterations,
+        peak_rss_mb=rss,
+    )
+    assert fit_seconds < 1800
+    assert rss < 24 * 1024
+
+
+@large
+def test_million_user_generate_compile(artifact_dir, journal):
+    """The 1M-user generate+compile presence point with memory ledger."""
+    n_users = 1_000_000
+    t0 = time.perf_counter()
+    world = generate_columnar_world(
+        SyntheticWorldConfig(n_users=n_users, seed=29), shards=128
+    )
+    seconds = time.perf_counter() - t0
+    report = world.memory_report()
+    rss = _peak_rss_mb()
+
+    lines = [
+        "Million-user world: sharded generate + compile", "-" * 64,
+        f"users={world.n_users}  following={world.n_following}  "
+        f"tweeting={world.n_tweeting}",
+        f"generate+compile {seconds:8.1f} s",
+        f"arena bytes      {report['total_bytes'] / 2**20:8.0f} MiB",
+        f"peak RSS         {rss:8.0f} MiB",
+    ]
+    save_artifact(artifact_dir, "million_user_world", "\n".join(lines))
+    journal(
+        "timing",
+        name="million_user_generate_compile",
+        n_users=n_users,
+        generate_seconds=seconds,
+        n_following=world.n_following,
+        n_tweeting=world.n_tweeting,
+        arena_bytes=report["total_bytes"],
+        peak_rss_mb=rss,
+    )
+    assert world.n_users == n_users

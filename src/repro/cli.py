@@ -28,10 +28,13 @@ Commands:
 
 All commands are deterministic given ``--seed``.  ``fit``, ``evaluate``
 and ``reproduce`` accept the engine knobs shared by every inference in
-this codebase: ``--engine {loop,vectorized}`` selects the sweep
-implementation (identical chains, different speed/memory trade -- see
-:mod:`repro.engine`) and ``--chains K`` runs K independently-seeded
-chains whose posteriors are pooled and cross-checked with R-hat.
+this codebase: ``--engine`` selects the sweep implementation from the
+registered engines (``loop``/``vectorized`` sample identical chains
+with different speed/memory trades; ``partitioned`` sweeps
+conflict-free color blocks set-at-a-time -- see :mod:`repro.engine`),
+``--jobs N`` adds worker threads to the partitioned color sweeps, and
+``--chains K`` runs K independently-seeded chains whose posteriors are
+pooled and cross-checked with R-hat.
 
 Every subcommand documents its flags in ``--help``; run
 ``python -m repro <command> --help`` for the full story.
@@ -46,13 +49,18 @@ from pathlib import Path
 
 _ENGINE_EPILOG = """\
 engine knobs:
-  --engine loop        reference Python-loop Gibbs sweeps (the oracle)
-  --engine vectorized  precomputed-layout sweeps; bit-identical chain,
-                       ~2.5-3x faster, more memory (kernel cache)
-  --chains K           K independent chains with deterministic seeds
-                       (base, base+7919, ...); profiles average the
-                       pooled posterior, explanations merge per-edge
-                       tallies, and an R-hat summary is reported.
+  --engine loop         reference Python-loop Gibbs sweeps (the oracle)
+  --engine vectorized   precomputed-layout sweeps; bit-identical chain,
+                        ~2.5-3x faster, more memory (kernel cache)
+  --engine partitioned  conflict-free color-block sweeps over the
+                        user-conflict graph; statistically equivalent
+                        chain (not bit-identical), fastest at scale
+  --jobs N              worker threads for partitioned color sweeps
+                        (results are independent of N)
+  --chains K            K independent chains with deterministic seeds
+                        (base, base+7919, ...); profiles average the
+                        pooled posterior, explanations merge per-edge
+                        tallies, and an R-hat summary is reported.
 """
 
 
@@ -65,11 +73,21 @@ def _positive_int(text: str) -> int:
 
 def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
     """The engine knobs shared by fit/evaluate/reproduce."""
+    from repro.engine.registry import engine_names
+
     p.add_argument(
         "--engine",
-        choices=("loop", "vectorized"),
+        choices=engine_names(),
         default="loop",
         help="Gibbs sweep implementation (default: %(default)s)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker threads for partitioned color sweeps; other "
+        "engines ignore it (default: %(default)s)",
     )
     p.add_argument(
         "--chains",
@@ -645,6 +663,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
         burn_in=args.burn_in,
         seed=args.seed,
         engine=args.engine,
+        n_jobs=args.jobs,
         n_chains=args.chains,
     )
     result = MLPModel(params).fit(dataset)
@@ -1124,6 +1143,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         seed=args.seed,
         track_edge_assignments=False,
         engine=args.engine,
+        n_jobs=args.jobs,
         n_chains=args.chains,
     )
     split = single_holdout_split(dataset, args.holdout, seed=args.seed)
@@ -1143,6 +1163,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         n_users=args.users,
         seed=args.seed,
         engine=args.engine,
+        jobs=args.jobs,
         chains=args.chains,
     )
     suite = ExperimentSuite(config)

@@ -118,6 +118,41 @@ def potential_scale_reduction(chains: Sequence[Sequence[float]]) -> float:
     return float(var_plus / w) ** 0.5
 
 
+#: Trace series extractable by :func:`trace_scale_reduction`.
+TRACE_SERIES = ("noise_following", "noise_tweeting", "changed")
+
+
+def trace_scale_reduction(
+    traces: Sequence[ConvergenceTrace],
+    series: str = "noise_following",
+    burn_in: int = 0,
+) -> float:
+    """R-hat across :class:`ConvergenceTrace` objects.
+
+    The statistical-equivalence harness runs the same world through
+    different engines (or the same engine under different seeds) and
+    asks whether the resulting chains target the same distribution:
+    extract one scalar ``series`` per trace (``noise_following``,
+    ``noise_tweeting`` or ``changed``), drop the first ``burn_in``
+    sweeps, truncate to the shortest remaining length, and apply
+    :func:`potential_scale_reduction`.  Engines that mix toward the
+    same posterior produce R-hat near 1 even when their chains are not
+    bit-comparable.
+    """
+    if series not in TRACE_SERIES:
+        raise ValueError(
+            f"series must be one of {TRACE_SERIES}, got {series!r}"
+        )
+    extract = {
+        "noise_following": ConvergenceTrace.noise_following_fractions,
+        "noise_tweeting": ConvergenceTrace.noise_tweeting_fractions,
+        "changed": ConvergenceTrace.changed_fractions,
+    }[series]
+    chains = [extract(t)[burn_in:] for t in traces]
+    shortest = min((len(c) for c in chains), default=0)
+    return potential_scale_reduction([c[:shortest] for c in chains])
+
+
 #: Signature of the per-iteration metric callback: receives the sweep
 #: index and a *provisional* theta estimate, returns a scalar.
 MetricCallback = Callable[[int], float]

@@ -66,8 +66,14 @@ class MLPParams:
     use_candidacy: bool = True
     #: Sweep implementation (see :mod:`repro.engine`): ``loop`` is the
     #: reference sampler, ``vectorized`` replays the identical chain
-    #: from precomputed per-edge layouts (faster, more memory).
+    #: from precomputed per-edge layouts (faster, more memory),
+    #: ``partitioned`` sweeps conflict-free color blocks set-at-a-time
+    #: (fastest; statistically equivalent rather than bit-identical).
+    #: Valid names come from :mod:`repro.engine.registry`.
     engine: str = "loop"
+    #: Worker threads for ``engine=partitioned`` color sweeps (other
+    #: engines ignore it).  Results are independent of ``n_jobs``.
+    n_jobs: int = 1
     #: Independent chains to run (>= 2 pools posteriors and enables
     #: R-hat cross-chain convergence checks via the ChainPool).
     n_chains: int = 1
@@ -100,10 +106,17 @@ class MLPParams:
             raise ValueError("em_rounds must be >= 0")
         if not (self.use_following or self.use_tweeting):
             raise ValueError("at least one relationship type must be used")
-        if self.engine not in ("loop", "vectorized"):
+        # Cheap import: the registry holds only the name table, never
+        # the sampler implementations (params sits below repro.engine).
+        from repro.engine.registry import engine_names
+
+        if self.engine not in engine_names():
             raise ValueError(
-                f"engine must be 'loop' or 'vectorized', got {self.engine!r}"
+                f"engine must be one of {list(engine_names())}, "
+                f"got {self.engine!r}"
             )
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
         if self.n_chains < 1:
             raise ValueError("n_chains must be >= 1")
 

@@ -443,6 +443,62 @@ class ColumnarWorld:
         """Rehydrate a persisted world; validates CSR consistency."""
         return cls(gazetteer, arrays)
 
+    def memory_report(self) -> dict[str, dict]:
+        """Bytes, dtype and shape of every compiled arena.
+
+        The ledger behind the large-world dtype audit: benchmarks
+        journal it next to peak RSS so a widened index or an
+        accidentally float64 count column shows up as a reviewable
+        diff, not a silent memory regression.  ``total_bytes`` sums the
+        per-array sizes.
+        """
+        report: dict[str, dict] = {}
+        total = 0
+        for key in WORLD_ARRAY_KEYS:
+            arr = getattr(self, key)
+            report[key] = {
+                "dtype": str(arr.dtype),
+                "shape": tuple(arr.shape),
+                "bytes": int(arr.nbytes),
+            }
+            total += int(arr.nbytes)
+        report["total_bytes"] = total
+        return report
+
+    def dump_dir(self, directory) -> None:
+        """Persist each arena as ``<key>.npy`` under ``directory``.
+
+        The plain-``.npy``-per-array layout (rather than one ``.npz``)
+        exists so :meth:`load_dir` can hand the arrays back as
+        memory-mapped views: a 1M-user world then costs address space,
+        not resident memory, until a consumer touches it.
+        """
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        for key in WORLD_ARRAY_KEYS:
+            np.save(os.path.join(directory, f"{key}.npy"), getattr(self, key))
+
+    @classmethod
+    def load_dir(
+        cls, gazetteer: Gazetteer, directory, mmap: bool = True
+    ) -> "ColumnarWorld":
+        """Rehydrate a :meth:`dump_dir` world, mmap-backed by default.
+
+        With ``mmap=True`` every arena is an ``np.memmap`` view onto
+        the ``.npy`` files (read-only; the OS pages slices in on
+        demand).  Validation touches only array heads and extrema, so
+        loading stays cheap even for worlds larger than RAM.
+        """
+        import os
+
+        mode = "r" if mmap else None
+        arrays = {
+            key: np.load(os.path.join(directory, f"{key}.npy"), mmap_mode=mode)
+            for key in WORLD_ARRAY_KEYS
+        }
+        return cls(gazetteer, arrays)
+
     # -- object-graph bridge -----------------------------------------------
 
     def to_dataset(self) -> Dataset:

@@ -424,6 +424,24 @@ def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
     return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
 
 
+def _cat64(parts: list[np.ndarray]) -> np.ndarray:
+    """Concatenate compact per-shard buffers, upcasting to ``int64``.
+
+    The shard loops accumulate ``int32`` buffers (one per shard, not one
+    per user) to keep intermediate memory at half width; the public
+    arrays stay ``int64`` -- the dtype every downstream consumer
+    (``from_edge_arrays``, persisted world arrays, hashing) expects.
+    """
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    out = np.empty(sum(p.size for p in parts), dtype=np.int64)
+    pos = 0
+    for p in parts:
+        out[pos:pos + p.size] = p
+        pos += p.size
+    return out
+
+
 class _ShardedArrays:
     """Array-native generator state: one instance per sharded build.
 
@@ -481,7 +499,7 @@ class _ShardedArrays:
     def sample_users(self) -> None:
         cfg = self.config
         probs = np.array(cfg.n_location_probs)
-        counts: list[int] = []
+        count_parts: list[np.ndarray] = []
         for shard, (lo, hi) in enumerate(self.shard_bounds):
             rng = _shard_rng(cfg.seed, 1, shard)
             m = hi - lo
@@ -489,6 +507,13 @@ class _ShardedArrays:
                 continue
             k_locs = rng.choice(np.array([1, 2, 3]), size=m, p=probs)
             labeled = rng.random(m) < cfg.labeled_fraction
+            # One shard-sized buffer instead of one tiny array per user:
+            # the location count of every user is already drawn, so the
+            # shard's slot total is known up front.
+            cap = int(k_locs.sum())
+            loc_buf = np.empty(cap, dtype=np.int32)
+            weight_buf = np.empty(cap, dtype=np.float64)
+            write = 0
             for local in range(m):
                 uid = lo + local
                 k = int(k_locs[local])
@@ -507,15 +532,14 @@ class _ShardedArrays:
                 self.true_home[uid] = home
                 if labeled[local]:
                     self.registered[uid] = home
-                self.loc_flat.append(locs.astype(np.int64))
-                self.weight_flat.append(weights)
-                counts.append(k)
-        np.cumsum(np.array(counts, dtype=np.int64), out=self.loc_indptr[1:])
-        self.loc_flat_arr = (
-            np.concatenate(self.loc_flat)
-            if self.loc_flat
-            else np.empty(0, dtype=np.int64)
-        )
+                loc_buf[write:write + k] = locs
+                weight_buf[write:write + k] = weights
+                write += k
+            self.loc_flat.append(loc_buf)
+            self.weight_flat.append(weight_buf)
+            count_parts.append(k_locs.astype(np.int64))
+        np.cumsum(_cat64(count_parts), out=self.loc_indptr[1:])
+        self.loc_flat_arr = _cat64(self.loc_flat)
         self.weight_flat_arr = (
             np.concatenate(self.weight_flat)
             if self.weight_flat
@@ -584,6 +608,17 @@ class _ShardedArrays:
             if m == 0:
                 continue
             degrees = np.maximum(1, rng.poisson(cfg.mean_friends, size=m))
+            # Shard-sized int32 buffers (the out-degree total bounds the
+            # edge count before dedup) instead of five tiny int64 arrays
+            # per user -- the intermediate that used to dominate peak
+            # RSS at 500k+ users.
+            cap = int(degrees.sum())
+            src_buf = np.empty(cap, dtype=np.int32)
+            dst_buf = np.empty(cap, dtype=np.int32)
+            x_buf = np.empty(cap, dtype=np.int32)
+            y_buf = np.empty(cap, dtype=np.int32)
+            noise_buf = np.empty(cap, dtype=np.bool_)
+            write = 0
             for local in range(m):
                 uid = lo + local
                 k = int(degrees[local])
@@ -627,16 +662,23 @@ class _ShardedArrays:
                 fr = friends[keep]
                 _, first = np.unique(fr, return_index=True)
                 sel = np.flatnonzero(keep)[np.sort(first)]
-                src_parts.append(np.full(sel.size, uid, dtype=np.int64))
-                dst_parts.append(friends[sel])
-                x_parts.append(xs[sel])
-                y_parts.append(ys[sel])
-                noise_parts.append(is_noise[sel])
+                end = write + sel.size
+                src_buf[write:end] = uid
+                dst_buf[write:end] = friends[sel]
+                x_buf[write:end] = xs[sel]
+                y_buf[write:end] = ys[sel]
+                noise_buf[write:end] = is_noise[sel]
+                write = end
+            src_parts.append(src_buf[:write].copy())
+            dst_parts.append(dst_buf[:write].copy())
+            x_parts.append(x_buf[:write].copy())
+            y_parts.append(y_buf[:write].copy())
+            noise_parts.append(noise_buf[:write].copy())
         return (
-            _cat(src_parts, np.int64),
-            _cat(dst_parts, np.int64),
-            _cat(x_parts, np.int64),
-            _cat(y_parts, np.int64),
+            _cat64(src_parts),
+            _cat64(dst_parts),
+            _cat64(x_parts),
+            _cat64(y_parts),
             _cat(noise_parts, np.bool_),
         )
 
@@ -674,6 +716,14 @@ class _ShardedArrays:
             if m == 0:
                 continue
             counts = np.maximum(1, rng.poisson(cfg.mean_venues, size=m))
+            # Shard-sized int32 buffers; the mention total is exact (no
+            # dedup in this phase), so the buffers fill completely.
+            cap = int(counts.sum())
+            user_buf = np.empty(cap, dtype=np.int32)
+            venue_buf = np.empty(cap, dtype=np.int32)
+            z_buf = np.empty(cap, dtype=np.int32)
+            noise_buf = np.empty(cap, dtype=np.bool_)
+            write = 0
             for local in range(m):
                 uid = lo + local
                 k = int(counts[local])
@@ -694,14 +744,20 @@ class _ShardedArrays:
                         venues[e] = _draw_from_cdf(
                             rng, self._psi_cdf(int(zs[e])), 1
                         )[0]
-                user_parts.append(np.full(k, uid, dtype=np.int64))
-                venue_parts.append(venues)
-                z_parts.append(zs)
-                noise_parts.append(is_noise)
+                end = write + k
+                user_buf[write:end] = uid
+                venue_buf[write:end] = venues
+                z_buf[write:end] = zs
+                noise_buf[write:end] = is_noise
+                write = end
+            user_parts.append(user_buf)
+            venue_parts.append(venue_buf)
+            z_parts.append(z_buf)
+            noise_parts.append(noise_buf)
         return (
-            _cat(user_parts, np.int64),
-            _cat(venue_parts, np.int64),
-            _cat(z_parts, np.int64),
+            _cat64(user_parts),
+            _cat64(venue_parts),
+            _cat64(z_parts),
             _cat(noise_parts, np.bool_),
         )
 

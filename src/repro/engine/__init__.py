@@ -9,6 +9,14 @@ once*:
   the exact same chain (bit-identical states under a fixed seed) while
   assembling every per-edge weight table from precomputed candidate
   layouts and batched NumPy kernels;
+- :mod:`repro.engine.partition` + :mod:`repro.engine.partitioned` --
+  greedy coloring of the user-conflict graph and the sampler that
+  sweeps each conflict-free color as one batched kernel (optionally
+  across ``n_jobs`` threads).  Not bit-identical to the oracle chain
+  (except in the 1-color fallback, which delegates to the vectorized
+  sweeps); validated statistically instead;
+- :mod:`repro.engine.registry` -- the import-light engine name table
+  shared by params validation, the CLI and the factory;
 - :mod:`repro.engine.factory` -- engine selection by name
   (``MLPParams.engine``), so callers never hard-code a sampler class;
 - :mod:`repro.engine.pool` -- :class:`ChainPool`, which runs K
@@ -16,18 +24,29 @@ once*:
   posteriors and reports R-hat style cross-chain convergence.
 
 The plain loop sampler stays the oracle: ``tests/test_engine_vectorized.py``
-asserts bit-identical sweeps between the two engines.
+asserts bit-identical sweeps between the exact engines, and
+``tests/test_engine_partitioned.py`` pins the partitioned engine to
+them statistically.
 """
 
 from repro.engine.factory import ENGINES, make_sampler
+from repro.engine.partition import UserPartition, check_proper, color_users
+from repro.engine.partitioned import PartitionedGibbsSampler
 from repro.engine.pool import ChainPool, ChainResult, PooledPosterior
+from repro.engine.registry import engine_names, resolve_engine
 from repro.engine.vectorized import VectorizedGibbsSampler
 
 __all__ = [
     "ENGINES",
     "make_sampler",
+    "engine_names",
+    "resolve_engine",
     "ChainPool",
     "ChainResult",
     "PooledPosterior",
     "VectorizedGibbsSampler",
+    "PartitionedGibbsSampler",
+    "UserPartition",
+    "color_users",
+    "check_proper",
 ]

@@ -2,9 +2,13 @@
 
 Callers (the Gibbs-EM driver, the chain pool, the CLI) construct
 samplers through :func:`make_sampler` so that the engine choice is a
-parameter, not an import.  ``ENGINES`` is the registry; both entries
-sample the *same* chain -- the golden tests assert bit-identical
-states -- and differ only in speed and memory footprint.
+parameter, not an import.  The name table itself lives in
+:mod:`repro.engine.registry` (the import-light single source of truth
+shared with params validation and the CLI); ``ENGINES`` here is that
+table resolved to classes.  ``loop`` and ``vectorized`` sample the
+*same* chain -- the golden tests assert bit-identical states --
+``partitioned`` relaxes bit-identity for conflict-free parallel block
+sweeps and is validated statistically (plus a 1-color golden fallback).
 """
 
 from __future__ import annotations
@@ -14,13 +18,11 @@ from repro.core.params import MLPParams
 from repro.core.priors import UserPriors
 from repro.data.columnar import ColumnarWorld
 from repro.data.model import Dataset
-from repro.engine.vectorized import VectorizedGibbsSampler
+from repro.engine.registry import engine_names, resolve_engine
 
-#: Engine name -> sampler class.  ``loop`` is the reference
-#: implementation (the oracle); ``vectorized`` trades memory for speed.
+#: Engine name -> sampler class, resolved from the registry.
 ENGINES: dict[str, type[GibbsSampler]] = {
-    "loop": GibbsSampler,
-    "vectorized": VectorizedGibbsSampler,
+    name: resolve_engine(name) for name in engine_names()
 }
 
 

@@ -1,0 +1,158 @@
+"""Conflict-graph coloring: conflict-free user blocks for parallel sweeps.
+
+The collapsed Gibbs conditionals couple users through shared counts:
+a following edge ``(i, j)`` reads and writes the profile counts
+``phi[i]`` *and* ``phi[j]``, so two users that share a following edge
+cannot have their relationship blocks swept concurrently without a
+read-write race on fresh state.  This module colors that user-conflict
+graph -- vertices are users, an (undirected, deduplicated) edge links
+the endpoints of every following relationship -- so that no two
+adjacent users share a color.  The partitioned engine
+(:mod:`repro.engine.partitioned`) then sweeps one color at a time:
+within a color, every user's own ``phi`` row is touched only by that
+user's own block, which is what makes the per-color batch kernels
+well-defined over state frozen at color start.
+
+Two couplings are deliberately *not* colored away (they would make the
+conflict graph near-complete and serialize the sweep):
+
+- **shared friends**: two same-color users may follow the same third
+  user ``j``; their edges both update ``phi[j]``.  Updates to ``j`` are
+  deferred to the color barrier and applied in deterministic edge
+  order, so same-color edges read ``phi[j]`` as of color start.
+- **candidate-location (TL) interactions**: tweeting edges of users
+  whose candidate sets overlap read and write the same venue-count
+  rows.  Popular candidate locations would link most tweeting users
+  into one clique, so the TL arena is likewise snapshot-read per color
+  and merged at the barrier.
+
+Both relaxations are the standard approximate-collapsed-sampling move
+(AD-LDA family); the statistical-equivalence tests quantify their
+effect.  A world with *no* conflicts at all (no following edges, e.g.
+the MLP_C ablation) colors to a single block and the partitioned
+engine falls back to the exact chain -- the golden cross-check.
+
+Coloring is greedy in Welsh-Powell order (descending degree, user id
+as the tie-break): deterministic, linear in edges, and on power-law
+follow graphs lands within a small factor of the degeneracy bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.columnar import build_unique_csr
+
+
+@dataclass(frozen=True, slots=True)
+class UserPartition:
+    """A proper coloring of the user-conflict graph.
+
+    ``colors[u]`` is user ``u``'s color in ``[0, n_colors)``; users
+    sharing a conflict edge never share a color.  ``conflict_edges``
+    counts the (deduplicated, undirected) conflict-graph edges and
+    ``build_seconds`` the one-time coloring cost -- both journaled by
+    the scaling bench and exported through the partition metrics.
+    """
+
+    colors: np.ndarray
+    n_colors: int
+    conflict_edges: int
+    build_seconds: float
+
+    @property
+    def n_users(self) -> int:
+        return int(self.colors.size)
+
+    def block_sizes(self) -> np.ndarray:
+        """Number of users per color."""
+        return np.bincount(self.colors, minlength=self.n_colors)
+
+    def stats(self) -> dict:
+        """Summary numbers for logs, benches and metrics."""
+        sizes = self.block_sizes()
+        return {
+            "n_users": self.n_users,
+            "n_colors": self.n_colors,
+            "conflict_edges": self.conflict_edges,
+            "largest_block": int(sizes.max()) if sizes.size else 0,
+            "smallest_block": int(sizes.min()) if sizes.size else 0,
+            "build_seconds": self.build_seconds,
+        }
+
+
+def conflict_adjacency(
+    n_users: int, edge_src: np.ndarray, edge_dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Undirected, deduplicated adjacency CSR of the conflict graph.
+
+    Mirrors the compiled world's ``nbr`` table but is built from the
+    *sampler's* edge arenas, so ablations (``use_following=False``)
+    see their actual conflict structure, not the world's full graph.
+    Self-pairs are dropped: a user trivially "conflicts" with itself
+    and would otherwise make any proper coloring impossible.
+    """
+    keep = edge_src != edge_dst
+    src = edge_src[keep]
+    dst = edge_dst[keep]
+    both_src = np.concatenate([src, dst])
+    both_dst = np.concatenate([dst, src])
+    return build_unique_csr(both_src, both_dst, n_users)
+
+
+def color_users(
+    n_users: int, edge_src: np.ndarray, edge_dst: np.ndarray
+) -> UserPartition:
+    """Greedy Welsh-Powell coloring of the user-conflict graph.
+
+    Deterministic for a given edge set.  Users are colored in
+    descending-degree order (stable in user id), each taking the
+    smallest color absent from its already-colored neighbors; isolated
+    users all land in color 0.  Runs once per sampler construction --
+    linear in conflict edges, a few seconds at the million-user scale
+    (journaled as ``build_seconds``).
+    """
+    start = time.perf_counter()
+    indptr, indices = conflict_adjacency(n_users, edge_src, edge_dst)
+    degrees = np.diff(indptr)
+    # Stable sort on negated degree = descending degree, user id ties.
+    order = np.argsort(-degrees, kind="stable")
+    colors = np.full(n_users, -1, dtype=np.int32)
+    # Scratch "color used by a neighbor" marks, grown on demand.
+    used = np.zeros(int(degrees.max()) + 2 if n_users else 1, dtype=bool)
+    indptr_l = indptr.tolist()
+    n_colors = 0
+    for u in order.tolist():
+        lo, hi = indptr_l[u], indptr_l[u + 1]
+        if lo == hi:
+            colors[u] = 0
+            n_colors = max(n_colors, 1)
+            continue
+        nbr_colors = colors[indices[lo:hi]]
+        nbr_colors = nbr_colors[nbr_colors >= 0]
+        used[nbr_colors] = True
+        color = 0
+        while used[color]:
+            color += 1
+        used[nbr_colors] = False
+        colors[u] = color
+        if color + 1 > n_colors:
+            n_colors = color + 1
+    return UserPartition(
+        colors=colors,
+        n_colors=max(n_colors, 1),
+        conflict_edges=int(indices.size) // 2,
+        build_seconds=time.perf_counter() - start,
+    )
+
+
+def check_proper(
+    partition: UserPartition, edge_src: np.ndarray, edge_dst: np.ndarray
+) -> bool:
+    """True iff no conflict edge joins two same-colored users."""
+    keep = edge_src != edge_dst
+    c = partition.colors
+    return bool(np.all(c[edge_src[keep]] != c[edge_dst[keep]]))

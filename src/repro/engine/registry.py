@@ -1,0 +1,44 @@
+"""The engine name registry: one source of truth, import-light.
+
+Three places need the list of Gibbs engines -- ``MLPParams`` validation
+(:mod:`repro.core.params`), the CLI ``--engine`` choices and the
+factory that maps names to classes (:mod:`repro.engine.factory`).  The
+first two must not import sampler implementations (params sits *below*
+the engine package in the layering; the CLI builds its parser before
+any heavy import), so the registry stores dotted paths and resolves
+classes lazily.  Registering an engine here is the single step that
+makes it reachable everywhere: validation, ``--engine`` completion,
+``repro info`` and :func:`repro.engine.factory.make_sampler` all read
+this table.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+#: Engine name -> (module path, class name).  ``loop`` is the reference
+#: implementation (the oracle); ``vectorized`` replays the identical
+#: chain from precomputed layouts; ``partitioned`` relaxes bit-identity
+#: for conflict-free parallel block sweeps (statistically equivalent,
+#: see docs/PERFORMANCE.md "Partitioned sweeps").
+ENGINE_PATHS: dict[str, tuple[str, str]] = {
+    "loop": ("repro.core.gibbs", "GibbsSampler"),
+    "vectorized": ("repro.engine.vectorized", "VectorizedGibbsSampler"),
+    "partitioned": ("repro.engine.partitioned", "PartitionedGibbsSampler"),
+}
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, sorted (stable for CLI/help/info)."""
+    return tuple(sorted(ENGINE_PATHS))
+
+
+def resolve_engine(name: str) -> type:
+    """Import and return the sampler class registered under ``name``."""
+    try:
+        module_path, class_name = ENGINE_PATHS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {list(engine_names())}"
+        ) from None
+    return getattr(import_module(module_path), class_name)

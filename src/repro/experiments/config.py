@@ -37,14 +37,15 @@ def default_config(
     n_users: int = 1500,
     seed: int = 11,
     engine: str = "loop",
+    jobs: int = 1,
     chains: int = 1,
 ) -> ExperimentConfig:
     """The configuration behind EXPERIMENTS.md's recorded numbers.
 
-    ``engine`` and ``chains`` thread the inference-engine knobs (see
-    :mod:`repro.engine`) into every fit the suite performs, so any
-    figure/table experiment can opt into the vectorized sweeps or
-    multi-chain pooling.
+    ``engine``, ``jobs`` and ``chains`` thread the inference-engine
+    knobs (see :mod:`repro.engine`) into every fit the suite performs,
+    so any figure/table experiment can opt into the vectorized or
+    partitioned sweeps or multi-chain pooling.
     """
     return ExperimentConfig(
         world=SyntheticWorldConfig(n_users=n_users, seed=seed),
@@ -54,6 +55,7 @@ def default_config(
             seed=0,
             track_edge_assignments=False,
             engine=engine,
+            n_jobs=jobs,
             n_chains=chains,
         ),
     )
@@ -63,6 +65,7 @@ def quick_config(
     n_users: int = 500,
     seed: int = 11,
     engine: str = "loop",
+    jobs: int = 1,
     chains: int = 1,
 ) -> ExperimentConfig:
     """A small configuration for smoke tests and CI."""
@@ -74,6 +77,7 @@ def quick_config(
             seed=0,
             track_edge_assignments=False,
             engine=engine,
+            n_jobs=jobs,
             n_chains=chains,
         ),
         max_multi_cohort=100,

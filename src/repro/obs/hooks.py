@@ -12,6 +12,16 @@ index across burn-in and accumulation, and ``seconds`` the wall time of
 that sweep.  :func:`metrics_sweep_observer` builds the standard one that
 feeds the process metrics registry.
 
+The partitioned engine exposes a second, finer-grained hook with the
+same lifecycle: a *partition observer* is a callable
+``(phase, color, n_colors, seconds, worker_seconds)`` invoked once per
+swept color -- ``phase`` is ``"following"`` or ``"tweeting"``,
+``seconds`` the barrier-to-barrier wall time of the color, and
+``worker_seconds`` the per-chunk compute times (one entry per worker
+block, so thread-pool skew is visible).
+:func:`metrics_partition_observer` builds the standard registry-backed
+one (see :func:`repro.obs.metrics.partition_metrics`).
+
 Observers are observational only: they receive timings, never the
 sampler state, so installing one cannot perturb the chain (golden-tested
 in tests/test_obs_trace.py).
@@ -23,7 +33,11 @@ from collections.abc import Callable
 
 SweepObserver = Callable[[str, int, float], None]
 
+#: (phase, color, n_colors, color_seconds, per_worker_seconds) -> None
+PartitionObserver = Callable[[str, int, int, float, tuple], None]
+
 _SWEEP_OBSERVER: SweepObserver | None = None
+_PARTITION_OBSERVER: PartitionObserver | None = None
 
 
 def set_sweep_observer(observer: SweepObserver | None) -> SweepObserver | None:
@@ -58,5 +72,45 @@ def metrics_sweep_observer(registry=None) -> SweepObserver:
     def observe(engine: str, iteration: int, seconds: float) -> None:
         sweep_seconds.labels(engine=engine).observe(seconds)
         sweeps_total.labels(engine=engine).inc()
+
+    return observe
+
+
+def set_partition_observer(
+    observer: PartitionObserver | None,
+) -> PartitionObserver | None:
+    """Install (or clear with ``None``) the partition observer."""
+    global _PARTITION_OBSERVER
+    previous = _PARTITION_OBSERVER
+    _PARTITION_OBSERVER = observer
+    return previous
+
+
+def partition_observer() -> PartitionObserver | None:
+    """The currently installed partition observer, if any."""
+    return _PARTITION_OBSERVER
+
+
+def metrics_partition_observer(registry=None) -> PartitionObserver:
+    """Build the standard observer feeding the partition metrics.
+
+    Records each swept color into the per-color histogram and every
+    worker chunk into the per-worker histogram, and keeps the
+    ``repro_gibbs_partition_colors`` gauge at the sweep's color count
+    (see :func:`repro.obs.metrics.partition_metrics`).
+    """
+    from repro.obs import metrics
+
+    registry = registry if registry is not None else metrics.get_registry()
+    colors_gauge, color_seconds, worker_seconds = metrics.partition_metrics(
+        registry
+    )
+
+    def observe(phase, color, n_colors, seconds, per_worker) -> None:
+        colors_gauge.labels(phase=phase).set(float(n_colors))
+        color_seconds.labels(phase=phase).observe(seconds)
+        h = worker_seconds.labels(phase=phase)
+        for w in per_worker:
+            h.observe(w)
 
     return observe

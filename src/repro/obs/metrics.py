@@ -520,6 +520,43 @@ def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def partition_metrics(
+    registry: "MetricsRegistry | None" = None,
+) -> tuple[Metric, Metric, Metric]:
+    """Register (or fetch) the partitioned-engine sweep metrics.
+
+    Returns ``(colors_gauge, color_seconds, worker_seconds)``:
+
+    - ``repro_gibbs_partition_colors`` -- gauge, number of conflict-graph
+      colors the current sampler sweeps per phase;
+    - ``repro_gibbs_partition_color_seconds`` -- histogram, wall time of
+      one color barrier-to-barrier;
+    - ``repro_gibbs_partition_worker_seconds`` -- histogram, compute time
+      of one worker chunk within a color (skew across entries of the
+      same color exposes load imbalance).
+
+    Registration is get-or-create, so calling this repeatedly (one
+    observer per fit) is safe.
+    """
+    registry = registry if registry is not None else REGISTRY
+    colors_gauge = registry.gauge(
+        "repro_gibbs_partition_colors",
+        "Conflict-graph colors swept per phase by engine=partitioned",
+        labelnames=("phase",),
+    )
+    color_seconds = registry.histogram(
+        "repro_gibbs_partition_color_seconds",
+        "Wall time of one conflict-free color sweep (barrier to barrier)",
+        labelnames=("phase",),
+    )
+    worker_seconds = registry.histogram(
+        "repro_gibbs_partition_worker_seconds",
+        "Compute time of one worker chunk within a color",
+        labelnames=("phase",),
+    )
+    return colors_gauge, color_seconds, worker_seconds
+
+
 REGISTRY = MetricsRegistry()
 
 

@@ -116,7 +116,7 @@ class TestInfo:
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == repro.__version__
-        assert payload["engines"] == ["loop", "vectorized"]
+        assert payload["engines"] == ["loop", "partitioned", "vectorized"]
         assert payload["numpy"] == np.__version__
         assert payload["artifact_format_version"] == ARTIFACT_VERSION
         assert payload["python"].count(".") == 2

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.convergence import ConvergenceTrace, IterationStats
+from repro.core.convergence import (
+    ConvergenceTrace,
+    IterationStats,
+    trace_scale_reduction,
+)
 
 
 def make_trace(metrics):
@@ -49,6 +53,34 @@ class TestTrace:
         trace = ConvergenceTrace()
         assert trace.metric_changes() == []
         assert trace.converged_at() is None
+
+
+class TestTraceScaleReduction:
+    def test_identical_traces_are_converged(self):
+        """Zero between-chain variance: finite-sample R-hat is <= 1."""
+        traces = [make_trace([0.1, 0.2, 0.3]) for _ in range(3)]
+        rhat = trace_scale_reduction(traces, "changed")
+        assert 0.0 < rhat <= 1.0
+
+    def test_burn_in_and_truncation(self):
+        a = make_trace([0.1] * 6)
+        b = make_trace([0.1] * 4)  # shorter: the longer trace truncates
+        rhat = trace_scale_reduction([a, b], "changed", burn_in=1)
+        assert rhat >= 0.0
+
+    def test_divergent_changed_series_detected(self):
+        flat = ConvergenceTrace()
+        noisy = ConvergenceTrace()
+        for i in range(6):
+            flat.append(IterationStats(i, 0.10 + 0.001 * (i % 2), 0.1, 0.2))
+            noisy.append(IterationStats(i, 0.90 + 0.001 * (i % 2), 0.1, 0.2))
+        rhat = trace_scale_reduction([flat, noisy], "changed")
+        assert rhat > 3.0
+
+    def test_unknown_series_rejected(self):
+        traces = [make_trace([0.1, 0.2]), make_trace([0.1, 0.2])]
+        with pytest.raises(ValueError, match="series"):
+            trace_scale_reduction(traces, "acceptance")
 
 
 class TestRealConvergence:

@@ -143,6 +143,30 @@ class TestPersistence:
         assert clone._dataset_ref is None
         assert np.array_equal(clone.cand_indices, world.cand_indices)
 
+    def test_memory_report_covers_every_arena(self, world):
+        from repro.data.columnar import WORLD_ARRAY_KEYS
+
+        report = world.memory_report()
+        assert set(report) == set(WORLD_ARRAY_KEYS) | {"total_bytes"}
+        assert report["total_bytes"] == sum(
+            report[k]["bytes"] for k in WORLD_ARRAY_KEYS
+        )
+        assert report["edge_src"]["bytes"] == world.edge_src.nbytes
+        assert report["edge_src"]["dtype"] == str(world.edge_src.dtype)
+
+    def test_dump_load_dir_mmap_round_trip(self, tiny_world, world, tmp_path):
+        world.dump_dir(tmp_path / "w")
+        loaded = ColumnarWorld.load_dir(
+            tiny_world.gazetteer, tmp_path / "w", mmap=True
+        )
+        assert isinstance(loaded.edge_src, np.memmap)
+        assert loaded.rehash() == world.rehash()
+        eager = ColumnarWorld.load_dir(
+            tiny_world.gazetteer, tmp_path / "w", mmap=False
+        )
+        assert not isinstance(eager.edge_src, np.memmap)
+        assert eager.rehash() == world.rehash()
+
 
 class TestDatasetBridge:
     def test_to_dataset_round_trips_relationships(self, world):

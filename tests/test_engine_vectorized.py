@@ -162,7 +162,7 @@ class TestDeterminism:
 
 class TestFactory:
     def test_engine_registry(self):
-        assert set(ENGINES) == {"loop", "vectorized"}
+        assert set(ENGINES) == {"loop", "vectorized", "partitioned"}
         assert ENGINES["loop"] is GibbsSampler
         assert ENGINES["vectorized"] is VectorizedGibbsSampler
 

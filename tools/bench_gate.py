@@ -18,8 +18,19 @@ Baseline format (one entry per check)::
          "min": 5.0},                          # optional: "max", too
         {"name": "columnar scaling points",
          "match": {"name": "columnar_generate_compile"},
-         "count": 3}                           # presence-only check
+         "count": 3},                          # presence-only check
+        {"name": "partitioned engine speedup",
+         "match": {"name": "partitioned_head_to_head"},
+         "field": "partitioned_over_vectorized",
+         "min": 2.0,
+         "requires_env": "BENCH_LARGE"}        # gated benchmark
     ]}
+
+A check carrying ``requires_env`` is evaluated only when that
+environment variable is set truthy (anything but empty/``"0"``): the
+large-world scaling points take minutes, so default CI runs skip both
+the benchmarks and their gates together, while ``make bench-large``
+runs and gates them.
 
 Every check must match at least one journal entry (a vanished
 benchmark is itself a regression).  Run directly or via
@@ -33,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -113,7 +125,12 @@ def gate(run_path: Path, baseline_path: Path) -> int:
         return 1
     failures: list[str] = []
     passed = 0
+    skipped = 0
     for check in baseline.get("checks", ()):
+        env = check.get("requires_env")
+        if env and os.environ.get(env, "") in ("", "0"):
+            skipped += 1
+            continue
         problems = run_check(check, entries)
         if problems:
             failures.extend(problems)
@@ -122,15 +139,16 @@ def gate(run_path: Path, baseline_path: Path) -> int:
     for message in failures:
         print(f"bench-gate: FAIL {message}", file=sys.stderr)
     total = passed + len(failures)
+    skipped_note = f", {skipped} env-gated checks skipped" if skipped else ""
     if failures:
         print(
             f"bench-gate: {len(failures)} of {total} checks failed "
-            f"against {baseline_path.name}",
+            f"against {baseline_path.name}{skipped_note}",
             file=sys.stderr,
         )
         return 1
     print(
-        f"bench-gate: all {passed} baseline checks passed "
+        f"bench-gate: all {passed} baseline checks passed{skipped_note} "
         f"({run.get('python', '?')} / numpy {run.get('numpy', '?')})"
     )
     return 0
