@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-large bench-gate loadgen-smoke docs-check lint all
+.PHONY: test bench-smoke bench-large bench-gate loadgen-smoke loadgen-scale docs-check lint all
 
 all: docs-check test
 
@@ -35,10 +35,22 @@ bench-large:
 		bench_journal.py bench_obs.py bench_scaling.py -q
 	BENCH_LARGE=1 $(PYTHON) tools/bench_gate.py
 
-## short open-loop load run against an in-process server; appends
-## p50/p99 + rps to benchmarks/results/bench_trajectory.jsonl
+## short open-loop load runs against an in-process server -- once
+## threaded, once through the multi-process topology (2 workers +
+## coalescing front end); appends p50/p99 + rps to
+## benchmarks/results/bench_trajectory.jsonl
 loadgen-smoke:
 	$(PYTHON) tools/loadgen.py --smoke --label loadgen_smoke
+	$(PYTHON) tools/loadgen.py --smoke --workers 2 --label loadgen_smoke_mp
+
+## multi-worker scaling demo: the identical cache-busting load against
+## 1 then 4 workers, a loadgen_worker_scaling entry (rps_ratio) merged
+## into bench_run.json, then the env-gated floor (4-worker rps >= 1.5x
+## single-worker) checked by the baseline gate
+loadgen-scale:
+	$(PYTHON) tools/loadgen.py --smoke --compare-workers 1,4 \
+		--label loadgen_scale
+	LOADGEN_SCALE=1 $(PYTHON) tools/bench_gate.py
 
 ## perf-regression gate: compare bench_run.json against the committed
 ## baseline bands (run bench-smoke first)

@@ -401,6 +401,42 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         help="fsync the journal every N appends (default: %(default)s "
         "-- every acknowledged ingest survives kill -9)",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through N forked predictor processes behind an "
+        "asyncio front end with micro-batch coalescing; 0 (the "
+        "default) keeps the single-process threaded server",
+    )
+    p.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batching window: predict requests arriving within "
+        "MS milliseconds coalesce into one batch solve "
+        "(default: %(default)s; only with --workers > 0)",
+    )
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="world-store directory for the multi-process topology "
+        "(generation-versioned mmap arenas; default: a temporary "
+        "directory removed on exit)",
+    )
+    p.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="graceful-shutdown deadline: on SIGTERM/SIGINT, stop "
+        "accepting and give in-flight requests up to S seconds "
+        "(default: %(default)s)",
+    )
 
 
 def _add_replay(sub: argparse._SubParsersAction) -> None:
@@ -1066,31 +1102,119 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else:
             access_log_fh = open(args.access_log, "a", encoding="utf-8")
             access_log = access_log_fh
-    server = make_server(
-        predictor,
-        host=args.host,
-        port=args.port,
-        quiet=not args.verbose,
-        journal=journal,
-        access_log=access_log,
-    )
-    host, port = server.server_address[:2]
-    print(
-        f"serving artifact {predictor.artifact_id} "
-        f"({predictor.world.n_users} users, generation "
-        f"{predictor.world.generation}) on http://{host}:{port}",
-        flush=True,
-    )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
+        if args.workers > 0:
+            return _serve_multiprocess(args, predictor, journal, access_log)
+        server = make_server(
+            predictor,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            journal=journal,
+            access_log=access_log,
+        )
+        host, port = server.server_address[:2]
+        print(
+            f"serving artifact {predictor.artifact_id} "
+            f"({predictor.world.n_users} users, generation "
+            f"{predictor.world.generation}) on http://{host}:{port}",
+            flush=True,
+        )
+        _install_drain_handlers(server, args.drain_seconds)
+        try:
+            # Returns once a signal-handler drain calls shutdown().
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.drain(args.drain_seconds)
+        print("shut down cleanly", flush=True)
+        return 0
     finally:
-        server.server_close()
         if journal is not None:
             journal.close()
         if access_log_fh is not None:
             access_log_fh.close()
+
+
+def _install_drain_handlers(server, drain_seconds: float) -> None:
+    """SIGTERM/SIGINT -> graceful drain of the threaded server.
+
+    ``drain()`` blocks on ``shutdown()``, which waits for the
+    ``serve_forever`` loop -- the very loop a signal handler interrupts
+    -- so the drain runs on its own thread while the main thread's
+    ``serve_forever`` returns.
+    """
+    import signal
+    import threading
+
+    def handle(signum, frame):
+        threading.Thread(
+            target=server.drain,
+            args=(drain_seconds,),
+            name="repro-drain",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, handle)
+    signal.signal(signal.SIGINT, handle)
+
+
+def _serve_multiprocess(args, predictor, journal, access_log) -> int:
+    """The ``--workers N`` topology: store + forked pool + async front end."""
+    import asyncio
+    import shutil
+    import signal
+    import tempfile
+
+    from repro.serving.frontend import make_frontend
+    from repro.serving.store import StoreError, WorldStore
+
+    store_dir = args.store
+    temp_store = store_dir is None
+    if temp_store:
+        store_dir = tempfile.mkdtemp(prefix="repro-store-")
+    store = WorldStore(store_dir, predictor.world.gazetteer)
+    try:
+        frontend = make_frontend(
+            predictor,
+            store,
+            args.workers,
+            host=args.host,
+            port=args.port,
+            coalesce_ms=args.coalesce_ms,
+            journal=journal,
+            access_log=access_log,
+            quiet=not args.verbose,
+        )
+    except StoreError as exc:
+        print(f"cannot open --store: {exc}", file=sys.stderr)
+        return 2
+
+    async def main() -> None:
+        await frontend.start()
+        print(
+            f"serving artifact {predictor.artifact_id} "
+            f"({predictor.world.n_users} users, generation "
+            f"{predictor.world.generation}) on "
+            f"http://{args.host}:{frontend.port} "
+            f"[{args.workers} workers, coalesce {args.coalesce_ms}ms, "
+            f"store {store_dir}]",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining...", flush=True)
+        await frontend.drain(args.drain_seconds)
+
+    try:
+        asyncio.run(main())
+    finally:
+        store.close()
+        if temp_store:
+            shutil.rmtree(store_dir, ignore_errors=True)
+    print("shut down cleanly", flush=True)
     return 0
 
 

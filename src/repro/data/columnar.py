@@ -465,19 +465,31 @@ class ColumnarWorld:
         report["total_bytes"] = total
         return report
 
-    def dump_dir(self, directory) -> None:
+    def dump_dir(self, directory, fsync: bool = False) -> None:
         """Persist each arena as ``<key>.npy`` under ``directory``.
 
         The plain-``.npy``-per-array layout (rather than one ``.npz``)
         exists so :meth:`load_dir` can hand the arrays back as
         memory-mapped views: a 1M-user world then costs address space,
         not resident memory, until a consumer touches it.
+
+        With ``fsync=True`` every array file is fsynced after writing
+        (the caller still owns directory-level durability -- see
+        :func:`repro.data.journal.fsync_dir`); the
+        :class:`~repro.serving.store.WorldStore` publish path uses
+        this so a generation rename can never expose half-written
+        arenas after a crash.
         """
         import os
 
         os.makedirs(directory, exist_ok=True)
         for key in WORLD_ARRAY_KEYS:
-            np.save(os.path.join(directory, f"{key}.npy"), getattr(self, key))
+            path = os.path.join(directory, f"{key}.npy")
+            with open(path, "wb") as fh:
+                np.save(fh, getattr(self, key))
+                if fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
 
     @classmethod
     def load_dir(

@@ -118,6 +118,7 @@ JOURNAL_REPLAY_SECONDS = _REG.histogram(
 
 __all__ = [
     "DeltaJournal",
+    "fsync_dir",
     "JournalError",
     "JournalRecord",
     "append_and_apply",
@@ -257,8 +258,14 @@ def scan_journal(
     return records, valid_end, error
 
 
-def _fsync_dir(directory: Path) -> None:
-    """Make a rename/creation in ``directory`` durable (best effort)."""
+def fsync_dir(directory: Path) -> None:
+    """Make a rename/creation in ``directory`` durable (best effort).
+
+    Public because the directory-fsync idiom is shared durability
+    machinery: the journal uses it around snapshot renames and journal
+    truncation, and the :class:`~repro.serving.store.WorldStore` uses
+    the same call when it renames a published generation into place.
+    """
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:  # pragma: no cover - exotic filesystems
@@ -310,7 +317,7 @@ class DeltaJournal:
                 fh.write(JOURNAL_MAGIC)
                 fh.flush()
                 os.fsync(fh.fileno())
-            _fsync_dir(self.directory)
+            fsync_dir(self.directory)
 
     # -- positions ---------------------------------------------------------
 
@@ -511,7 +518,7 @@ class DeltaJournal:
                     os.fsync(fh.fileno())
                 path = self.directory / name
                 os.replace(tmp, path)
-                _fsync_dir(self.directory)
+                fsync_dir(self.directory)
             JOURNAL_SNAPSHOT_SECONDS.observe(time.perf_counter() - t0)
             JOURNAL_SNAPSHOTS.inc()
             return path
@@ -543,7 +550,7 @@ class DeltaJournal:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
-            _fsync_dir(self.directory)
+            fsync_dir(self.directory)
             self._n_records = 0
             self._pending_sync = 0
             self._floor_generation = world.generation

@@ -15,7 +15,15 @@ process-lifetime object into a served product:
 - :mod:`repro.serving.cache` -- the thread-safe LRU map behind it;
 - :mod:`repro.serving.server` -- a stdlib JSON-over-HTTP inference
   server (``repro serve``) exposing predict-home / predict-batch /
-  profile / explain-edge / ingest.
+  profile / explain-edge / ingest;
+- :mod:`repro.serving.store` -- the generation-versioned
+  :class:`WorldStore`: a single writer publishes each world as
+  mmap-backed read-only arenas, readers acquire/release generations
+  RCU-style;
+- :mod:`repro.serving.workers` / :mod:`repro.serving.frontend` -- the
+  multi-process topology (``repro serve --workers N``): forked
+  predictor workers attached to the store by mmap behind an asyncio
+  front end that micro-batches predict traffic (``--coalesce-ms``).
 
 Worlds served here are *live*: ``FoldInPredictor.refresh(delta)``
 splices a :class:`~repro.data.delta.WorldDelta` of arrivals into the
@@ -56,6 +64,7 @@ from repro.serving.foldin import (
     prediction_payload,
 )
 from repro.serving.server import ServingServer, make_server
+from repro.serving.store import StoreError, WorldLease, WorldStore
 
 __all__ = [
     "ARTIFACT_SUFFIX",
@@ -67,7 +76,10 @@ __all__ = [
     "FoldInPredictor",
     "LRUCache",
     "ServingServer",
+    "StoreError",
     "UserSpec",
+    "WorldLease",
+    "WorldStore",
     "artifact_metadata",
     "load_result",
     "make_server",

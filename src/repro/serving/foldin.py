@@ -323,30 +323,15 @@ class FoldInPredictor:
         #: Users with a frozen posterior profile; anyone beyond this
         #: (ingested after the fit) folds in with an empty profile.
         self._n_train = train_world.n_users
+        self._train_world = train_world
         if world is None:
             world = train_world
-        elif world.gazetteer is not train_world.gazetteer and (
-            world.n_locations != train_world.n_locations
-            or world.n_venues != train_world.n_venues
-            # Same sizes is not same id space: two regional gazetteers
-            # of equal size would silently cross-index the law matrix
-            # and psi.  Vocabulary equality pins the venue/location id
-            # mapping itself (cheap: a one-time list compare).
-            or list(world.gazetteer.venue_vocabulary)
-            != list(train_world.gazetteer.venue_vocabulary)
-        ):
-            raise ValueError(
-                "evidence world was built over a different gazetteer "
-                "than the fitted result"
-            )
-        elif world.n_users < train_world.n_users:
-            raise ValueError(
-                f"evidence world has {world.n_users} users but the "
-                f"result was trained on {train_world.n_users}; serving "
-                "worlds may only grow"
-            )
+        else:
+            self._check_evidence_world(world)
         #: The live evidence world; swapped atomically by
-        #: :meth:`refresh` as deltas stream in.
+        #: :meth:`refresh` as deltas stream in, or by
+        #: :meth:`attach_world` when a reader adopts a generation
+        #: published through a :class:`~repro.serving.store.WorldStore`.
         self.world = world
         gaz = train_world.gazetteer
         self.n_locations = train_world.n_locations
@@ -799,6 +784,62 @@ class FoldInPredictor:
         self.cache.clear()
         if reset_stats:
             self.cache.reset_stats()
+
+    def _check_evidence_world(self, world) -> None:
+        """Reject an evidence world this posterior cannot serve against."""
+        train_world = self._train_world
+        if world.gazetteer is not train_world.gazetteer and (
+            world.n_locations != train_world.n_locations
+            or world.n_venues != train_world.n_venues
+            # Same sizes is not same id space: two regional gazetteers
+            # of equal size would silently cross-index the law matrix
+            # and psi.  Vocabulary equality pins the venue/location id
+            # mapping itself (cheap: a one-time list compare).
+            or list(world.gazetteer.venue_vocabulary)
+            != list(train_world.gazetteer.venue_vocabulary)
+        ):
+            raise ValueError(
+                "evidence world was built over a different gazetteer "
+                "than the fitted result"
+            )
+        if world.n_users < train_world.n_users:
+            raise ValueError(
+                f"evidence world has {world.n_users} users but the "
+                f"result was trained on {train_world.n_users}; serving "
+                "worlds may only grow"
+            )
+
+    def attach_world(self, world, invalidate_users=None):
+        """RCU reader-side swap: adopt an externally published world.
+
+        The multi-process counterpart of :meth:`refresh`: a *writer*
+        applied the delta elsewhere and published the result (e.g.
+        through a :class:`~repro.serving.store.WorldStore`); this
+        reader only swaps its served world to the new generation.  The
+        swap and the cache invalidation happen atomically under the
+        predictor lock, exactly like :meth:`refresh`, so the cache
+        policy is identical to the single-process path:
+
+        - ``invalidate_users=None`` (provenance unknown -- e.g. the
+          reader skipped generations whose metadata is gone) drops the
+          whole prediction cache;
+        - otherwise only predictions tagged with one of the given
+          neighbour ids are invalidated -- pass the union of
+          ``label_users`` over every generation being skipped across.
+
+        The kernel-row cache survives either way: frozen posterior
+        tables do not depend on the evidence world.  Returns ``world``.
+        """
+        self._check_evidence_world(world)
+        with self._lock:
+            self.world = world
+            if invalidate_users is None:
+                self.cache.clear()
+            else:
+                users = [int(u) for u in invalidate_users]
+                if users:
+                    self.cache.invalidate_tags(users)
+        return world
 
     def refresh(self, delta):
         """Apply a :class:`~repro.data.delta.WorldDelta` to the served world.

@@ -1,0 +1,716 @@
+"""The async front end: one accept loop, N worker processes, one writer.
+
+The multi-process serving topology (``repro serve --workers N``):
+
+- this process runs an **asyncio** accept loop speaking the same
+  JSON-over-HTTP protocol as the threaded server (same routes, same
+  error semantics, same body caps, same strict Content-Length
+  discipline -- :mod:`repro.serving.server` documents the contract);
+- ``/predict-home`` and ``/predict-batch`` are **micro-batched**:
+  requests arriving within a ``coalesce_ms`` window are coalesced into
+  one worker dispatch, where the whole window folds into a single
+  ``predict_batch`` call -- the batch engine amortizes its arena
+  lowering across requests that would each have paid it alone;
+- dispatches round-robin over the :class:`~repro.serving.workers
+  .WorkerPool`; a dead worker (``kill -9``) is detected by its broken
+  pipe, the batch re-dispatched to a survivor, and -- with no survivors
+  -- served inline by the writer's own predictor: requests degrade,
+  they are never lost to a worker death;
+- ``/ingest`` runs on the **writer** predictor here (the single
+  writer), write-ahead journaled when a journal is attached, then
+  published to the :class:`~repro.serving.store.WorldStore`; workers
+  adopt the new generation before their next batch (RCU);
+- ``/profile``, ``/explain-edge``, ``/artifact``, ``/healthz`` and
+  ``/metrics`` are served inline (stored-posterior reads and
+  diagnostics -- not worth a process hop);
+- predict responses carry an ``X-World-Generation`` header naming the
+  generation they were served from.  The *body* stays byte-identical
+  to the threaded server's (the RCU tests depend on the header, the
+  bit-identity contract on the body; only the ``cached`` marker may
+  differ, being serving metadata about batch-local dedup).
+
+Graceful shutdown mirrors the threaded server's satellite: closing the
+listener, letting in-flight requests finish within a bounded deadline,
+then stopping the coalescer and the pool.
+
+Observability caveat: worker processes keep their own metric
+registries, so ``/metrics`` here exports the front end's view --
+request/latency/coalescing/dispatch families plus the writer's solves.
+Worker-side solve counts surface through ``/healthz``'s per-worker
+rows (``solves`` in each status reply) rather than Prometheus.
+Request *tracing* stays a threaded-server feature: the trace spans are
+thread-local, which interleaved coroutines would corrupt, so the front
+end logs and measures but does not trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.serving.foldin import FoldInPredictor
+from repro.serving.server import (
+    GET_HANDLERS,
+    HTTP_ERRORS,
+    HTTP_INFLIGHT,
+    HTTP_LATENCY,
+    HTTP_REQUESTS,
+    MAX_BATCH_BODY_BYTES,
+    MAX_BODY_BYTES,
+    METRICS_CONTENT_TYPE,
+    POST_HANDLERS,
+    artifact_payload,
+    explain_edge_payload,
+    healthz_payload,
+    ingest_response,
+    profile_payload,
+)
+from repro.serving.store import WorldStore
+from repro.serving.workers import (
+    WorkerDied,
+    WorkerPool,
+    serve_predict_requests,
+)
+
+_REG = obs_metrics.get_registry()
+#: Size of each coalesced dispatch, in requests -- the histogram that
+#: shows whether the coalescing window is actually merging traffic
+#: (all-ones means the window is too short or the load too thin).
+COALESCE_BATCH_SIZE = _REG.histogram(
+    "repro_serve_coalesced_batch_size",
+    "Requests per coalesced predict dispatch",
+    buckets=np.array([1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64], dtype=float),
+)
+COALESCE_DISPATCHES = _REG.counter(
+    "repro_serve_dispatches_total",
+    "Coalesced predict dispatches, by outcome",
+    labelnames=("outcome",),
+)
+
+#: The two routes that go through the coalescer + worker pool; every
+#: other route is served inline on the event loop / writer.
+_WORKER_ROUTES = ("/predict-home", "/predict-batch")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+#: Mirrors ``ServingHandler.timeout``: a declared body that never
+#: arrives must not pin its coroutine forever.
+BODY_READ_TIMEOUT = 30.0
+
+
+class AsyncFrontend:
+    """Asyncio accept loop + micro-batcher over a worker pool."""
+
+    def __init__(
+        self,
+        predictor: FoldInPredictor,
+        store: WorldStore,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        coalesce_ms: float = 2.0,
+        max_coalesce: int = 64,
+        journal=None,
+        access_log=None,
+        quiet: bool = True,
+    ):
+        #: The *writer* predictor: ingest applies deltas here, and the
+        #: inline routes (profile/explain/healthz) read from it.  It is
+        #: always at the newest generation by construction.
+        self.predictor = predictor
+        self.store = store
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.coalesce_ms = float(coalesce_ms)
+        self.max_coalesce = int(max_coalesce)
+        self.journal = journal
+        self.access_log = access_log
+        self.quiet = quiet
+        self.started_unix = time.time()
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._coalescer: asyncio.Task | None = None
+        self._ingest_lock: asyncio.Lock | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._idle: asyncio.Event | None = None
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._ingest_lock = asyncio.Lock()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._coalescer = asyncio.create_task(self._coalesce_loop())
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        await stop.wait()
+
+    async def drain(self, deadline_seconds: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, stop pool.
+
+        Returns ``True`` when every in-flight request completed within
+        the deadline; either way the coalescer is cancelled, remaining
+        connections are closed and the workers stopped afterwards.
+        """
+        if self._draining:
+            return True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = True
+        if self._idle is not None and self._inflight > 0:
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=deadline_seconds
+                )
+            except asyncio.TimeoutError:
+                drained = False
+        if self._coalescer is not None:
+            self._coalescer.cancel()
+            try:
+                await self._coalescer
+            except (asyncio.CancelledError, Exception):
+                pass
+        for task in list(self._conn_tasks):
+            task.cancel()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.pool.stop_all)
+        return drained
+
+    # -- coalescing dispatcher ---------------------------------------------
+
+    async def _coalesce_loop(self) -> None:
+        """Collect predict traffic into windows; one dispatch per window.
+
+        Classic micro-batching: the first request opens a window of
+        ``coalesce_ms``; everything arriving inside it (up to
+        ``max_coalesce``) joins the same dispatch.  Each dispatch runs
+        as its own task, so consecutive windows solve concurrently on
+        *different* workers while the loop is already collecting the
+        next one.
+        """
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        window = self.coalesce_ms / 1000.0
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + window
+            while len(batch) < self.max_coalesce:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(
+                            self._queue.get(), timeout=remaining
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    break
+            COALESCE_BATCH_SIZE.observe(len(batch))
+            task = asyncio.create_task(self._dispatch_batch(batch))
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _dispatch_batch(self, batch: list) -> None:
+        """Send one coalesced batch to a worker; survive worker death.
+
+        Tries every live worker once (round-robin); a
+        :class:`WorkerDied` marks the casualty and re-dispatches the
+        *entire* batch to the next -- the worker never acknowledged, so
+        nothing was half-served.  With the whole pool dead, the batch
+        is served inline on the writer's predictor: slower, never
+        wrong, and ``/healthz`` makes the degradation visible.
+        """
+        requests = [
+            {"route": route, "payload": payload}
+            for route, payload, _ in batch
+        ]
+        loop = asyncio.get_running_loop()
+        message = {"kind": "predict", "requests": requests}
+        for _ in range(len(self.pool.workers)):
+            worker = self.pool.next_worker()
+            if worker is None:
+                break
+            try:
+                reply = await loop.run_in_executor(
+                    None, worker.call, message, self.pool.call_timeout
+                )
+            except WorkerDied:
+                COALESCE_DISPATCHES.labels(outcome="worker_died").inc()
+                continue
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                error = (
+                    reply.get("error", "worker error")
+                    if isinstance(reply, dict)
+                    else "worker protocol error"
+                )
+                self._resolve_batch(
+                    batch, [{"status": 500, "body": {"error": error}}] * len(batch), None
+                )
+                COALESCE_DISPATCHES.labels(outcome="worker_error").inc()
+                return
+            self._resolve_batch(
+                batch, reply["results"], reply.get("generation")
+            )
+            COALESCE_DISPATCHES.labels(outcome="ok").inc()
+            return
+        # Every worker is gone: degrade to the writer's own predictor.
+        try:
+            results = await loop.run_in_executor(
+                None, serve_predict_requests, self.predictor, requests
+            )
+        except Exception as exc:
+            self._resolve_batch(
+                batch,
+                [
+                    {
+                        "status": 500,
+                        "body": {
+                            "error": f"internal error: {type(exc).__name__}"
+                        },
+                    }
+                ]
+                * len(batch),
+                None,
+            )
+            COALESCE_DISPATCHES.labels(outcome="fallback_error").inc()
+            return
+        self._resolve_batch(batch, results, self.predictor.world.generation)
+        COALESCE_DISPATCHES.labels(outcome="fallback_inline").inc()
+
+    @staticmethod
+    def _resolve_batch(batch, results, generation) -> None:
+        for (_, _, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(
+                    (result["status"], result["body"], generation)
+                )
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                if not await self._handle_one_request(reader, writer):
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _request_started(self) -> None:
+        self._inflight += 1
+        HTTP_INFLIGHT.inc()
+        if self._idle is not None:
+            self._idle.clear()
+
+    def _request_finished(self) -> None:
+        self._inflight -= 1
+        HTTP_INFLIGHT.dec()
+        if self._inflight <= 0 and self._idle is not None:
+            self._idle.set()
+
+    async def _handle_one_request(self, reader, writer) -> bool:
+        """Read/serve one request; returns False to drop the connection."""
+        request_line = await reader.readline()
+        if not request_line or self._draining:
+            return False
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return False
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        route = (
+            path if path in GET_HANDLERS or path in POST_HANDLERS
+            else "<unknown>"
+        )
+        self._request_started()
+        t0 = time.perf_counter()
+        status = 0
+        try:
+            status, keep_alive = await self._serve_request(
+                writer, method, path, headers, reader
+            )
+            return keep_alive and not self._draining
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._request_finished()
+            HTTP_REQUESTS.labels(
+                route=route, method=method, status=str(status)
+            ).inc()
+            HTTP_LATENCY.labels(route=route).observe(elapsed)
+            if status >= 400:
+                HTTP_ERRORS.labels(route=route, status=str(status)).inc()
+            self._write_access_log(method, route, path, status, elapsed)
+
+    async def _serve_request(
+        self, writer, method, path, headers, reader
+    ) -> tuple[int, bool]:
+        """Route one request; returns ``(status, keep_alive)``.
+
+        The error contract mirrors the threaded handler exactly: 404
+        unknown route, 405 + ``Allow`` on a method mismatch, 400 for
+        malformed framing/JSON/client errors, 500 + close for anything
+        unexpected, and any response that leaves the body unread closes
+        the connection so keep-alive clients cannot desync.
+        """
+        wants_close = headers.get("connection", "").lower() == "close"
+        if method == "GET":
+            if path not in GET_HANDLERS:
+                return await self._reject_unknown(
+                    writer, path, "POST" if path in POST_HANDLERS else None
+                )
+            if path == "/metrics":
+                body = obs_metrics.render_prometheus().encode("utf-8")
+                await self._respond(
+                    writer, 200, body,
+                    content_type=METRICS_CONTENT_TYPE, close=wants_close,
+                )
+                return 200, not wants_close
+            payload = (
+                self._healthz() if path == "/healthz"
+                else artifact_payload(self.predictor)
+            )
+            await self._respond_json(writer, 200, payload, close=wants_close)
+            return 200, not wants_close
+        if method != "POST":
+            if path in GET_HANDLERS:
+                return await self._reject_unknown(writer, path, "GET")
+            if path in POST_HANDLERS:
+                return await self._reject_unknown(writer, path, "POST")
+            return await self._reject_unknown(writer, path, None)
+        if path not in POST_HANDLERS:
+            return await self._reject_unknown(
+                writer, path, "GET" if path in GET_HANDLERS else None
+            )
+        max_bytes = (
+            MAX_BATCH_BODY_BYTES if path == "/predict-batch"
+            else MAX_BODY_BYTES
+        )
+        raw_length = headers.get("content-length")
+        stripped = raw_length.strip() if raw_length is not None else "0"
+        if not (stripped.isascii() and stripped.isdigit()):
+            await self._respond_json(
+                writer, 400,
+                {"error": f"invalid Content-Length header {raw_length!r}"},
+                close=True,
+            )
+            return 400, False
+        length = int(stripped)
+        if length <= 0:
+            await self._respond_json(
+                writer, 400, {"error": "request body required"},
+                close=wants_close,
+            )
+            return 400, not wants_close
+        if length > max_bytes:
+            await self._respond_json(
+                writer, 400,
+                {"error": f"request body exceeds {max_bytes} bytes"},
+                close=True,
+            )
+            return 400, False
+        raw = await asyncio.wait_for(
+            reader.readexactly(length), timeout=BODY_READ_TIMEOUT
+        )
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"invalid JSON body: {exc}"},
+                close=wants_close,
+            )
+            return 400, not wants_close
+        try:
+            status, body, extra = await self._handle_post(path, payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            status, body, extra = 400, {"error": str(exc)}, None
+        except asyncio.TimeoutError:
+            status, body, extra = (
+                500, {"error": "internal error: TimeoutError"}, None,
+            )
+        except Exception as exc:
+            await self._respond_json(
+                writer, 500,
+                {"error": f"internal error: {type(exc).__name__}"},
+                close=True,
+            )
+            return 500, False
+        await self._respond_json(
+            writer, status, body, extra_headers=extra, close=wants_close
+        )
+        return status, not wants_close
+
+    async def _handle_post(self, path, payload):
+        """Dispatch one parsed POST body; returns (status, body, headers)."""
+        loop = asyncio.get_running_loop()
+        if path in _WORKER_ROUTES:
+            assert self._queue is not None
+            future = loop.create_future()
+            await self._queue.put((path, payload, future))
+            status, body, generation = await future
+            extra = (
+                {"X-World-Generation": str(generation)}
+                if generation is not None
+                else None
+            )
+            return status, body, extra
+        if path == "/ingest":
+            return await self._ingest(payload)
+        if path == "/profile":
+            body = await loop.run_in_executor(
+                None, profile_payload, self.predictor, payload
+            )
+            return 200, body, None
+        if path == "/explain-edge":
+            body = await loop.run_in_executor(
+                None, explain_edge_payload, self.predictor, payload
+            )
+            return 200, body, None
+        raise ValueError(f"unroutable path {path!r}")  # unreachable
+
+    async def _ingest(self, payload):
+        """The single-writer path: apply, journal, publish, respond.
+
+        Serialized on an asyncio lock (one delta at a time, matching
+        the chained-hash discipline), applied on the writer predictor
+        in an executor thread, then published to the store so workers
+        adopt it.  The response is built only after the publish: an
+        acknowledged ingest is always visible to every future reader.
+        """
+        from repro.serving.server import apply_ingest
+
+        assert self._ingest_lock is not None
+        loop = asyncio.get_running_loop()
+        async with self._ingest_lock:
+            def apply_and_publish():
+                world, delta = apply_ingest(
+                    self.predictor, payload, journal=self.journal
+                )
+                self.store.publish(
+                    world, label_users=delta.label_users.tolist()
+                )
+                return ingest_response(
+                    self.predictor, world, journal=self.journal
+                )
+
+            body = await loop.run_in_executor(None, apply_and_publish)
+        return (
+            200, body,
+            {"X-World-Generation": str(body["generation"])},
+        )
+
+    def _healthz(self) -> dict:
+        return healthz_payload(
+            self.predictor,
+            journal=self.journal,
+            trace_buffer=None,
+            started_unix=self.started_unix,
+            serving={
+                "mode": "multiprocess",
+                "workers": len(self.pool.workers),
+                "coalesce_ms": self.coalesce_ms,
+                "store": self.store.stats(),
+                "worker_info": self.pool.snapshot(),
+            },
+        )
+
+    # -- response writing --------------------------------------------------
+
+    async def _reject_unknown(self, writer, path, allowed):
+        if allowed is not None:
+            await self._respond_json(
+                writer, 405,
+                {"error": f"method not allowed for {path}; use {allowed}"},
+                extra_headers={"Allow": allowed},
+                close=True,
+            )
+            return 405, False
+        await self._respond_json(
+            writer, 404, {"error": f"unknown route {path}"}, close=True
+        )
+        return 404, False
+
+    async def _respond_json(
+        self, writer, status, payload, extra_headers=None, close=False
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        await self._respond(
+            writer, status, body, extra_headers=extra_headers, close=close
+        )
+
+    async def _respond(
+        self,
+        writer,
+        status,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers=None,
+        close: bool = False,
+    ) -> None:
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Server: repro-serve/1",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        if close:
+            head.append("Connection: close")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    def _write_access_log(
+        self, method, route, path, status, elapsed
+    ) -> None:
+        if self.access_log is None:
+            return
+        line = json.dumps(
+            {
+                "ts": round(time.time(), 6),
+                "method": method,
+                "route": route,
+                "path": path,
+                "status": status,
+                "latency_ms": round(elapsed * 1e3, 3),
+                "trace_id": "",
+            }
+        )
+        try:
+            self.access_log.write(line + "\n")
+            self.access_log.flush()
+        except (OSError, ValueError):
+            pass
+
+
+def make_frontend(
+    predictor: FoldInPredictor,
+    store: WorldStore,
+    n_workers: int,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    coalesce_ms: float = 2.0,
+    max_coalesce: int = 64,
+    journal=None,
+    access_log=None,
+    quiet: bool = True,
+) -> AsyncFrontend:
+    """Publish the writer's world, fork the pool, build the front end.
+
+    Ordering matters: the current generation must be published (and the
+    writer lock held) before the fork, so every worker finds a world to
+    attach at birth, and the fork must happen before any event loop
+    exists in this process.
+    """
+    store.lock_writer()
+    store.publish(predictor.world)
+    pool = WorkerPool(n_workers, predictor, store)
+    return AsyncFrontend(
+        predictor,
+        store,
+        pool,
+        host=host,
+        port=port,
+        coalesce_ms=coalesce_ms,
+        max_coalesce=max_coalesce,
+        journal=journal,
+        access_log=access_log,
+        quiet=quiet,
+    )
+
+
+class FrontendThread:
+    """Run an :class:`AsyncFrontend` on a background event loop.
+
+    The harness tests and ``tools/loadgen.py`` use this to stand a
+    multi-process server up inside one Python process: the event loop
+    lives on a daemon thread, ``port`` is known once ``start`` returns,
+    and ``stop`` drains gracefully from any thread.
+    """
+
+    def __init__(self, frontend: AsyncFrontend):
+        self.frontend = frontend
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+
+    @property
+    def port(self) -> int:
+        return self.frontend.port
+
+    def start(self, timeout: float = 30.0) -> "FrontendThread":
+        import threading
+
+        ready = threading.Event()
+
+        def run_loop() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.frontend.start())
+            ready.set()
+            loop.run_forever()
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=run_loop, name="repro-frontend", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("frontend failed to start in time")
+        return self
+
+    def stop(self, deadline_seconds: float = 10.0) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.frontend.drain(deadline_seconds), self._loop
+        )
+        try:
+            future.result(timeout=deadline_seconds + 10.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)

@@ -147,7 +147,41 @@ class ServingServer(ThreadingHTTPServer):
         self.trace_buffer = TraceBuffer(slow_threshold=slow_request_seconds)
         self.started_unix = time.time()
         self._access_log_lock = threading.Lock()
+        #: Graceful-drain bookkeeping: requests this server is handling
+        #: right now, and an event that is set exactly while the count
+        #: is zero.  :meth:`drain` stops accepting and then waits on it.
+        self._inflight_count = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
         super().__init__(address, ServingHandler)
+
+    def _track_request_start(self) -> None:
+        with self._inflight_lock:
+            self._inflight_count += 1
+            self._idle.clear()
+
+    def _track_request_end(self) -> None:
+        with self._inflight_lock:
+            self._inflight_count -= 1
+            if self._inflight_count <= 0:
+                self._idle.set()
+
+    def drain(self, deadline_seconds: float = 10.0) -> bool:
+        """Stop accepting, let in-flight requests finish, close.
+
+        The SIGTERM/SIGINT path: no new connections are dispatched once
+        this runs, but handler threads mid-response get up to
+        ``deadline_seconds`` to write their bodies instead of having
+        the socket torn from under them.  Returns ``True`` when the
+        server went idle within the deadline.  Must be called from a
+        thread other than the one blocked in ``serve_forever`` --
+        ``shutdown()`` waits for that loop to exit.
+        """
+        self.shutdown()
+        drained = self._idle.wait(timeout=deadline_seconds)
+        self.server_close()
+        return drained
 
 
 class _RequestError(ValueError):
@@ -244,12 +278,6 @@ class ServingHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise _RequestError(f"invalid JSON body: {exc}") from exc
 
-    @staticmethod
-    def _require_object(payload) -> dict:
-        if not isinstance(payload, dict):
-            raise _RequestError("request body must be a JSON object")
-        return payload
-
     # -- instrumented dispatch ---------------------------------------------
 
     def _route_label(self) -> str:
@@ -271,6 +299,9 @@ class ServingHandler(BaseHTTPRequestHandler):
         trace_id = ""
         t0 = time.perf_counter()
         HTTP_INFLIGHT.inc()
+        tracker = getattr(self.server, "_track_request_start", None)
+        if tracker is not None:
+            tracker()
         try:
             buffer = getattr(self.server, "trace_buffer", None)
             with trace_request(
@@ -299,6 +330,9 @@ class ServingHandler(BaseHTTPRequestHandler):
                 trace.meta["status"] = self._response_status
         finally:
             HTTP_INFLIGHT.dec()
+            untracker = getattr(self.server, "_track_request_end", None)
+            if untracker is not None:
+                untracker()
             elapsed = time.perf_counter() - t0
             status = str(self._response_status)
             HTTP_REQUESTS.labels(route=route, method=method, status=status).inc()
@@ -357,62 +391,26 @@ class ServingHandler(BaseHTTPRequestHandler):
         """Liveness plus per-subsystem blocks under stable top-level keys.
 
         Schema contract (tests/test_serving_obs.py): ``status`` plus the
-        blocks ``artifact``/``world``/``cache``/``journal``/``metrics``
-        are always present; ``journal`` is ``None`` on an unjournaled
-        server rather than absent.
+        blocks ``artifact``/``world``/``cache``/``journal``/``metrics``/
+        ``serving`` are always present; ``journal`` is ``None`` on an
+        unjournaled server rather than absent, and ``serving`` names the
+        topology (here always the single-process threaded shape).
         """
         server = self.server
-        predictor = server.predictor
-        world = predictor.world
-        journal = getattr(server, "journal", None)
-        trace_buffer = getattr(server, "trace_buffer", None)
-        started = getattr(server, "started_unix", None)
-        return {
-            "status": "ok",
-            "artifact": {"id": predictor.artifact_id},
-            "world": {
-                "users": world.n_users,
-                "generation": world.generation,
-                "following": world.n_following,
-                "tweeting": world.n_tweeting,
-                "hash": world.content_hash,
-            },
-            "cache": predictor.cache.stats(),
-            "journal": journal.stats() if journal is not None else None,
-            "metrics": {
-                "uptime_seconds": (
-                    round(time.time() - started, 3) if started else None
-                ),
-                "requests_total": HTTP_REQUESTS.total(),
-                "errors_total": HTTP_ERRORS.total(),
-                "inflight": HTTP_INFLIGHT.value,
-                "solves_total": predictor.solve_count,
-                "traces": (
-                    trace_buffer.stats() if trace_buffer is not None else None
-                ),
-            },
-        }
+        return healthz_payload(
+            server.predictor,
+            journal=getattr(server, "journal", None),
+            trace_buffer=getattr(server, "trace_buffer", None),
+            started_unix=getattr(server, "started_unix", None),
+            serving=threaded_serving_block(),
+        )
 
     def _metrics(self) -> bytes:
         """The process registry in Prometheus text exposition format."""
         return obs_metrics.render_prometheus().encode("utf-8")
 
     def _artifact(self) -> dict:
-        predictor = self.server.predictor
-        world = predictor.world
-        return {
-            "artifact_id": predictor.artifact_id,
-            "params": asdict(predictor.params),
-            "users": world.n_users,
-            "following": world.n_following,
-            "tweeting": world.n_tweeting,
-            "locations": world.n_locations,
-            "venues": world.n_venues,
-            "fitted_law": {
-                "alpha": predictor.result.fitted_law.alpha,
-                "beta": predictor.result.fitted_law.beta,
-            },
-        }
+        return artifact_payload(self.server.predictor)
 
     # -- other methods -----------------------------------------------------
 
@@ -448,21 +446,7 @@ class ServingHandler(BaseHTTPRequestHandler):
         self._send_json(200, getattr(self, name)(payload))
 
     def _predict_home(self, payload) -> dict:
-        predictor = self.server.predictor
-        payload = self._require_object(payload)
-        users = payload.get("users")
-        if not isinstance(users, list) or not users:
-            raise _RequestError('"users" must be a non-empty list of specs')
-        top_k = int(payload.get("top_k", 3))
-        specs = [predictor.resolve_request(entry) for entry in users]
-        predictions = predictor.predict_batch(specs)
-        gaz = predictor.dataset.gazetteer
-        return {
-            "artifact_id": predictor.artifact_id,
-            "predictions": [
-                prediction_payload(p, gaz, top_k=top_k) for p in predictions
-            ],
-        }
+        return predict_home_payload(self.server.predictor, payload)
 
     def _predict_batch(self, payload) -> list:
         """Bulk scoring: a JSON array of specs in, an array out.
@@ -472,43 +456,10 @@ class ServingHandler(BaseHTTPRequestHandler):
         back in request order, scored by the vectorized batch engine
         past the predictor's crossover size.
         """
-        predictor = self.server.predictor
-        if not isinstance(payload, list):
-            raise _RequestError(
-                "request body must be a JSON array of user specs"
-            )
-        specs = [predictor.resolve_request(entry) for entry in payload]
-        predictions = predictor.predict_batch(specs)
-        gaz = predictor.dataset.gazetteer
-        return [prediction_payload(p, gaz) for p in predictions]
+        return predict_batch_payload(self.server.predictor, payload)
 
     def _profile(self, payload) -> dict:
-        predictor = self.server.predictor
-        payload = self._require_object(payload)
-        if "user_id" not in payload:
-            raise _RequestError('"user_id" is required')
-        user_id = int(payload["user_id"])
-        if not 0 <= user_id < predictor.dataset.n_users:
-            raise _RequestError(f"user {user_id} not in the training set")
-        top_k = int(payload.get("top_k", 3))
-        profile = predictor.result.profile_of(user_id)
-        gaz = predictor.dataset.gazetteer
-        return {
-            "artifact_id": predictor.artifact_id,
-            "user_id": user_id,
-            "home": profile.home,
-            "home_name": (
-                gaz.by_id(profile.home).name if profile.home is not None else None
-            ),
-            "profile": [
-                {
-                    "location": loc,
-                    "name": gaz.by_id(loc).name,
-                    "probability": prob,
-                }
-                for loc, prob in profile.entries[:top_k]
-            ],
-        }
+        return profile_payload(self.server.predictor, payload)
 
     def _ingest(self, payload) -> dict:
         """Apply one delta batch to the served world, live.
@@ -522,70 +473,247 @@ class ServingHandler(BaseHTTPRequestHandler):
         validated, write-ahead appended to the journal and only then
         applied -- an acknowledged ingest survives ``kill -9``.
         """
-        from repro.data.delta import WorldDelta
-
-        predictor = self.server.predictor
-        payload = self._require_object(payload)
-        delta = WorldDelta.from_payload(
-            payload, gazetteer=predictor.world.gazetteer
+        return ingest_payload(
+            self.server.predictor,
+            payload,
+            journal=getattr(self.server, "journal", None),
         )
-        journal = getattr(self.server, "journal", None)
-        if journal is not None:
-            from repro.data.journal import journaled_ingest
-
-            world = journaled_ingest(predictor, journal, delta)
-        else:
-            world = predictor.refresh(delta)
-        record = world.delta_log[-1]
-        response = {
-            "artifact_id": predictor.artifact_id,
-            "world_hash": world.content_hash,
-            "generation": world.generation,
-            "users": world.n_users,
-            "following": world.n_following,
-            "tweeting": world.n_tweeting,
-            "applied": {
-                "new_users": record.n_new_users,
-                "edges": record.n_edges,
-                "tweets": record.n_tweets,
-                "label_updates": record.n_label_updates,
-                "touched_users": int(record.touched_users.size),
-            },
-            "cache": predictor.cache.stats(),
-        }
-        if journal is not None:
-            response["journal"] = journal.stats()
-        return response
 
     def _explain_edge(self, payload) -> dict:
-        predictor = self.server.predictor
-        payload = self._require_object(payload)
-        if "user" not in payload or "neighbor" not in payload:
-            raise _RequestError('"user" and "neighbor" are required')
-        spec = predictor.resolve_request(payload["user"])
-        explanation = predictor.explain_edge(
-            spec,
-            neighbor=int(payload["neighbor"]),
-            direction=payload.get("direction", "out"),
-            top=int(payload.get("top", 5)),
-        )
-        gaz = predictor.dataset.gazetteer
-        return {
-            "artifact_id": predictor.artifact_id,
-            "neighbor": explanation.neighbor,
-            "direction": explanation.direction,
-            "noise_probability": explanation.noise_probability,
-            "pairs": [
-                {
-                    "x": pair.x,
-                    "x_name": gaz.by_id(pair.x).name,
-                    "y": pair.y,
-                    "y_name": gaz.by_id(pair.y).name,
-                    "probability": pair.probability,
-                }
-                for pair in explanation.pairs
-            ],
-        }
+        return explain_edge_payload(self.server.predictor, payload)
+
+
+# -- shared response builders ------------------------------------------------
+#
+# Pure payload constructors over a predictor: the threaded handler
+# methods above, the multi-process worker loop
+# (:mod:`repro.serving.workers`) and the async front end
+# (:mod:`repro.serving.frontend`) all render responses through these
+# same functions, which is what makes "bit-identical to the
+# single-process path" a structural property rather than a test
+# assertion.  Client errors are ``ValueError``s; every transport maps
+# them to a 400.
+
+
+def require_object(payload) -> dict:
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    return payload
+
+
+def predict_home_payload(predictor: FoldInPredictor, payload) -> dict:
+    """``POST /predict-home``: fold-in predictions for a spec list."""
+    payload = require_object(payload)
+    users = payload.get("users")
+    if not isinstance(users, list) or not users:
+        raise ValueError('"users" must be a non-empty list of specs')
+    top_k = int(payload.get("top_k", 3))
+    specs = [predictor.resolve_request(entry) for entry in users]
+    predictions = predictor.predict_batch(specs)
+    gaz = predictor.dataset.gazetteer
+    return {
+        "artifact_id": predictor.artifact_id,
+        "predictions": [
+            prediction_payload(p, gaz, top_k=top_k) for p in predictions
+        ],
+    }
+
+
+def predict_batch_payload(predictor: FoldInPredictor, payload) -> list:
+    """``POST /predict-batch``: a JSON array of specs in, an array out."""
+    if not isinstance(payload, list):
+        raise ValueError("request body must be a JSON array of user specs")
+    specs = [predictor.resolve_request(entry) for entry in payload]
+    predictions = predictor.predict_batch(specs)
+    gaz = predictor.dataset.gazetteer
+    return [prediction_payload(p, gaz) for p in predictions]
+
+
+def profile_payload(predictor: FoldInPredictor, payload) -> dict:
+    """``POST /profile``: a training user's stored posterior profile."""
+    payload = require_object(payload)
+    if "user_id" not in payload:
+        raise ValueError('"user_id" is required')
+    user_id = int(payload["user_id"])
+    if not 0 <= user_id < predictor.dataset.n_users:
+        raise ValueError(f"user {user_id} not in the training set")
+    top_k = int(payload.get("top_k", 3))
+    profile = predictor.result.profile_of(user_id)
+    gaz = predictor.dataset.gazetteer
+    return {
+        "artifact_id": predictor.artifact_id,
+        "user_id": user_id,
+        "home": profile.home,
+        "home_name": (
+            gaz.by_id(profile.home).name if profile.home is not None else None
+        ),
+        "profile": [
+            {
+                "location": loc,
+                "name": gaz.by_id(loc).name,
+                "probability": prob,
+            }
+            for loc, prob in profile.entries[:top_k]
+        ],
+    }
+
+
+def explain_edge_payload(predictor: FoldInPredictor, payload) -> dict:
+    """``POST /explain-edge``: blocked-conditional edge explanation."""
+    payload = require_object(payload)
+    if "user" not in payload or "neighbor" not in payload:
+        raise ValueError('"user" and "neighbor" are required')
+    spec = predictor.resolve_request(payload["user"])
+    explanation = predictor.explain_edge(
+        spec,
+        neighbor=int(payload["neighbor"]),
+        direction=payload.get("direction", "out"),
+        top=int(payload.get("top", 5)),
+    )
+    gaz = predictor.dataset.gazetteer
+    return {
+        "artifact_id": predictor.artifact_id,
+        "neighbor": explanation.neighbor,
+        "direction": explanation.direction,
+        "noise_probability": explanation.noise_probability,
+        "pairs": [
+            {
+                "x": pair.x,
+                "x_name": gaz.by_id(pair.x).name,
+                "y": pair.y,
+                "y_name": gaz.by_id(pair.y).name,
+                "probability": pair.probability,
+            }
+            for pair in explanation.pairs
+        ],
+    }
+
+
+def artifact_payload(predictor: FoldInPredictor) -> dict:
+    """``GET /artifact``: the served artifact's identity and parameters."""
+    world = predictor.world
+    return {
+        "artifact_id": predictor.artifact_id,
+        "params": asdict(predictor.params),
+        "users": world.n_users,
+        "following": world.n_following,
+        "tweeting": world.n_tweeting,
+        "locations": world.n_locations,
+        "venues": world.n_venues,
+        "fitted_law": {
+            "alpha": predictor.result.fitted_law.alpha,
+            "beta": predictor.result.fitted_law.beta,
+        },
+    }
+
+
+def apply_ingest(predictor: FoldInPredictor, payload, journal=None):
+    """Parse + apply one ingest body; returns ``(world, delta)``.
+
+    Split out of :func:`ingest_payload` because the multi-process front
+    end needs the delta itself after applying -- its ``label_users``
+    set rides along with the :meth:`WorldStore.publish` so readers can
+    invalidate surgically.
+    """
+    from repro.data.delta import WorldDelta
+
+    payload = require_object(payload)
+    delta = WorldDelta.from_payload(
+        payload, gazetteer=predictor.world.gazetteer
+    )
+    if journal is not None:
+        from repro.data.journal import journaled_ingest
+
+        world = journaled_ingest(predictor, journal, delta)
+    else:
+        world = predictor.refresh(delta)
+    return world, delta
+
+
+def ingest_response(predictor: FoldInPredictor, world, journal=None) -> dict:
+    """The ``POST /ingest`` response body for an applied delta."""
+    record = world.delta_log[-1]
+    response = {
+        "artifact_id": predictor.artifact_id,
+        "world_hash": world.content_hash,
+        "generation": world.generation,
+        "users": world.n_users,
+        "following": world.n_following,
+        "tweeting": world.n_tweeting,
+        "applied": {
+            "new_users": record.n_new_users,
+            "edges": record.n_edges,
+            "tweets": record.n_tweets,
+            "label_updates": record.n_label_updates,
+            "touched_users": int(record.touched_users.size),
+        },
+        "cache": predictor.cache.stats(),
+    }
+    if journal is not None:
+        response["journal"] = journal.stats()
+    return response
+
+
+def ingest_payload(
+    predictor: FoldInPredictor, payload, journal=None
+) -> dict:
+    """``POST /ingest``: splice one delta into the served world."""
+    world, _ = apply_ingest(predictor, payload, journal=journal)
+    return ingest_response(predictor, world, journal=journal)
+
+
+def threaded_serving_block() -> dict:
+    """The ``serving`` healthz block of the single-process server."""
+    return {
+        "mode": "threaded",
+        "workers": 0,
+        "coalesce_ms": None,
+        "store": None,
+        "worker_info": [],
+    }
+
+
+def healthz_payload(
+    predictor: FoldInPredictor,
+    journal=None,
+    trace_buffer=None,
+    started_unix=None,
+    serving=None,
+) -> dict:
+    """``GET /healthz``: liveness plus stable per-subsystem blocks.
+
+    ``serving`` describes the process topology -- the threaded server
+    passes :func:`threaded_serving_block`, the multi-process front end
+    its worker-pool snapshot (mode/workers/coalesce_ms/store/
+    worker_info).  The key is always present.
+    """
+    world = predictor.world
+    return {
+        "status": "ok",
+        "artifact": {"id": predictor.artifact_id},
+        "world": {
+            "users": world.n_users,
+            "generation": world.generation,
+            "following": world.n_following,
+            "tweeting": world.n_tweeting,
+            "hash": world.content_hash,
+        },
+        "cache": predictor.cache.stats(),
+        "journal": journal.stats() if journal is not None else None,
+        "metrics": {
+            "uptime_seconds": (
+                round(time.time() - started_unix, 3) if started_unix else None
+            ),
+            "requests_total": HTTP_REQUESTS.total(),
+            "errors_total": HTTP_ERRORS.total(),
+            "inflight": HTTP_INFLIGHT.value,
+            "solves_total": predictor.solve_count,
+            "traces": (
+                trace_buffer.stats() if trace_buffer is not None else None
+            ),
+        },
+        "serving": serving if serving is not None else threaded_serving_block(),
+    }
 
 
 def make_server(

@@ -190,7 +190,10 @@ class TestMetricsEndpoint:
 class TestHealthzSchema:
     """Regression contract: the top-level payload shape is stable."""
 
-    TOP_LEVEL = {"status", "artifact", "world", "cache", "journal", "metrics"}
+    TOP_LEVEL = {
+        "status", "artifact", "world", "cache", "journal", "metrics",
+        "serving",
+    }
 
     def test_top_level_keys_exact(self, base_url):
         status, payload = _get_json(f"{base_url}/healthz")
@@ -222,6 +225,13 @@ class TestHealthzSchema:
         assert metrics["uptime_seconds"] >= 0.0
         assert metrics["inflight"] >= 1  # this very request
         assert metrics["traces"]["captured"] >= 1
+        serving = payload["serving"]
+        assert set(serving) == {
+            "mode", "workers", "coalesce_ms", "store", "worker_info",
+        }
+        assert serving["mode"] == "threaded"
+        assert serving["workers"] == 0
+        assert serving["worker_info"] == []
 
     def test_payload_is_json_serializable_roundtrip(self, base_url):
         _, payload = _get_json(f"{base_url}/healthz")

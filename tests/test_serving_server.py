@@ -523,3 +523,55 @@ class TestIngest:
             _get(f"{url}/ingest")
         assert excinfo.value.code == 405
         assert excinfo.value.headers["Allow"] == "POST"
+
+
+class TestGracefulDrain:
+    """SIGTERM-path regression: drain() finishes in-flight requests."""
+
+    def test_drain_waits_for_slow_inflight_request(
+        self, predictor, monkeypatch
+    ):
+        import time
+
+        server = make_server(predictor, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        original = predictor.explain_edge
+
+        def slow_explain(*args, **kwargs):
+            time.sleep(0.6)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(predictor, "explain_edge", slow_explain)
+        outcome = {}
+
+        def fire():
+            outcome["response"] = _post(
+                f"{url}/explain-edge",
+                {"user": {"user_id": 3}, "neighbor": 7},
+            )
+
+        request_thread = threading.Thread(target=fire)
+        request_thread.start()
+        time.sleep(0.15)  # in flight, sleeping inside the handler
+        drained = server.drain(deadline_seconds=10.0)
+        request_thread.join(timeout=15)
+        thread.join(timeout=5)
+        assert drained is True
+        status, payload = outcome["response"]
+        assert status == 200
+        assert payload["neighbor"] == 7
+        # The listener is closed: new connections are refused.
+        with pytest.raises(
+            (urllib.error.URLError, ConnectionError, OSError)
+        ):
+            urllib.request.urlopen(f"{url}/healthz", timeout=2)
+
+    def test_drain_reports_idle_immediately_when_quiet(self, predictor):
+        server = make_server(predictor, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        assert server.drain(deadline_seconds=2.0) is True
+        thread.join(timeout=5)

@@ -53,6 +53,30 @@ DEFAULT_RUN = REPO_ROOT / "benchmarks" / "results" / "bench_run.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "baseline.json"
 
 
+def merge_run_entry(entry: dict, run_path: Path = DEFAULT_RUN) -> Path:
+    """Merge one timing entry into the bench run journal in place.
+
+    Out-of-band harnesses (``tools/loadgen.py --compare-workers``)
+    call this so their measurements sit in ``bench_run.json`` next to
+    the pytest bench suite's and are gateable by the same baseline
+    checks.  An existing entry with the same ``name`` is replaced, not
+    duplicated; a missing run file is created with a bare skeleton.
+    """
+    try:
+        run = json.loads(run_path.read_text())
+    except FileNotFoundError:
+        run = {"exit_status": 0, "entries": []}
+    run["entries"] = [
+        existing
+        for existing in run.get("entries", [])
+        if existing.get("name") != entry.get("name")
+    ]
+    run["entries"].append(entry)
+    run_path.parent.mkdir(parents=True, exist_ok=True)
+    run_path.write_text(json.dumps(run, indent=2) + "\n")
+    return run_path
+
+
 def matching_entries(entries: list[dict], match: dict) -> list[dict]:
     """Journal entries whose fields equal every ``match`` item."""
     return [

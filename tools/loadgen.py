@@ -22,6 +22,20 @@ Usage::
     # Self-contained smoke (builds a tiny artifact, serves in-process):
     PYTHONPATH=src python tools/loadgen.py --smoke
 
+    # Same, but through the multi-process topology (store + forked
+    # workers + coalescing front end):
+    PYTHONPATH=src python tools/loadgen.py --smoke --workers 2
+
+    # Head-to-head worker scaling; merges a ``loadgen_worker_scaling``
+    # entry (with ``rps_ratio``) into bench_run.json for bench_gate:
+    PYTHONPATH=src python tools/loadgen.py --smoke --compare-workers 1,4
+
+``--spec-mode unique`` sends every predict request with a fresh random
+evidence spec (explicit friends/venues) instead of replaying known
+users, defeating the LRU cache so posterior solves dominate the served
+work.  Replayed traffic measures the HTTP plane; unique traffic
+measures solve throughput, which is what extra worker processes scale.
+
 Exit status is non-zero when the error rate exceeds ``--max-error-rate``
 (default 1%), so CI can gate on it.
 """
@@ -42,6 +56,7 @@ from pathlib import Path
 import numpy as np
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+TOOLS_DIR = Path(__file__).resolve().parent
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -72,6 +87,15 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         default=0.05,
         help="fraction of arrivals that POST /ingest instead of "
         "/predict-home (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--spec-mode",
+        choices=("replay", "unique"),
+        default=None,
+        help="predict workload: 'replay' known users (cache-friendly) "
+        "or 'unique' random evidence specs (cache-busting; solves "
+        "dominate).  Defaults to replay, or unique under "
+        "--compare-workers.",
     )
     parser.add_argument(
         "--seed",
@@ -121,6 +145,30 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         default=120,
         help="world size for --smoke (default: %(default)s)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="for --smoke: serve through the multi-process topology "
+        "with N forked workers (0 = threaded server; default: "
+        "%(default)s)",
+    )
+    parser.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing window for --workers > 0 "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--compare-workers",
+        default=None,
+        metavar="N,M[,...]",
+        help="run the smoke load once per worker count (0 = threaded), "
+        "report each, and merge a loadgen_worker_scaling entry with "
+        "rps_ratio (last vs first count) into bench_run.json "
+        "(implies --smoke; e.g. --compare-workers 1,4)",
+    )
     return parser.parse_args(argv)
 
 
@@ -163,6 +211,32 @@ def _request(
     return status, time.perf_counter() - t0
 
 
+def build_predict_specs(
+    spec_mode: str,
+    n_requests: int,
+    n_users: int,
+    n_venues: int,
+    rng: np.random.Generator,
+) -> list[dict]:
+    """One predict-home user entry per arrival, drawn deterministically.
+
+    ``replay`` re-asks about known users (the cache answers most of
+    them); ``unique`` fabricates a fresh evidence spec each time so
+    every request costs a posterior solve.
+    """
+    specs: list[dict] = []
+    for _ in range(n_requests):
+        if spec_mode == "unique":
+            k = int(rng.integers(3, 9))
+            spec = {"friends": rng.integers(0, n_users, size=k).tolist()}
+            if n_venues:
+                spec["venues"] = rng.integers(0, n_venues, size=2).tolist()
+            specs.append(spec)
+        else:
+            specs.append({"user_id": int(rng.integers(0, n_users))})
+    return specs
+
+
 def run_load(
     base_url: str,
     rate: float,
@@ -171,6 +245,7 @@ def run_load(
     seed: int,
     max_inflight: int,
     timeout: float,
+    spec_mode: str = "replay",
 ) -> dict:
     """Drive the open-loop schedule; returns the summary dict."""
     rng = np.random.default_rng(seed)
@@ -181,17 +256,20 @@ def run_load(
             "is the server running?"
         )
     n_users = int(artifact["users"])
+    n_venues = int(artifact.get("venues", 0))
 
     arrivals = poisson_arrivals(rate, duration, rng)
     kinds = rng.random(arrivals.size) < ingest_fraction
-    user_ids = rng.integers(0, n_users, size=arrivals.size)
+    specs = build_predict_specs(
+        spec_mode, arrivals.size, n_users, n_venues, rng
+    )
 
     results: list[tuple[str, int, float]] = []
     results_lock = threading.Lock()
     inflight = threading.Semaphore(max_inflight)
     threads: list[threading.Thread] = []
 
-    def fire(kind: str, user_id: int) -> None:
+    def fire(kind: str, spec: dict) -> None:
         try:
             if kind == "ingest":
                 status, latency = _request(
@@ -199,9 +277,7 @@ def run_load(
                 )
             else:
                 status, latency = _request(
-                    f"{base_url}/predict-home",
-                    {"users": [{"user_id": user_id}]},
-                    timeout,
+                    f"{base_url}/predict-home", {"users": [spec]}, timeout
                 )
             with results_lock:
                 results.append((kind, status, latency))
@@ -209,24 +285,24 @@ def run_load(
             inflight.release()
 
     start = time.perf_counter()
-    for offset, is_ingest, user_id in zip(
-        arrivals.tolist(), kinds.tolist(), user_ids.tolist()
+    for offset, is_ingest, spec in zip(
+        arrivals.tolist(), kinds.tolist(), specs
     ):
         now = time.perf_counter() - start
         if offset > now:
             time.sleep(offset - now)
         inflight.acquire()
         kind = "ingest" if is_ingest else "predict"
-        thread = threading.Thread(
-            target=fire, args=(kind, int(user_id)), daemon=True
-        )
+        thread = threading.Thread(target=fire, args=(kind, spec), daemon=True)
         thread.start()
         threads.append(thread)
     for thread in threads:
         thread.join(timeout=timeout + 5)
     elapsed = time.perf_counter() - start
 
-    return summarize(results, offered=arrivals.size, elapsed=elapsed)
+    summary = summarize(results, offered=arrivals.size, elapsed=elapsed)
+    summary["spec_mode"] = spec_mode
+    return summary
 
 
 def _get_json(url: str, timeout: float) -> tuple[int, dict, float]:
@@ -305,13 +381,11 @@ def append_trajectory(summary: dict, label: str) -> Path:
     return path
 
 
-def run_smoke(args: argparse.Namespace) -> dict:
-    """Fit a tiny artifact, serve it in-process, and drive a short load."""
+def _fit_smoke_result(args: argparse.Namespace):
+    """Fit the tiny smoke artifact once; reused across compared configs."""
     from repro.core.model import MLPModel
     from repro.core.params import MLPParams
     from repro.data.generator import SyntheticWorldConfig, generate_world
-    from repro.serving.foldin import FoldInPredictor
-    from repro.serving.server import make_server
 
     world = generate_world(
         SyntheticWorldConfig(n_users=args.smoke_users, seed=7)
@@ -323,29 +397,188 @@ def run_smoke(args: argparse.Namespace) -> dict:
         engine="vectorized",
         track_edge_assignments=False,
     )
-    result = MLPModel(params).fit(world)
-    predictor = FoldInPredictor(result, artifact_id="loadgen-smoke")
+    return MLPModel(params).fit(world)
+
+
+def _serve_threaded(predictor):
+    """Stand up the threaded server; returns (base_url, stop_callable)."""
+    from repro.serving.server import make_server
+
     server = make_server(predictor, host="127.0.0.1", port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
+
+    def stop() -> None:
+        server.shutdown()
+        server.server_close()
+
+    return f"http://{host}:{port}", stop
+
+
+def _serve_multiprocess(predictor, workers: int, coalesce_ms: float):
+    """Stand up store + worker pool + coalescing front end in-process."""
+    import shutil
+    import tempfile
+
+    from repro.serving.frontend import FrontendThread, make_frontend
+    from repro.serving.store import WorldStore
+
+    store_dir = tempfile.mkdtemp(prefix="loadgen-store-")
+    store = WorldStore(store_dir, predictor.world.gazetteer)
+    frontend = make_frontend(
+        predictor,
+        store,
+        n_workers=workers,
+        port=0,
+        coalesce_ms=coalesce_ms,
+    )
+    thread = FrontendThread(frontend).start()
+
+    def stop() -> None:
+        try:
+            thread.stop()
+        finally:
+            store.close()
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    return f"http://127.0.0.1:{thread.port}", stop
+
+
+def run_smoke(args: argparse.Namespace, result=None) -> dict:
+    """Fit a tiny artifact, serve it in-process, and drive a short load."""
+    from repro.serving.foldin import FoldInPredictor
+
+    if result is None:
+        result = _fit_smoke_result(args)
+    # A fresh predictor per run: ingests advance the served world, and
+    # compared configs must all start from the same generation 0.
+    predictor = FoldInPredictor(result, artifact_id="loadgen-smoke")
+    if args.workers > 0:
+        base_url, stop = _serve_multiprocess(
+            predictor, args.workers, args.coalesce_ms
+        )
+    else:
+        base_url, stop = _serve_threaded(predictor)
     try:
         return run_load(
-            base_url=f"http://{host}:{port}",
+            base_url=base_url,
             rate=args.rate,
             duration=args.duration,
             ingest_fraction=args.ingest_fraction,
             seed=args.seed,
             max_inflight=args.max_inflight,
             timeout=args.timeout,
+            spec_mode=args.spec_mode,
         )
     finally:
-        server.shutdown()
-        server.server_close()
+        stop()
+
+
+def _annotate(summary: dict, args: argparse.Namespace) -> dict:
+    summary["rate"] = args.rate
+    summary["ingest_fraction"] = args.ingest_fraction
+    summary["seed"] = args.seed
+    summary["workers"] = args.workers
+    summary["coalesce_ms"] = args.coalesce_ms if args.workers > 0 else None
+    return summary
+
+
+def run_compare(args: argparse.Namespace, counts: list[int]) -> int:
+    """Drive the identical smoke load once per worker count.
+
+    Fits one artifact, serves it per config (0 = threaded, N = that
+    many forked workers), and merges a ``loadgen_worker_scaling``
+    timing entry -- carrying ``rps_ratio`` of the last count over the
+    first -- into ``bench_run.json`` so ``make bench-gate`` can hold a
+    multi-worker throughput floor (env-gated on ``LOADGEN_SCALE``).
+    """
+    sys.path.insert(0, str(TOOLS_DIR))
+    from bench_gate import DEFAULT_RUN, merge_run_entry
+
+    result = _fit_smoke_result(args)
+    summaries: dict[int, dict] = {}
+    worst_error_rate = 0.0
+    for workers in counts:
+        per_run = argparse.Namespace(**vars(args))
+        per_run.workers = workers
+        summary = _annotate(run_smoke(per_run, result=result), per_run)
+        summaries[workers] = summary
+        worst_error_rate = max(worst_error_rate, summary["error_rate"])
+        mode = "threaded" if workers == 0 else f"{workers} workers"
+        print(
+            f"[loadgen] {mode}: {summary['rps']} rps, "
+            f"p50 {summary.get('p50_ms', '?')} ms, "
+            f"p99 {summary.get('p99_ms', '?')} ms, "
+            f"errors {summary['errors']}",
+            file=sys.stderr,
+        )
+        if not args.no_journal:
+            append_trajectory(summary, f"{args.label}_w{workers}")
+    base, top = counts[0], counts[-1]
+    ratio = (
+        summaries[top]["rps"] / summaries[base]["rps"]
+        if summaries[base]["rps"]
+        else 0.0
+    )
+    entry = {
+        "kind": "timing",
+        "name": "loadgen_worker_scaling",
+        "workers": counts,
+        "rps": {str(n): summaries[n]["rps"] for n in counts},
+        "p99_ms": {str(n): summaries[n].get("p99_ms") for n in counts},
+        "rps_ratio": round(ratio, 3),
+        "spec_mode": args.spec_mode,
+        "rate": args.rate,
+        "duration": args.duration,
+        "ingest_fraction": args.ingest_fraction,
+        "coalesce_ms": args.coalesce_ms,
+        "seed": args.seed,
+    }
+    print(json.dumps(entry, indent=2))
+    if not args.no_journal:
+        path = merge_run_entry(entry, DEFAULT_RUN)
+        print(f"[loadgen] merged scaling entry into {path}", file=sys.stderr)
+    if worst_error_rate > args.max_error_rate:
+        print(
+            f"[loadgen] error rate {worst_error_rate:.3f} exceeds "
+            f"--max-error-rate {args.max_error_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(argv)
+    if args.compare_workers is not None:
+        args.smoke = True
+        try:
+            counts = [int(part) for part in args.compare_workers.split(",")]
+        except ValueError:
+            print(
+                f"[loadgen] bad --compare-workers {args.compare_workers!r}; "
+                "expected comma-separated integers like 1,4",
+                file=sys.stderr,
+            )
+            return 2
+        if len(counts) < 2:
+            print(
+                "[loadgen] --compare-workers needs at least two counts",
+                file=sys.stderr,
+            )
+            return 2
+        # Scaling is about solve throughput, so bust the cache and
+        # offer more load than one worker can absorb.
+        if args.spec_mode is None:
+            args.spec_mode = "unique"
+        if args.rate == 100.0:
+            args.rate = 400.0
+        if args.duration == 10.0:
+            args.duration = 4.0
+        return run_compare(args, counts)
+    if args.spec_mode is None:
+        args.spec_mode = "replay"
     if args.smoke:
         # Short, self-contained, CI-friendly defaults unless overridden.
         if args.rate == 100.0:
@@ -362,10 +595,9 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             max_inflight=args.max_inflight,
             timeout=args.timeout,
+            spec_mode=args.spec_mode,
         )
-    summary["rate"] = args.rate
-    summary["ingest_fraction"] = args.ingest_fraction
-    summary["seed"] = args.seed
+    _annotate(summary, args)
     print(json.dumps(summary, indent=2))
     if not args.no_journal:
         path = append_trajectory(summary, args.label)
