@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-large bench-gate loadgen-smoke loadgen-scale docs-check lint all
+.PHONY: test bench-smoke bench-large bench-gate loadgen-smoke loadgen-scale docs-check link-check lint all
 
 all: docs-check test
 
@@ -22,7 +22,7 @@ bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m pytest bench_components.py bench_serving.py \
 		bench_batch_foldin.py bench_columnar.py bench_delta.py \
-		bench_journal.py bench_obs.py bench_scaling.py -q
+		bench_journal.py bench_obs.py bench_query.py bench_scaling.py -q
 
 ## large-world scaling points (minutes + gigabytes): 50k partitioned
 ## head-to-head, 500k partitioned fit, 1M generate+compile -- then the
@@ -32,7 +32,7 @@ bench-large:
 		PYTHONPATH=../src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m pytest bench_components.py bench_serving.py \
 		bench_batch_foldin.py bench_columnar.py bench_delta.py \
-		bench_journal.py bench_obs.py bench_scaling.py -q
+		bench_journal.py bench_obs.py bench_query.py bench_scaling.py -q
 	BENCH_LARGE=1 $(PYTHON) tools/bench_gate.py
 
 ## short open-loop load runs against an in-process server -- once
@@ -57,9 +57,13 @@ loadgen-scale:
 bench-gate:
 	$(PYTHON) tools/bench_gate.py
 
-## fail if any public module lacks a module docstring
+## fail if any public module or public function lacks a docstring
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+## fail on broken relative links / anchors across README.md and docs/
+link-check:
+	$(PYTHON) tools/link_check.py
 
 ## ruff lint + format check (config in ruff.toml; formatting is adopted
 ## incrementally -- see the [format] exclude list there)

@@ -17,16 +17,19 @@ from repro.experiments import ablations
 
 @pytest.fixture(scope="module")
 def ablation_world():
+    """Shared mid-size world for the ablation benchmarks."""
     return generate_world(SyntheticWorldConfig(n_users=500, seed=17))
 
 
 @pytest.fixture(scope="module")
 def ablation_split(ablation_world):
+    """Single holdout split over the ablation world."""
     return single_holdout_split(ablation_world, 0.2, seed=0)
 
 
 @pytest.fixture(scope="module")
 def ablation_params():
+    """Baseline MLP parameters the ablations vary."""
     return MLPParams(
         n_iterations=22, burn_in=9, seed=0, track_edge_assignments=False
     )

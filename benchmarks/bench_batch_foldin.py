@@ -55,6 +55,7 @@ GOLDEN_SAMPLE = 100
 
 @pytest.fixture(scope="module")
 def fitted():
+    """Fitted artifact shared by the fold-in benchmarks."""
     world = generate_columnar_world(BATCH_WORLD, shards=4)
     result = MLPModel(BATCH_PARAMS).fit(world)
     return world, result

@@ -39,11 +39,13 @@ MEDIUM_PARAMS = MLPParams(n_iterations=4, burn_in=0, seed=1, rho_f=0.35)
 
 @pytest.fixture(scope="module")
 def bench_world():
+    """Small world for component micro-benchmarks."""
     return generate_world(SyntheticWorldConfig(n_users=400, seed=3))
 
 
 @pytest.fixture(scope="module")
 def medium_world():
+    """Mid-size world for the heavier component benches."""
     return generate_world(MEDIUM_WORLD)
 
 

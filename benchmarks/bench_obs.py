@@ -50,6 +50,7 @@ REPEATS = 5
 
 @pytest.fixture(scope="module")
 def obs_predictor():
+    """Fold-in predictor serving the overhead measurements."""
     world = generate_columnar_world(OBS_WORLD, shards=4)
     result = MLPModel(OBS_PARAMS).fit(world)
     predictor = FoldInPredictor(result, artifact_id="bench-obs")

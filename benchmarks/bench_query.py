@@ -1,0 +1,178 @@
+"""Prediction-index maintenance benchmark: refresh vs full rebuild at 50k.
+
+The query layer's acceptance contract (ISSUE 10 / ROADMAP): after an
+ingest delta on the 50k-user population shape, the **incremental**
+index refresh (re-score only touched users, merge over retained rows)
+must beat a from-scratch ``PredictionIndex.build`` by **at least 5x**
+-- and the refreshed index must be *bit-identical* to the rebuild, so
+the speedup provably does not buy a different answer.  The golden gate
+runs before any timing, exactly like ``bench_delta.py``.
+
+Also journaled (never gated -- wall-clock is machine-dependent): the
+initial index build time and per-route query latencies over the 50k
+index, the numbers capacity planning reads.
+
+Everything lands in ``benchmarks/results/bench_run.json``; the
+``refresh_over_rebuild`` ratio is floor-checked by the committed
+baseline (``tools/bench_gate.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.model import MLPModel
+from repro.core.params import MLPParams
+from repro.data.delta import WorldDelta
+from repro.data.generator import SyntheticWorldConfig, generate_columnar_world
+from repro.query import PredictionIndex, QueryService
+from repro.serving.foldin import FoldInPredictor
+
+#: The acceptance shape: 50k users in the sharded generator's sparse
+#: configuration (same world as bench_columnar.py / bench_delta.py).
+QUERY_USERS = 50_000
+QUERY_SHARDS = 8
+QUERY_SEED = 1
+
+#: Short fit -- the index projects the posterior, it does not care how
+#: converged it is (same tradeoff as bench_columnar's end-to-end fit).
+QUERY_PARAMS = MLPParams(
+    n_iterations=2,
+    burn_in=1,
+    seed=0,
+    engine="vectorized",
+    track_edge_assignments=False,
+)
+
+#: Arrival fraction per delta: 0.1% of the population.
+ARRIVAL_FRACTION = 0.001
+
+TIMING_ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    """50k-user fitted predictor shared by the query benches."""
+    world = generate_columnar_world(
+        SyntheticWorldConfig(
+            n_users=QUERY_USERS,
+            seed=QUERY_SEED,
+            mean_friends=3.0,
+            mean_venues=4.0,
+        ),
+        shards=QUERY_SHARDS,
+    )
+    result = MLPModel(QUERY_PARAMS).fit(world)
+    return FoldInPredictor(result, artifact_id="bench-query")
+
+
+def _arrival_delta(predictor, rng) -> WorldDelta:
+    """0.1% arrivals with edges into the existing population."""
+    n = predictor.world.n_users
+    n_new = max(1, int(n * ARRIVAL_FRACTION))
+    new_ids = np.arange(n, n + n_new)
+    new_users = [
+        int(rng.integers(predictor.n_locations)) if rng.random() < 0.8
+        else None
+        for _ in range(n_new)
+    ]
+    src = np.repeat(new_ids, 3)
+    dst = rng.integers(0, n, size=src.size)
+    keep = src != dst
+    tweet_user = np.repeat(new_ids, 4)
+    tweet_venue = rng.integers(0, predictor.n_venues, size=tweet_user.size)
+    return WorldDelta(
+        new_users=new_users,
+        edges=list(zip(src[keep].tolist(), dst[keep].tolist())),
+        tweets=list(zip(tweet_user.tolist(), tweet_venue.tolist())),
+    )
+
+
+def test_bench_index_refresh_vs_rebuild(predictor, journal):
+    """Golden-gated speed claim: refresh >= 5x over full rebuild."""
+    start = time.perf_counter()
+    index = PredictionIndex.build(predictor)
+    initial_s = time.perf_counter() - start
+    rng = np.random.default_rng(7)
+    predictor.refresh(_arrival_delta(predictor, rng))
+
+    # Bit-identity gate before any timing: a refresh that drifted from
+    # the from-scratch rebuild must fail here, never win the ratio.
+    refreshed = index.refreshed(predictor)
+    rebuilt = PredictionIndex.build(predictor)
+    assert refreshed.generation == predictor.world.generation
+    assert refreshed.same_projection(rebuilt), (
+        "refreshed index differs from a from-scratch rebuild"
+    )
+
+    refresh_times: list[float] = []
+    rebuild_times: list[float] = []
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        index.refreshed(predictor)
+        refresh_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        PredictionIndex.build(predictor)
+        rebuild_times.append(time.perf_counter() - start)
+    refresh_s = statistics.median(refresh_times)
+    rebuild_s = statistics.median(rebuild_times)
+    ratio = rebuild_s / refresh_s
+    journal(
+        "timing",
+        name="query_index_refresh",
+        users=predictor.world.n_users,
+        indexed_users=len(rebuilt),
+        arrivals=predictor.world.n_users - QUERY_USERS,
+        initial_build_ms=round(initial_s * 1000, 3),
+        refresh_ms=round(refresh_s * 1000, 3),
+        rebuild_ms=round(rebuild_s * 1000, 3),
+        refresh_over_rebuild=round(ratio, 2),
+    )
+    print(
+        f"\n[query] refresh {refresh_s * 1000:.1f} ms vs rebuild "
+        f"{rebuild_s * 1000:.1f} ms on {len(rebuilt)} indexed users: "
+        f"{ratio:.1f}x"
+    )
+    assert ratio >= 5.0, (
+        f"incremental refresh only {ratio:.1f}x faster than a full "
+        f"rebuild ({refresh_s * 1000:.1f} ms vs {rebuild_s * 1000:.1f} ms)"
+    )
+
+
+def test_bench_query_latency(predictor, journal):
+    """Per-route answer latency over the 50k index (journal only)."""
+    service = QueryService(predictor)
+    targets = [
+        ("radius", "/query/radius", "radius=500&lat=40&lon=-95&limit=100"),
+        ("top_cities", "/query/top-cities", "k=25"),
+        (
+            "venue_residents",
+            "/query/venue-residents",
+            "venue_id=0&limit=100",
+        ),
+        ("aggregate", "/query/aggregate", "by=state"),
+    ]
+    service.answer("/query/top-cities", "")  # pay the lazy build once
+    latencies = {}
+    for kind, route, query in targets:
+        times = []
+        for _ in range(5):
+            start = time.perf_counter()
+            service.answer(route, query)
+            times.append(time.perf_counter() - start)
+        latencies[kind] = round(statistics.median(times) * 1000, 3)
+    journal(
+        "timing",
+        name="query_route_latency",
+        users=predictor.world.n_users,
+        indexed_users=len(service.current_index()),
+        **{f"{kind}_ms": ms for kind, ms in latencies.items()},
+    )
+    print(f"\n[query] route latencies (ms): {latencies}")
+    # Array scans over a 50k projection: anything near a second means
+    # the index degenerated into per-user work.
+    assert max(latencies.values()) < 1000

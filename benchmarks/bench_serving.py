@@ -44,12 +44,14 @@ N_REQUEST_USERS = 60
 
 @pytest.fixture(scope="module")
 def fitted_result():
+    """Fitted model shared by the serving benchmarks."""
     dataset = generate_world(SERVING_WORLD)
     return MLPModel(SERVING_PARAMS).fit(dataset)
 
 
 @pytest.fixture(scope="module")
 def artifact_path(fitted_result, tmp_path_factory):
+    """Saved .mlp.npz artifact path."""
     path = tmp_path_factory.mktemp("serving") / "model.mlp.npz"
     save_result(fitted_result, path)
     return path
@@ -57,6 +59,7 @@ def artifact_path(fitted_result, tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def predictor(artifact_path):
+    """Fold-in predictor loaded from the saved artifact."""
     return FoldInPredictor(load_result(artifact_path), artifact_id="bench")
 
 

@@ -45,6 +45,7 @@ _JOURNAL: list[dict] = []
 
 
 def bench_config() -> ExperimentConfig:
+    """Benchmark-scale experiment configuration."""
     return ExperimentConfig(
         world=SyntheticWorldConfig(n_users=BENCH_USERS, seed=BENCH_SEED),
         mlp=MLPParams(
@@ -57,11 +58,13 @@ def bench_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def suite() -> ExperimentSuite:
+    """Experiment suite over the benchmark config."""
     return ExperimentSuite(bench_config())
 
 
 @pytest.fixture(scope="session")
 def artifact_dir() -> Path:
+    """Session-scoped directory for benchmark artifacts."""
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
 

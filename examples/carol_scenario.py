@@ -79,6 +79,7 @@ def build_world() -> tuple[Dataset, dict[str, int]]:
 
 
 def main() -> None:
+    """Run the Carol walkthrough end to end."""
     dataset, cast = build_world()
     gaz = dataset.gazetteer
     result = MLPModel(MLPParams(n_iterations=24, burn_in=10, seed=1)).fit(dataset)

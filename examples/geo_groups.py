@@ -12,6 +12,7 @@ from repro import MLPModel, MLPParams, SyntheticWorldConfig, generate_world
 
 
 def main() -> None:
+    """Demo: group a user's followers into geo groups."""
     dataset = generate_world(SyntheticWorldConfig(n_users=500, seed=19))
     gaz = dataset.gazetteer
 

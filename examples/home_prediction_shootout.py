@@ -17,6 +17,7 @@ from repro.experiments import figures, report, tables
 
 
 def main(n_users: int = 600) -> None:
+    """Run the five-method shootout on a synthetic world."""
     dataset = generate_world(SyntheticWorldConfig(n_users=n_users, seed=11))
     print(f"world: {dataset}\n")
 

@@ -18,6 +18,7 @@ from repro.data.model import Dataset
 
 
 def main() -> None:
+    """Fit a world and print convergence diagnostics."""
     world = generate_world(SyntheticWorldConfig(n_users=400, seed=31))
 
     # Hold out 10% of each relationship type before fitting.

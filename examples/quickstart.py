@@ -8,6 +8,7 @@ from repro.data.stats import compute_stats
 
 
 def main() -> None:
+    """Minimal fit-and-predict walkthrough."""
     # 1. A synthetic Twitter world with known ground truth (the crawl
     #    substitution described in DESIGN.md): users with 1-3 true
     #    locations, power-law-local following edges, venue tweets.

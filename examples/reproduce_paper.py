@@ -17,6 +17,7 @@ from repro.experiments.runner import ExperimentSuite
 
 
 def main(n_users: int = 900) -> None:
+    """Regenerate the paper's tables and figures at small scale."""
     start = time.time()
     suite = ExperimentSuite(default_config(n_users=n_users, seed=11))
     print(f"corpus: {suite.dataset}")

@@ -55,6 +55,7 @@ class ChengBaseline:
         self.config = config or ChengConfig()
 
     def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Rank cities for every user from local-word tweet content."""
         cfg = self.config
         n_loc = len(dataset.gazetteer)
         n_venues = len(dataset.gazetteer.venue_vocabulary)

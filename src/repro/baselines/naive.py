@@ -21,6 +21,7 @@ class PopulationPriorBaseline:
     name = "PopPrior"
 
     def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Rank everyone by the globally most observed locations."""
         observed = list(dataset.observed_locations.values())
         if observed:
             counts = np.bincount(observed, minlength=len(dataset.gazetteer))
@@ -52,6 +53,7 @@ class MajorityNeighborBaseline:
         self.n_rounds = n_rounds
 
     def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Vote each user's home from neighbours' labels, iterated."""
         located: dict[int, int] = dict(dataset.observed_locations)
         ranked: list[list[int]] = [[] for _ in range(dataset.n_users)]
         for uid, loc in located.items():

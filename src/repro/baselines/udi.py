@@ -57,6 +57,7 @@ class UnifiedInfluenceBaseline:
         self.config = config or UDIConfig()
 
     def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Rank locations by combined network + content influence."""
         cfg = self.config
         law = self._fit_law(dataset)
         dmat = dataset.gazetteer.distance_matrix

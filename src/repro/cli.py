@@ -613,6 +613,7 @@ def _add_metrics(sub: argparse._SubParsersAction) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argparse tree (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multiple Location Profiling (VLDB 2012 reproduction)",
@@ -629,11 +630,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compact(sub)
     _add_serve(sub)
     _add_metrics(sub)
+    _add_query(sub)
     _add_info(sub)
     return parser
 
 
+def _add_query(sub) -> None:
+    """Register ``repro query`` (tree lives in :mod:`repro.query.cli`)."""
+    from repro.query.cli import add_query_parser
+
+    add_query_parser(sub)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query <kind>``: geo-analytics over predicted homes."""
+    from repro.query.cli import cmd_query as run
+
+    return run(args)
+
+
 def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info``: print version and runtime information as JSON."""
     import platform
 
     import numpy as np
@@ -662,6 +679,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a synthetic world to disk."""
     from repro.data.generator import SyntheticWorldConfig, generate_world
     from repro.data.io import save_dataset
 
@@ -680,6 +698,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: print dataset statistics."""
     from repro.data.io import load_dataset
     from repro.data.stats import compute_stats
 
@@ -689,6 +708,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
+    """``repro fit``: fit the MLP model and print profiles."""
     from repro.core.model import MLPModel
     from repro.core.params import MLPParams
     from repro.data.io import load_dataset
@@ -813,6 +833,7 @@ def _write_bulk_predictions(predictor, requests, gaz, args, out) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    """``repro predict``: offline batch fold-in against an artifact."""
     from repro.serving.foldin import prediction_payload
 
     if args.input is not None and (
@@ -968,6 +989,8 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             # invocation's deltas are re-scored -- and the journal
             # answers the touched window even past DELTA_LOG_LIMIT.
             if applied:
+                from repro.data.delta import StaleWindowError
+
                 try:
                     predictions = score_population(
                         predictor.world,
@@ -976,12 +999,22 @@ def cmd_ingest(args: argparse.Namespace) -> int:
                         since_generation=boot_generation,
                         journal=journal,
                     )
-                except ValueError:
+                except StaleWindowError as exc:
                     # A stream longer than the retained log (or a
                     # window behind the last compaction): the touched
                     # set is gone, so re-score the whole unlabeled
                     # population instead of failing after a successful
-                    # ingest.
+                    # ingest -- but say so, loudly: a silent fallback
+                    # turns "re-scored the delta" into "re-scored the
+                    # world" without anyone noticing the cost or the
+                    # cause (docs/API.md, "Incremental re-scoring
+                    # window").
+                    print(
+                        "warning: incremental re-score window lost "
+                        f"({exc}); falling back to a FULL re-score of "
+                        "the unlabeled population",
+                        file=sys.stderr,
+                    )
                     predictions = score_population(
                         predictor.world, predictor.result, predictor=predictor
                     )
@@ -1067,6 +1100,7 @@ def cmd_compact(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: serve fold-in inference over HTTP."""
     from repro.serving.server import make_server
 
     predictor = _load_predictor(args.artifact, cache_size=args.cache_size)
@@ -1219,6 +1253,7 @@ def _serve_multiprocess(args, predictor, journal, access_log) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics``: dump (or watch) a server's /metrics."""
     import time as _time
     import urllib.error
     import urllib.request
@@ -1253,6 +1288,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``repro evaluate``: five-method home-prediction comparison."""
     from repro.core.params import MLPParams
     from repro.data.io import load_dataset
     from repro.evaluation.methods import standard_methods
@@ -1279,6 +1315,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
+    """``repro reproduce``: regenerate every paper table and figure."""
     from repro.experiments import report
     from repro.experiments.config import default_config
     from repro.experiments.runner import ExperimentSuite
@@ -1326,11 +1363,13 @@ _COMMANDS = {
     "compact": cmd_compact,
     "serve": cmd_serve,
     "metrics": cmd_metrics,
+    "query": cmd_query,
     "info": cmd_info,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: parse argv and dispatch to one command."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

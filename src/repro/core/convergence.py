@@ -31,6 +31,7 @@ class IterationStats:
 
     @property
     def is_post_burn_in(self) -> bool:
+        """True when this sweep recorded a post-burn-in metric."""
         # Set by the trace when appended; iteration index is 0-based.
         return self.metric is not None
 
@@ -42,21 +43,26 @@ class ConvergenceTrace:
     iterations: list[IterationStats] = field(default_factory=list)
 
     def append(self, stats: IterationStats) -> None:
+        """Record one sweep's stats."""
         self.iterations.append(stats)
 
     def __len__(self) -> int:
         return len(self.iterations)
 
     def changed_fractions(self) -> list[float]:
+        """Per-sweep fraction of assignments that changed."""
         return [s.changed_fraction for s in self.iterations]
 
     def noise_following_fractions(self) -> list[float]:
+        """Per-sweep noise fraction among following edges."""
         return [s.noise_following_fraction for s in self.iterations]
 
     def noise_tweeting_fractions(self) -> list[float]:
+        """Per-sweep noise fraction among tweeting edges."""
         return [s.noise_tweeting_fraction for s in self.iterations]
 
     def metrics(self) -> list[float | None]:
+        """Per-sweep held-out metric (None during burn-in)."""
         return [s.metric for s in self.iterations]
 
     def metric_changes(self) -> list[float]:

@@ -35,6 +35,7 @@ class LocationFollowingModel:
     def from_gazetteer(
         cls, gazetteer: Gazetteer, alpha: float, beta: float, min_distance: float
     ) -> "LocationFollowingModel":
+        """Bind an (alpha, beta) law to the gazetteer's distances."""
         return cls(
             law=PowerLaw(alpha=alpha, beta=beta, min_x=min_distance),
             distance_matrix=gazetteer.distance_matrix,
@@ -69,6 +70,7 @@ class RandomFollowingModel:
 
     @classmethod
     def from_dataset(cls, dataset: Dataset) -> "RandomFollowingModel":
+        """Estimate the flat edge probability from a dataset."""
         n = dataset.n_users
         if n == 0:
             raise ValueError("empty dataset")

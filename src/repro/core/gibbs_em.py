@@ -42,6 +42,7 @@ class InferenceRun:
 
     @property
     def final_law(self) -> PowerLaw:
+        """The last (alpha, beta) law accepted by the EM loop."""
         return self.law_history[-1]
 
     def mean_venue_counts(self) -> np.ndarray:

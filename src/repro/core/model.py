@@ -55,6 +55,7 @@ class MLPResult:
         return self.law_history[-1]
 
     def profile_of(self, user_id: int) -> LocationProfile:
+        """The user's inferred location profile."""
         return self.profiles[user_id]
 
     def predicted_home(self, user_id: int) -> int:
@@ -76,6 +77,7 @@ class MLPResult:
         return self.profiles[user_id].top_k(k)
 
     def explanation_of(self, edge_index: int) -> EdgeExplanation:
+        """The (x, y) explanation for one following edge."""
         return self.explanations[edge_index]
 
     def geo_groups(self, user_id: int, radius_miles: float = 100.0) -> dict[int, list[int]]:

@@ -56,6 +56,7 @@ class PackedPriors:
 
     @property
     def total_slots(self) -> int:
+        """Total candidate slots across all users."""
         return int(self.offsets[-1])
 
 
@@ -77,6 +78,7 @@ class UserPriors:
 
     @property
     def n_users(self) -> int:
+        """Number of users covered by the priors."""
         return len(self.candidates)
 
     def candidate_count(self) -> np.ndarray:

@@ -91,6 +91,7 @@ class EdgeExplanation:
     noise_probability: float
 
     def describe(self, gazetteer: Gazetteer) -> str:
+        """One-line description naming the edge's (x, y) cities."""
         return (
             f"u{self.follower} -> u{self.friend}: "
             f"{gazetteer.by_id(self.x).name} ; {gazetteer.by_id(self.y).name}"

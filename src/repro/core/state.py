@@ -34,10 +34,12 @@ class UserLocationCounts:
         self.totals = np.zeros(n_users, dtype=np.float64)
 
     def increment(self, user: int, location: int) -> None:
+        """Add one assignment to ``phi[user, location]``."""
         self.phi[user, location] += 1.0
         self.totals[user] += 1.0
 
     def decrement(self, user: int, location: int) -> None:
+        """Remove one assignment; raises if a count goes negative."""
         self.phi[user, location] -= 1.0
         self.totals[user] -= 1.0
         if self.phi[user, location] < -1e-9:
@@ -83,6 +85,7 @@ class EdgeAssignmentTally:
 
     @property
     def n_samples(self) -> int:
+        """Number of post-burn-in snapshots recorded."""
         return self._samples
 
     def record_iteration(
@@ -226,11 +229,13 @@ class EdgeAssignmentTally:
         return z, count / self._samples
 
     def noise_probability_following(self, edge_index: int) -> float:
+        """Posterior noise probability of one following edge."""
         if self._samples == 0:
             raise ValueError("no samples recorded")
         return float(self._mu_noise[edge_index]) / self._samples
 
     def noise_probability_tweeting(self, edge_index: int) -> float:
+        """Posterior noise probability of one tweeting edge."""
         if self._samples == 0:
             raise ValueError("no samples recorded")
         return float(self._nu_noise[edge_index]) / self._samples

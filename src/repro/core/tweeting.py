@@ -39,13 +39,16 @@ class CollapsedTweetingModel:
 
     @property
     def delta(self) -> float:
+        """The additive smoothing parameter."""
         return self._delta
 
     def increment(self, location: int, venue: int) -> None:
+        """Add one mention to ``phi[location, venue]``."""
         self._phi[location, venue] += 1.0
         self._totals[location] += 1.0
 
     def decrement(self, location: int, venue: int) -> None:
+        """Remove one mention; raises if a count goes negative."""
         self._phi[location, venue] -= 1.0
         self._totals[location] -= 1.0
         if self._phi[location, venue] < -1e-9 or self._totals[location] < -1e-9:
@@ -122,6 +125,7 @@ class RandomTweetingModel:
 
     @classmethod
     def from_dataset(cls, dataset: Dataset) -> "RandomTweetingModel":
+        """Build the noise mention model from dataset counts."""
         return cls._from_counts(dataset.venue_mention_counts)
 
     @classmethod

@@ -394,14 +394,17 @@ class ColumnarWorld:
 
     @property
     def n_following(self) -> int:
+        """Total following edges in the compiled world."""
         return int(self.edge_src.size)
 
     @property
     def n_tweeting(self) -> int:
+        """Total tweeting edges (venue mentions)."""
         return int(self.tweet_user.size)
 
     @property
     def labeled_mask(self) -> np.ndarray:
+        """Boolean mask of users with an observed home."""
         return self.observed_location >= 0
 
     # -- CSR slice accessors ----------------------------------------------

@@ -57,10 +57,27 @@ from repro.data.columnar import ColumnarWorld, expand_csr
 __all__ = [
     "WorldDelta",
     "DeltaRecord",
+    "StaleWindowError",
     "apply_delta",
     "chain_hash",
     "validate_delta",
 ]
+
+
+class StaleWindowError(ValueError):
+    """``since_generation`` reaches past the retained touched-user window.
+
+    Raised by :func:`touched_since` (in-memory ``delta_log``, bounded by
+    :data:`DELTA_LOG_LIMIT`) and by
+    :meth:`repro.data.journal.DeltaJournal.touched_since` (durable, bounded
+    by the last compaction) when the requested window is no longer fully
+    covered.  The only correct recovery is a **full re-score** of the
+    unlabeled population; callers that fall back must do so *loudly*
+    (``repro ingest`` warns on stderr, the query layer counts the event in
+    ``repro_query_index_refreshes_total{kind="full_fallback"}``) -- see
+    docs/API.md ("Incremental re-scoring window").  Subclasses
+    ``ValueError`` so pre-existing broad handlers keep working.
+    """
 
 
 def _as_int_array(values, count: int | None = None) -> np.ndarray:
@@ -139,22 +156,27 @@ class WorldDelta:
 
     @property
     def n_new_users(self) -> int:
+        """Number of arriving users in this delta."""
         return int(self.new_user_labels.size)
 
     @property
     def n_edges(self) -> int:
+        """Number of new following edges."""
         return int(self.edge_src.size)
 
     @property
     def n_tweets(self) -> int:
+        """Number of new venue mentions."""
         return int(self.tweet_user.size)
 
     @property
     def n_label_updates(self) -> int:
+        """Number of label (observed-home) updates."""
         return int(self.label_users.size)
 
     @property
     def is_empty(self) -> bool:
+        """True when the delta carries no changes."""
         return (
             self.n_new_users == 0
             and self.n_edges == 0
@@ -306,8 +328,8 @@ DELTA_LOG_LIMIT = 1024
 def touched_since(world: ColumnarWorld, since_generation: int) -> np.ndarray:
     """Sorted unique users touched by generations > ``since_generation``.
 
-    Raises ``ValueError`` when the requested window reaches past the
-    retained log (older records are compacted away after
+    Raises :class:`StaleWindowError` when the requested window reaches
+    past the retained log (older records are compacted away after
     ``DELTA_LOG_LIMIT`` applies) -- a consumer that far behind must do
     a full re-score, and silently returning the surviving subset would
     hide exactly the users it needs.
@@ -320,7 +342,7 @@ def touched_since(world: ColumnarWorld, since_generation: int) -> np.ndarray:
     log = world.delta_log
     oldest = log[0].generation if log else world.generation + 1
     if since_generation < oldest - 1:
-        raise ValueError(
+        raise StaleWindowError(
             f"delta log only covers generations {oldest}.."
             f"{world.generation}; since_generation={since_generation} "
             "reaches past the retained window -- run a full re-score"
@@ -359,6 +381,7 @@ class _GrowableArena:
         self.view = self.buffer[: values.size]
 
     def append(self, values: np.ndarray) -> np.ndarray:
+        """Append past the prefix, growing the arena as needed."""
         needed = self.length + values.size
         if needed > self.buffer.size:
             grown = np.empty(

@@ -144,6 +144,7 @@ class _WorldBuilder:
     # -- users ------------------------------------------------------------
 
     def sample_users(self) -> list[User]:
+        """Draw the user population with homes and observed labels."""
         cfg = self.config
         users: list[User] = []
         n_loc_choices = self.rng.choice(
@@ -224,6 +225,7 @@ class _WorldBuilder:
     def sample_following(
         self, users: list[User]
     ) -> list[FollowingEdge]:
+        """Draw following edges (distance law + celebrity mix)."""
         cfg = self.config
         mass = self.build_location_mass(users)
         residents, res_weights = self.build_residents(users)
@@ -329,6 +331,7 @@ class _WorldBuilder:
         return psi
 
     def sample_tweeting(self, users: list[User]) -> list[TweetingEdge]:
+        """Draw venue mentions from each user's location mix."""
         cfg = self.config
         edges: list[TweetingEdge] = []
         counts = np.maximum(1, self.rng.poisson(cfg.mean_venues, size=cfg.n_users))
@@ -354,6 +357,7 @@ class _WorldBuilder:
         return edges
 
     def render_tweets(self, tweeting: list[TweetingEdge]) -> list[Tweet]:
+        """Render tweet text containing each mentioned venue's name."""
         texts: list[Tweet] = []
         for t in tweeting:
             template = _TWEET_TEMPLATES[
@@ -497,6 +501,7 @@ class _ShardedArrays:
     # -- phase 1: users ----------------------------------------------------
 
     def sample_users(self) -> None:
+        """Phase 1: draw users shard by shard into columnar arrays."""
         cfg = self.config
         probs = np.array(cfg.n_location_probs)
         count_parts: list[np.ndarray] = []
@@ -591,6 +596,7 @@ class _ShardedArrays:
     # -- phase 2: following edges ------------------------------------------
 
     def sample_following(self):
+        """Phase 2: draw following edges shard by shard."""
         cfg = self.config
         rng_celeb = _shard_rng(cfg.seed, 4, 0)
         ranks = rng_celeb.permutation(cfg.n_users) + 1
@@ -705,6 +711,7 @@ class _ShardedArrays:
         return cached
 
     def sample_tweeting(self):
+        """Phase 3: draw venue mentions shard by shard."""
         cfg = self.config
         user_parts: list[np.ndarray] = []
         venue_parts: list[np.ndarray] = []

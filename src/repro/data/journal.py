@@ -448,15 +448,19 @@ class DeltaJournal:
         :func:`repro.data.delta.touched_since`: answers from the
         journal's index, which covers every generation since the last
         snapshot -- far past the in-memory ``DELTA_LOG_LIMIT`` window.
-        Raises ``ValueError`` only when the window reaches behind the
-        last compaction point.
+        Raises :class:`repro.data.delta.StaleWindowError` only when the
+        window reaches behind the last compaction point (or a recovered
+        journal has no touched index for a requested generation); the
+        recovery in both cases is a full re-score.
         """
+        from repro.data.delta import StaleWindowError
+
         with self.lock:
             since_generation = max(0, int(since_generation))
             if since_generation >= self._generation:
                 return np.empty(0, dtype=np.int64)
             if since_generation < self._floor_generation:
-                raise ValueError(
+                raise StaleWindowError(
                     f"journal covers generations "
                     f"{self._floor_generation + 1}..{self._generation}; "
                     f"since_generation={since_generation} reaches behind "
@@ -466,9 +470,9 @@ class DeltaJournal:
             for gen in range(since_generation + 1, self._generation + 1):
                 arr = self._touched.get(gen)
                 if arr is None:
-                    raise ValueError(
+                    raise StaleWindowError(
                         f"journal has no touched-user index for "
-                        f"generation {gen}"
+                        f"generation {gen} -- run a full re-score"
                     )
                 parts.append(arr)
             return np.unique(np.concatenate(parts))

@@ -44,10 +44,12 @@ class User:
 
     @property
     def is_labeled(self) -> bool:
+        """True when the user has an observed (registered) location."""
         return self.registered_location is not None
 
     @property
     def has_ground_truth(self) -> bool:
+        """True when the generator recorded true homes for the user."""
         return self.true_home is not None
 
     @property
@@ -148,6 +150,7 @@ class Dataset:
 
     @property
     def n_users(self) -> int:
+        """Number of users in the dataset."""
         return len(self.users)
 
     @property
@@ -231,6 +234,7 @@ class Dataset:
         return all(u.has_ground_truth for u in self.users)
 
     def true_home_of(self, user_id: int) -> int:
+        """The user's generator-truth home location id."""
         home = self.users[user_id].true_home
         if home is None:
             raise ValueError(f"user {user_id} has no ground-truth home")

@@ -40,6 +40,7 @@ class DatasetStats:
     candidacy_coverage: float | None
 
     def as_dict(self) -> dict:
+        """JSON-friendly dict of all summary fields."""
         return {
             "users": self.n_users,
             "locations": self.n_locations,

@@ -65,6 +65,7 @@ class UserPartition:
 
     @property
     def n_users(self) -> int:
+        """Users covered by the coloring."""
         return int(self.colors.size)
 
     def block_sizes(self) -> np.ndarray:

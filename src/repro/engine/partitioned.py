@@ -167,6 +167,7 @@ class PartitionedGibbsSampler(VectorizedGibbsSampler):
         return self.partition.n_colors == 1
 
     def initialize(self) -> None:
+        """Reset sampler state; marks packed positions dirty."""
         super().initialize()
         self._ppos_dirty = True
         if self._h_all is not None:

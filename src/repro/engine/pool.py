@@ -117,6 +117,7 @@ class PooledPosterior:
 
     @property
     def n_chains(self) -> int:
+        """Number of chains pooled."""
         return len(self.chains)
 
     def pooled_mean_counts(self) -> np.ndarray:

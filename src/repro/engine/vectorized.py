@@ -80,6 +80,7 @@ class VectorizedGibbsSampler(GibbsSampler):
         self._tl_arena = self.tweeting_model.repack_flat()
 
     def initialize(self) -> None:
+        """Reset sampler state; marks cached positions dirty."""
         super().initialize()
         self._positions_dirty = True
 

@@ -61,6 +61,7 @@ class GroupingScore:
 
     @property
     def pairwise_f1(self) -> float:
+        """Harmonic mean of pairwise precision and recall."""
         p, r = self.pairwise_precision, self.pairwise_recall
         return 0.0 if p + r == 0 else 2 * p * r / (p + r)
 

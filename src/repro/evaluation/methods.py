@@ -51,7 +51,9 @@ class LocationMethod(Protocol):
 
     name: str
 
-    def predict(self, dataset: Dataset) -> MethodPrediction: ...
+    def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Profile every user; return ranked locations per user."""
+        ...
 
 
 class MLPMethod:
@@ -66,6 +68,7 @@ class MLPMethod:
         self.name = name
 
     def predict(self, dataset: Dataset) -> MethodPrediction:
+        """Fit the MLP on the dataset and adapt its result."""
         result = MLPModel(self.params).fit(dataset)
         ranked = [
             [loc for loc, _ in result.profiles[uid].entries]

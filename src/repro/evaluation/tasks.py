@@ -53,9 +53,11 @@ class HomePredictionResult:
     truths: list[int] = field(default_factory=list)
 
     def accuracy_at(self, dataset: Dataset, miles: float = DEFAULT_MILES) -> float:
+        """ACC@miles over the pooled predictions."""
         return accuracy_at(dataset.gazetteer, self.predictions, self.truths, miles)
 
     def aad(self, dataset: Dataset, grid: Iterable[float] = _DEFAULT_GRID):
+        """Average-additional-distance curve over the mile grid."""
         return aad_curve(dataset.gazetteer, self.predictions, self.truths, grid)
 
 
@@ -99,9 +101,11 @@ class MultiLocationResult:
     truths: list[list[int]]
 
     def dp(self, dataset: Dataset, k: int = 2, miles: float = DEFAULT_MILES) -> float:
+        """DP@k: discovered precision at rank k."""
         return dp_at_k(dataset.gazetteer, self.rankings, self.truths, k, miles)
 
     def dr(self, dataset: Dataset, k: int = 2, miles: float = DEFAULT_MILES) -> float:
+        """DR@k: discovered recall at rank k."""
         return dr_at_k(dataset.gazetteer, self.rankings, self.truths, k, miles)
 
 
@@ -156,6 +160,7 @@ class ExplanationTaskResult:
     truth: list[tuple[int, int]]
 
     def accuracy_at(self, dataset: Dataset, miles: float = DEFAULT_MILES) -> float:
+        """Explanation accuracy at the mile threshold."""
         return explanation_accuracy(
             dataset.gazetteer, self.predicted, self.truth, miles
         )
@@ -163,6 +168,7 @@ class ExplanationTaskResult:
     def accuracy_curve(
         self, dataset: Dataset, mile_grid: Iterable[float] = (25, 50, 75, 100)
     ) -> list[tuple[float, float]]:
+        """(miles, accuracy) pairs over the grid."""
         return [
             (float(m), self.accuracy_at(dataset, m)) for m in mile_grid
         ]

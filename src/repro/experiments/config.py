@@ -30,6 +30,7 @@ class ExperimentConfig:
     split_seed: int = 0
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Copy of the config with the given fields replaced."""
         return replace(self, **kwargs)
 
 

@@ -284,6 +284,7 @@ def fig4(
     home_results: dict[str, HomePredictionResult],
     mile_grid: tuple[float, ...] = tuple(float(m) for m in range(0, 150, 10)),
 ) -> Fig4Result:
+    """Fig. 4: ACC@m curves per method over the mile grid."""
     curves = {
         name: tuple(acc for _, acc in result.aad(dataset, mile_grid))
         for name, result in home_results.items()
@@ -333,6 +334,7 @@ def fig5(
 def fig5_from_trace(
     trace: ConvergenceTrace, tolerance: float = 1e-3
 ) -> Fig5Result:
+    """Fig. 5: per-sweep |metric change| from a recorded trace."""
     accuracies = tuple(m for m in trace.metrics() if m is not None)
     changes = tuple(trace.metric_changes())
     return Fig5Result(
@@ -361,6 +363,7 @@ def fig6(
     multi_results: dict[str, MultiLocationResult],
     ranks: tuple[int, ...] = (1, 2, 3),
 ) -> RankSweepResult:
+    """Fig. 6: DP at each rank k per method."""
     values = {
         name: tuple(result.dp(dataset, k) for k in ranks)
         for name, result in multi_results.items()
@@ -373,6 +376,7 @@ def fig7(
     multi_results: dict[str, MultiLocationResult],
     ranks: tuple[int, ...] = (1, 2, 3),
 ) -> RankSweepResult:
+    """Fig. 7: DR at each rank k per method."""
     values = {
         name: tuple(result.dr(dataset, k) for k in ranks)
         for name, result in multi_results.items()
@@ -398,6 +402,7 @@ def fig8(
     explanation_results: dict[str, ExplanationTaskResult],
     mile_grid: tuple[float, ...] = (25.0, 50.0, 75.0, 100.0),
 ) -> Fig8Result:
+    """Fig. 8: explanation accuracy vs mile threshold."""
     curves = {
         name: tuple(result.accuracy_at(dataset, m) for m in mile_grid)
         for name, result in explanation_results.items()

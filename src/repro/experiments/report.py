@@ -15,6 +15,7 @@ def _rule(width: int = 64) -> str:
 
 
 def render_table2(result: tables.Table2Result) -> str:
+    """ASCII rendering of Table 2 (ACC@m per method)."""
     lines = [
         f"Table 2: Home Location Prediction (ACC@{result.miles:.0f})",
         _rule(),
@@ -27,6 +28,7 @@ def render_table2(result: tables.Table2Result) -> str:
 
 
 def render_table3(result: tables.Table3Result) -> str:
+    """ASCII rendering of Table 3 (DP/DR at k per method)."""
     lines = [
         f"Table 3: Multiple Location Discovery (K={result.k}, m={result.miles:.0f})",
         _rule(),
@@ -38,6 +40,7 @@ def render_table3(result: tables.Table3Result) -> str:
 
 
 def render_table4(result: tables.Table4Result) -> str:
+    """ASCII rendering of Table 4 (multi-location case study)."""
     lines = ["Table 4: Case Studies on Multiple Location Discovery", _rule()]
     for row in result.rows:
         lines.append(f"user {row.user_id}:")
@@ -48,6 +51,7 @@ def render_table4(result: tables.Table4Result) -> str:
 
 
 def render_table5(result: tables.Table5Result) -> str:
+    """ASCII rendering of Table 5 (explanation case study)."""
     lines = [
         "Table 5: Case Studies on Relationship Explanation",
         _rule(),
@@ -63,6 +67,7 @@ def render_table5(result: tables.Table5Result) -> str:
 
 
 def render_fig3a(result: figures.Fig3aResult) -> str:
+    """ASCII rendering of Fig. 3a."""
     lines = [
         "Fig 3(a): Following Probabilities versus Distances",
         _rule(),
@@ -90,6 +95,7 @@ def render_fig3a(result: figures.Fig3aResult) -> str:
 
 
 def render_fig3b(result: figures.Fig3bResult) -> str:
+    """ASCII rendering of Fig. 3b."""
     lines = ["Fig 3(b): Tweeting Probabilities of Top Venues", _rule()]
     for city, venues in zip(result.city_names, result.top_venues):
         lines.append(f"at {city}:")
@@ -99,6 +105,7 @@ def render_fig3b(result: figures.Fig3bResult) -> str:
 
 
 def render_fig3c(result: figures.Fig3cResult) -> str:
+    """ASCII rendering of Fig. 3c."""
     lines = [
         "Fig 3(c): Relationships as a Mixture of a User's Locations",
         _rule(),
@@ -117,6 +124,7 @@ def render_fig3c(result: figures.Fig3cResult) -> str:
 
 
 def render_fig4(result: figures.Fig4Result, methods: tuple[str, ...] | None = None) -> str:
+    """ASCII table of the Fig. 4 accuracy curves."""
     names = list(methods) if methods else sorted(result.curves)
     lines = [
         "Fig 4: Accumulative Accuracy at Various Distance",
@@ -141,6 +149,7 @@ def render_fig4(result: figures.Fig4Result, methods: tuple[str, ...] | None = No
 
 
 def render_fig5(result: figures.Fig5Result) -> str:
+    """ASCII rendering of the Fig. 5 convergence series."""
     lines = [
         "Fig 5: Accuracy Change over Iterations",
         _rule(),
@@ -160,6 +169,7 @@ def render_fig5(result: figures.Fig5Result) -> str:
 
 
 def render_rank_sweep(result: figures.RankSweepResult) -> str:
+    """Shared ASCII table for the Fig. 6/7 rank sweeps."""
     fig_no = "6" if result.metric == "DP" else "7"
     names = [n for n in tables.METHOD_ORDER if n in result.values] + sorted(
         n for n in result.values if n not in tables.METHOD_ORDER
@@ -176,6 +186,7 @@ def render_rank_sweep(result: figures.RankSweepResult) -> str:
 
 
 def render_fig8(result: figures.Fig8Result) -> str:
+    """ASCII rendering of the Fig. 8 accuracy curves."""
     names = sorted(result.curves)
     lines = [
         "Fig 8: Relationship Explanation Accuracy at Different Miles",

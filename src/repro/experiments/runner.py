@@ -48,14 +48,17 @@ class ExperimentSuite:
 
     @cached_property
     def dataset(self) -> Dataset:
+        """The synthetic world under experiment."""
         return generate_world(self.config.world)
 
     @cached_property
     def stats(self) -> DatasetStats:
+        """Dataset summary statistics."""
         return compute_stats(self.dataset)
 
     @cached_property
     def splits(self) -> list[LabelSplit]:
+        """Label splits: k-fold, or a single holdout."""
         if self.config.n_folds <= 1:
             return [
                 single_holdout_split(
@@ -70,16 +73,19 @@ class ExperimentSuite:
 
     @cached_property
     def methods(self):
+        """The standard five-method lineup."""
         return standard_methods(self.config.mlp)
 
     # -- task results (shared by tables and figures) -------------------------
 
     @cached_property
     def home_results(self) -> dict[str, HomePredictionResult]:
+        """Task 1 home-prediction results per method."""
         return run_home_prediction(self.dataset, self.methods, splits=self.splits)
 
     @cached_property
     def multi_results(self) -> dict[str, MultiLocationResult]:
+        """Task 2 multi-location results per method."""
         return run_multi_location_discovery(
             self.dataset,
             self.methods,
@@ -95,6 +101,7 @@ class ExperimentSuite:
 
     @cached_property
     def explanation_results(self) -> dict[str, ExplanationTaskResult]:
+        """Task 3 explanation results (MLP vs Base)."""
         base = HomeLocationExplainer.from_ground_truth(self.dataset)
         return run_explanation_task(
             self.dataset,
@@ -108,22 +115,27 @@ class ExperimentSuite:
 
     @cached_property
     def fig3a(self) -> figures.Fig3aResult:
+        """Fig. 3a result over the shared dataset."""
         return figures.fig3a(self.dataset, seed=self.config.split_seed)
 
     @cached_property
     def fig3b(self) -> figures.Fig3bResult:
+        """Fig. 3b result over the shared dataset."""
         return figures.fig3b(self.dataset)
 
     @cached_property
     def fig3c(self) -> figures.Fig3cResult:
+        """Fig. 3c result over the shared dataset."""
         return figures.fig3c(self.dataset)
 
     @cached_property
     def fig4(self) -> figures.Fig4Result:
+        """Fig. 4 result from the shared home-prediction runs."""
         return figures.fig4(self.dataset, self.home_results)
 
     @cached_property
     def fig5(self) -> figures.Fig5Result:
+        """Fig. 5 result from a fresh traced fit."""
         split = self.splits[0]
         return figures.fig5(
             self.dataset.with_labels_hidden(split.test_user_ids),
@@ -134,28 +146,34 @@ class ExperimentSuite:
 
     @cached_property
     def fig6(self) -> figures.RankSweepResult:
+        """Fig. 6 result from the shared multi-location runs."""
         return figures.fig6(self.dataset, self.multi_results)
 
     @cached_property
     def fig7(self) -> figures.RankSweepResult:
+        """Fig. 7 result from the shared multi-location runs."""
         return figures.fig7(self.dataset, self.multi_results)
 
     @cached_property
     def fig8(self) -> figures.Fig8Result:
+        """Fig. 8 result from the shared explanation runs."""
         return figures.fig8(self.dataset, self.explanation_results)
 
     # -- tables -----------------------------------------------------------------
 
     @cached_property
     def table2(self) -> tables.Table2Result:
+        """Table 2 from the shared home-prediction runs."""
         return tables.table2(self.dataset, self.home_results)
 
     @cached_property
     def table3(self) -> tables.Table3Result:
+        """Table 3 from the shared multi-location runs."""
         return tables.table3(self.dataset, self.multi_results)
 
     @cached_property
     def table4(self) -> tables.Table4Result:
+        """Table 4: MLP vs BaseU case-study rows."""
         return tables.table4(
             self.dataset,
             self.multi_results["MLP"],
@@ -164,4 +182,5 @@ class ExperimentSuite:
 
     @cached_property
     def table5(self) -> tables.Table5Result:
+        """Table 5: explanation case study for one user."""
         return tables.table5(self.dataset, self.mlp_full_prediction.detail)

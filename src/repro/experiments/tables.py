@@ -28,6 +28,7 @@ class Table2Result:
     accuracies: dict[str, float]
 
     def ordered_rows(self) -> list[tuple[str, float]]:
+        """(method, ACC) rows in the paper's method order."""
         ordered = [
             (name, self.accuracies[name])
             for name in METHOD_ORDER
@@ -44,6 +45,7 @@ def table2(
     home_results: dict[str, HomePredictionResult],
     miles: float = 100.0,
 ) -> Table2Result:
+    """Compute Table 2: ACC@miles per method."""
     return Table2Result(
         miles=miles,
         accuracies={
@@ -68,6 +70,7 @@ class Table3Result:
     dr: dict[str, float]
 
     def ordered_rows(self) -> list[tuple[str, float, float]]:
+        """(method, DP, DR) rows in the paper's method order."""
         names = [n for n in METHOD_ORDER if n in self.dp] + sorted(
             n for n in self.dp if n not in METHOD_ORDER
         )
@@ -80,6 +83,7 @@ def table3(
     k: int = 2,
     miles: float = 100.0,
 ) -> Table3Result:
+    """Compute Table 3: DP/DR at k per method."""
     return Table3Result(
         k=k,
         miles=miles,

@@ -54,6 +54,19 @@ class SpatialGridIndex:
                 self._cell_of(self._lats[i], self._lons[i]), []
             ).append(i)
 
+    @classmethod
+    def from_gazetteer(
+        cls, gazetteer, cell_miles: float = 50.0
+    ) -> "SpatialGridIndex":
+        """Index every gazetteer location; ids are location ids.
+
+        The grid the prediction index (:mod:`repro.query.index`) joins
+        against: ``query_radius`` answers in location ids, which the
+        index's inverted home -> users CSR then expands to predicted
+        residents.
+        """
+        return cls(gazetteer.lats, gazetteer.lons, cell_miles=cell_miles)
+
     def __len__(self) -> int:
         return len(self._lats)
 

@@ -106,6 +106,7 @@ class CounterChild(_Child):
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add a non-negative amount to the counter."""
         if not _ENABLED:
             return
         if amount < 0:
@@ -115,6 +116,7 @@ class CounterChild(_Child):
 
     @property
     def value(self) -> float:
+        """Current counter value."""
         return self._value
 
     def _reset(self) -> None:
@@ -133,18 +135,21 @@ class GaugeChild(_Child):
         self._fn: Callable[[], float] | None = None
 
     def set(self, value: float) -> None:
+        """Set the gauge."""
         if not _ENABLED:
             return
         with self._lock:
             self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add to the gauge."""
         if not _ENABLED:
             return
         with self._lock:
             self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract from the gauge."""
         self.inc(-amount)
 
     def set_function(self, fn: Callable[[], float]) -> None:
@@ -153,6 +158,7 @@ class GaugeChild(_Child):
 
     @property
     def value(self) -> float:
+        """Current gauge value (callback-evaluated when installed)."""
         if self._fn is not None:
             return float(self._fn())
         return self._value
@@ -177,6 +183,7 @@ class HistogramChild(_Child):
         self._max = -math.inf
 
     def observe(self, value: float) -> None:
+        """Record one value into its log bucket."""
         if not _ENABLED:
             return
         value = float(value)
@@ -196,10 +203,12 @@ class HistogramChild(_Child):
 
     @property
     def count(self) -> int:
+        """Number of observations."""
         return self._count
 
     @property
     def sum(self) -> float:
+        """Sum of observed values."""
         return self._sum
 
     def quantile(self, q: float) -> float:
@@ -354,25 +363,32 @@ class Metric:
         return self._default
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled default child."""
         self._require_default().inc(amount)
 
     def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabeled default child."""
         self._require_default().dec(amount)
 
     def set(self, value: float) -> None:
+        """Set the unlabeled default child."""
         self._require_default().set(value)
 
     def set_function(self, fn: Callable[[], float]) -> None:
+        """Install a collection-time callback on the default child."""
         self._require_default().set_function(fn)
 
     def observe(self, value: float) -> None:
+        """Observe into the unlabeled default child."""
         self._require_default().observe(value)
 
     def time(self) -> _HistogramTimer:
+        """Timer context manager on the default child."""
         return self._require_default().time()
 
     @property
     def value(self) -> float:
+        """Value of the unlabeled default child."""
         return self._require_default().value
 
     def total(self) -> float:
@@ -380,9 +396,11 @@ class Metric:
         return sum(child.value for _, child in self.children())
 
     def summary(self) -> dict:
+        """Summary dict of the default child histogram."""
         return self._require_default().summary()
 
     def quantile(self, q: float) -> float:
+        """Quantile estimate from the default child histogram."""
         return self._require_default().quantile(q)
 
     def reset(self) -> None:
@@ -422,11 +440,13 @@ class MetricsRegistry:
     def counter(
         self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
     ) -> Metric:
+        """Get or create a counter metric."""
         return self._register(name, help_text, "counter", labelnames)
 
     def gauge(
         self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
     ) -> Metric:
+        """Get or create a gauge metric."""
         return self._register(name, help_text, "gauge", labelnames)
 
     def histogram(
@@ -436,9 +456,11 @@ class MetricsRegistry:
         labelnames: Sequence[str] = (),
         buckets: np.ndarray | None = None,
     ) -> Metric:
+        """Get or create a histogram metric."""
         return self._register(name, help_text, "histogram", labelnames, buckets)
 
     def get(self, name: str) -> Metric | None:
+        """Look up a metric by name (None when absent)."""
         with self._lock:
             return self._metrics.get(name)
 

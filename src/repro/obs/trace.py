@@ -46,6 +46,7 @@ class SpanRecord:
         self.children: list[SpanRecord] = []
 
     def to_dict(self) -> dict:
+        """JSON-friendly span dict."""
         out = {"name": self.name, "duration_ms": round(self.duration * 1e3, 3)}
         if self.children:
             out["children"] = [child.to_dict() for child in self.children]
@@ -66,6 +67,7 @@ class Trace:
         self.spans: list[SpanRecord] = []
 
     def to_dict(self) -> dict:
+        """JSON-friendly trace dict with nested spans."""
         return {
             "trace_id": self.trace_id,
             "name": self.name,
@@ -153,6 +155,7 @@ class TraceBuffer:
         self._slow_seen = 0
 
     def add(self, trace: Trace) -> None:
+        """Insert a completed trace into the ring."""
         with self._lock:
             self._captured += 1
             self._recent.append(trace)
@@ -161,14 +164,17 @@ class TraceBuffer:
                 self._slow.append(trace)
 
     def recent(self) -> list[dict]:
+        """Snapshot of the recent-trace ring, as dicts."""
         with self._lock:
             return [trace.to_dict() for trace in self._recent]
 
     def slow(self) -> list[dict]:
+        """Snapshot of the slow-request log, as dicts."""
         with self._lock:
             return [trace.to_dict() for trace in self._slow]
 
     def stats(self) -> dict:
+        """Counts for /healthz: totals and buffer occupancy."""
         with self._lock:
             return {
                 "captured": self._captured,

@@ -1,0 +1,24 @@
+"""Geo-analytics queries over population scores (the prediction index).
+
+The inverse of per-user serving: instead of "where does user *u*
+live?", this package answers "who do we predict lives *there*?".
+
+- :mod:`repro.query.index` -- :class:`~repro.query.index
+  .PredictionIndex`, the generation-stamped columnar projection of
+  ``score_population`` output with an inverted home -> users CSR,
+  incrementally maintained from ``since_generation=`` re-scores;
+- :mod:`repro.query.service` -- :class:`~repro.query.service
+  .QueryService`, the serving wrapper both HTTP topologies dispatch
+  ``GET /query/*`` into, plus the strict query-string parsing and the
+  loud stale-window fallback;
+- :mod:`repro.query.cli` -- the ``repro query <subcommand>`` command
+  (offline against an artifact, or ``--url`` against a live server).
+
+docs/API.md documents the four routes; docs/ARCHITECTURE.md the index
+design and the refresh == rebuild bit-identity contract.
+"""
+
+from repro.query.index import PredictionIndex
+from repro.query.service import QUERY_ROUTES, QueryService
+
+__all__ = ["PredictionIndex", "QueryService", "QUERY_ROUTES"]

@@ -597,7 +597,12 @@ def score_population(
     ``DELTA_LOG_LIMIT``; pass ``journal=`` (a
     :class:`repro.data.journal.DeltaJournal`) to answer the touched
     window from the durable log instead, which covers everything since
-    the last compaction.
+    the last compaction.  A ``since_generation`` behind the retained
+    window raises :class:`repro.data.delta.StaleWindowError` -- this
+    function never silently falls back to a full re-score; callers that
+    choose to (``repro ingest --score-output``, the query layer's index
+    refresh) must surface the fallback loudly (docs/API.md documents
+    the window contract).
     """
     world = compile_world(world)
     if predictor is None:

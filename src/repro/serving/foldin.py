@@ -168,6 +168,7 @@ class UserSpec:
 
     @property
     def n_relationships(self) -> int:
+        """Total evidence edges in the spec."""
         return len(self.friends) + len(self.followers) + len(self.venues)
 
     def signature(self) -> str:
@@ -199,7 +200,28 @@ class FoldInPrediction:
 
     @property
     def home(self) -> int | None:
+        """Predicted home location id, or ``None`` for an empty profile."""
         return self.profile.home
+
+    @property
+    def confidence(self) -> float:
+        """Posterior mass on the predicted home (0.0 for an empty profile).
+
+        The projection hook of the prediction index
+        (:mod:`repro.query.index`): one scalar per user that confidence
+        filters (``min_confidence=``) compare against.
+        """
+        entries = self.profile.entries
+        return float(entries[0][1]) if entries else 0.0
+
+    def top_entries(self, k: int) -> tuple[tuple[int, float], ...]:
+        """The ``k`` most probable ``(location, probability)`` pairs.
+
+        Descending probability, ties broken by location id (the
+        :class:`~repro.core.results.LocationProfile` order), so the
+        projected alternates are deterministic.
+        """
+        return self.profile.entries[:k]
 
 
 @dataclass(frozen=True, slots=True)

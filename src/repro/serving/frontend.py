@@ -23,6 +23,15 @@ The multi-process serving topology (``repro serve --workers N``):
 - ``/profile``, ``/explain-edge``, ``/artifact``, ``/healthz`` and
   ``/metrics`` are served inline (stored-posterior reads and
   diagnostics -- not worth a process hop);
+- ``GET /query/*`` (the geo-analytics layer, :mod:`repro.query`) is
+  served inline on the **writer** predictor too -- the prediction
+  index must reflect every acknowledged ingest, and the writer is the
+  one process guaranteed to be at the newest generation.  Index
+  builds/refreshes run in an executor thread so a first-query build
+  never stalls the accept loop, and the payload bytes come from the
+  same :class:`~repro.query.service.QueryService` builders the
+  threaded server uses (byte-identical bodies, same
+  ``X-World-Generation`` header);
 - predict responses carry an ``X-World-Generation`` header naming the
   generation they were served from.  The *body* stays byte-identical
   to the threaded server's (the RCU tests depend on the header, the
@@ -52,6 +61,7 @@ import time
 import numpy as np
 
 from repro.obs import metrics as obs_metrics
+from repro.query.service import QueryService, split_query_path
 from repro.serving.foldin import FoldInPredictor
 from repro.serving.server import (
     GET_HANDLERS,
@@ -137,6 +147,10 @@ class AsyncFrontend:
         self.journal = journal
         self.access_log = access_log
         self.quiet = quiet
+        #: ``GET /query/*`` served on the writer predictor (always at
+        #: the newest generation); same service class as the threaded
+        #: server, so the bodies are byte-identical by construction.
+        self.query_service = QueryService(predictor, journal=journal)
         self.started_unix = time.time()
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
@@ -150,6 +164,7 @@ class AsyncFrontend:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
+        """Bind the listening socket and start accepting requests."""
         self._queue = asyncio.Queue()
         self._ingest_lock = asyncio.Lock()
         self._idle = asyncio.Event()
@@ -161,6 +176,7 @@ class AsyncFrontend:
         self._coalescer = asyncio.create_task(self._coalesce_loop())
 
     async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until the stop event fires, then close."""
         await stop.wait()
 
     async def drain(self, deadline_seconds: float = 10.0) -> bool:
@@ -360,8 +376,10 @@ class AsyncFrontend:
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        bare_route, _ = split_query_path(path)
         route = (
-            path if path in GET_HANDLERS or path in POST_HANDLERS
+            bare_route
+            if bare_route in GET_HANDLERS or bare_route in POST_HANDLERS
             else "<unknown>"
         )
         self._request_started()
@@ -395,34 +413,63 @@ class AsyncFrontend:
         the connection so keep-alive clients cannot desync.
         """
         wants_close = headers.get("connection", "").lower() == "close"
+        route, query = split_query_path(path)
         if method == "GET":
-            if path not in GET_HANDLERS:
+            if route not in GET_HANDLERS:
                 return await self._reject_unknown(
-                    writer, path, "POST" if path in POST_HANDLERS else None
+                    writer, path, "POST" if route in POST_HANDLERS else None
                 )
-            if path == "/metrics":
+            if route == "/metrics":
                 body = obs_metrics.render_prometheus().encode("utf-8")
                 await self._respond(
                     writer, 200, body,
                     content_type=METRICS_CONTENT_TYPE, close=wants_close,
                 )
                 return 200, not wants_close
-            payload = (
-                self._healthz() if path == "/healthz"
-                else artifact_payload(self.predictor)
+            extra = None
+            try:
+                if route.startswith("/query/"):
+                    # Index builds/refreshes can take seconds at scale:
+                    # run off the event loop, on the writer predictor.
+                    loop = asyncio.get_running_loop()
+                    payload = await loop.run_in_executor(
+                        None, self.query_service.answer, route, query
+                    )
+                    extra = {
+                        "X-World-Generation": str(payload["generation"])
+                    }
+                elif route == "/healthz":
+                    payload = self._healthz()
+                else:
+                    payload = artifact_payload(self.predictor)
+            except (ValueError, KeyError, TypeError) as exc:
+                # Mirror the threaded handler's client-error contract.
+                await self._respond_json(
+                    writer, 400, {"error": str(exc)}, close=wants_close
+                )
+                return 400, not wants_close
+            except Exception as exc:
+                await self._respond_json(
+                    writer, 500,
+                    {"error": f"internal error: {type(exc).__name__}"},
+                    close=True,
+                )
+                return 500, False
+            await self._respond_json(
+                writer, 200, payload, extra_headers=extra, close=wants_close
             )
-            await self._respond_json(writer, 200, payload, close=wants_close)
             return 200, not wants_close
         if method != "POST":
-            if path in GET_HANDLERS:
+            if route in GET_HANDLERS:
                 return await self._reject_unknown(writer, path, "GET")
-            if path in POST_HANDLERS:
+            if route in POST_HANDLERS:
                 return await self._reject_unknown(writer, path, "POST")
             return await self._reject_unknown(writer, path, None)
-        if path not in POST_HANDLERS:
+        if route not in POST_HANDLERS:
             return await self._reject_unknown(
-                writer, path, "GET" if path in GET_HANDLERS else None
+                writer, path, "GET" if route in GET_HANDLERS else None
             )
+        path = route
         max_bytes = (
             MAX_BATCH_BODY_BYTES if path == "/predict-batch"
             else MAX_BODY_BYTES
@@ -678,9 +725,11 @@ class FrontendThread:
 
     @property
     def port(self) -> int:
+        """The bound port (valid after start)."""
         return self.frontend.port
 
     def start(self, timeout: float = 30.0) -> "FrontendThread":
+        """Start the loop thread; block until the socket is bound."""
         import threading
 
         ready = threading.Event()
@@ -703,6 +752,7 @@ class FrontendThread:
         return self
 
     def stop(self, deadline_seconds: float = 10.0) -> None:
+        """Stop the loop and join the thread."""
         if self._loop is None:
             return
         future = asyncio.run_coroutine_threadsafe(

@@ -31,7 +31,14 @@ statement as endpoints:
   Prometheus text exposition format (request counts and latency
   histograms per route, fold-in solve timings, cache hit/miss, journal
   fsync/append timings, ...);
-- ``GET /artifact``        -- the artifact's identity and parameters.
+- ``GET /artifact``        -- the artifact's identity and parameters;
+- ``GET /query/*``         -- the geo-analytics query layer
+  (:mod:`repro.query`): ``/query/radius``, ``/query/top-cities``,
+  ``/query/venue-residents`` and ``/query/aggregate`` answer inverse
+  lookups ("who do we predict lives near X?") from the prediction
+  index, which is built lazily on first query and refreshed
+  incrementally after each ``/ingest`` (responses carry the index's
+  world generation in the body and the ``X-World-Generation`` header).
 
 Requests and responses are JSON (except ``/metrics``, which is
 Prometheus text); errors come back as ``{"error": ...}`` with a 400
@@ -62,6 +69,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import TraceBuffer, trace_request
+from repro.query.service import (
+    QUERY_ROUTES,
+    QueryService,
+    split_query_path,
+)
 from repro.serving.foldin import FoldInPredictor, prediction_payload
 
 #: Cap on accepted request bodies (1 MiB): a single-user serving
@@ -81,6 +93,10 @@ GET_HANDLERS = {
     "/healthz": "_healthz",
     "/artifact": "_artifact",
     "/metrics": "_metrics",
+    # The geo-analytics layer: every /query/* route funnels into one
+    # handler that defers to the shared QueryService dispatch, so both
+    # topologies render the same bytes from the same builders.
+    **{route: "_query" for route in QUERY_ROUTES},
 }
 POST_HANDLERS = {
     "/predict-home": "_predict_home",
@@ -144,6 +160,10 @@ class ServingServer(ThreadingHTTPServer):
         #: one structured JSON access-log line (route, status,
         #: latency_ms, trace id).
         self.access_log = access_log
+        #: The geo-analytics layer behind ``GET /query/*``: owns the
+        #: prediction index (built lazily on first query, refreshed
+        #: incrementally as ingest advances the world generation).
+        self.query_service = QueryService(predictor, journal=journal)
         self.trace_buffer = TraceBuffer(slow_threshold=slow_request_seconds)
         self.started_unix = time.time()
         self._access_log_lock = threading.Lock()
@@ -200,6 +220,7 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:
+        """Silence the stdlib per-request stderr log (traced instead)."""
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
@@ -281,9 +302,15 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- instrumented dispatch ---------------------------------------------
 
     def _route_label(self) -> str:
-        """The metrics label for this request's path (bounded cardinality)."""
-        if self.path in GET_HANDLERS or self.path in POST_HANDLERS:
-            return self.path
+        """The metrics label for this request's path (bounded cardinality).
+
+        The query string never reaches the label (``/query/radius?lat=…``
+        collapses to ``/query/radius``), so client-controlled parameters
+        cannot explode series cardinality any more than unknown paths can.
+        """
+        route, _ = split_query_path(self.path)
+        if route in GET_HANDLERS or route in POST_HANDLERS:
+            return route
         return "<unknown>"
 
     def _dispatch(self, method: str) -> None:
@@ -373,12 +400,24 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        """stdlib handler hook: dispatch GET requests."""
         self._dispatch("GET")
 
     def _handle_get(self) -> None:
-        name = GET_HANDLERS.get(self.path)
+        route, query = split_query_path(self.path)
+        name = GET_HANDLERS.get(route)
         if name is None:
-            self._reject_unknown("POST" if self.path in POST_ROUTES else None)
+            self._reject_unknown("POST" if route in POST_ROUTES else None)
+            return
+        if name == "_query":
+            payload = self._query(route, query)
+            self._send_json(
+                200,
+                payload,
+                extra_headers={
+                    "X-World-Generation": str(payload["generation"])
+                },
+            )
             return
         result = getattr(self, name)()
         if isinstance(result, bytes):
@@ -410,15 +449,21 @@ class ServingHandler(BaseHTTPRequestHandler):
         return obs_metrics.render_prometheus().encode("utf-8")
 
     def _artifact(self) -> dict:
+        """``GET /artifact``: identity and parameters of the artifact."""
         return artifact_payload(self.server.predictor)
+
+    def _query(self, route: str, query: str) -> dict:
+        """``GET /query/*``: defer to the shared query-service dispatch."""
+        return self.server.query_service.answer(route, query)
 
     # -- other methods -----------------------------------------------------
 
     def _do_unsupported(self) -> None:
         """PUT/DELETE/PATCH: 405 on known routes, 404 otherwise."""
-        if self.path in GET_ROUTES:
+        route, _ = split_query_path(self.path)
+        if route in GET_ROUTES:
             self._reject_unknown("GET")
-        elif self.path in POST_ROUTES:
+        elif route in POST_ROUTES:
             self._reject_unknown("POST")
         else:
             self._reject_unknown(None)
@@ -430,16 +475,18 @@ class ServingHandler(BaseHTTPRequestHandler):
     # -- POST --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        """stdlib handler hook: dispatch POST requests."""
         self._dispatch("POST")
 
     def _handle_post(self) -> None:
-        name = POST_HANDLERS.get(self.path)
+        route, _ = split_query_path(self.path)
+        name = POST_HANDLERS.get(route)
         if name is None:
-            self._reject_unknown("GET" if self.path in GET_ROUTES else None)
+            self._reject_unknown("GET" if route in GET_ROUTES else None)
             return
         max_bytes = (
             MAX_BATCH_BODY_BYTES
-            if self.path == "/predict-batch"
+            if route == "/predict-batch"
             else MAX_BODY_BYTES
         )
         payload = self._read_json(max_bytes=max_bytes)
@@ -496,6 +543,7 @@ class ServingHandler(BaseHTTPRequestHandler):
 
 
 def require_object(payload) -> dict:
+    """The payload as a dict, or ValueError for non-object JSON."""
     if not isinstance(payload, dict):
         raise ValueError("request body must be a JSON object")
     return payload

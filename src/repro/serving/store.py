@@ -113,6 +113,7 @@ class WorldLease:
     _released: bool = field(default=False, repr=False)
 
     def release(self) -> None:
+        """Release the reader lease."""
         self._store.release(self)
 
 
@@ -167,6 +168,7 @@ class WorldStore:
         self._writer_fh = fh
 
     def unlock_writer(self) -> None:
+        """Release the writer lock file."""
         if self._writer_fh is not None:
             self._writer_fh.close()  # closing drops the flock
             self._writer_fh = None
@@ -448,4 +450,5 @@ class WorldStore:
             STORE_RETIRED.inc()
 
     def close(self) -> None:
+        """Detach from the store and release held leases."""
         self.unlock_writer()

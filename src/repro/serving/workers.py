@@ -264,6 +264,7 @@ class WorkerHandle:
 
     @property
     def pid(self) -> int | None:
+        """The worker process pid (None before spawn)."""
         return self.process.pid
 
     def _mark_dead(self) -> None:
@@ -326,6 +327,7 @@ class WorkerHandle:
             return reply
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Terminate the worker process and join it."""
         if self.alive and self.process.is_alive():
             try:
                 self.call({"kind": "stop"}, timeout=timeout)
@@ -379,6 +381,7 @@ class WorkerPool:
             self.workers.append(WorkerHandle(worker_id, process, parent_conn))
 
     def alive_workers(self) -> list[WorkerHandle]:
+        """Handles of workers currently alive."""
         return [w for w in self.workers if w.alive]
 
     def next_worker(self) -> WorkerHandle | None:
@@ -405,5 +408,6 @@ class WorkerPool:
         ]
 
     def stop_all(self) -> None:
+        """Stop every worker in the pool."""
         for worker in self.workers:
             worker.stop()

@@ -52,6 +52,7 @@ class VenueExtractor:
 
     @property
     def gazetteer(self) -> Gazetteer:
+        """The gazetteer this extractor matches against."""
         return self._gazetteer
 
     def extract(self, text: str) -> list[VenueMention]:

@@ -179,6 +179,7 @@ def gate(run_path: Path, baseline_path: Path) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Gate bench_run.json against the committed baseline bands."""
     parser = argparse.ArgumentParser(
         description="fail when bench_run.json regresses past the "
         "committed baseline bands"

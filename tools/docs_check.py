@@ -1,11 +1,20 @@
-"""Documentation lint: every public module must carry a docstring.
+"""Documentation lint: public modules *and* functions need docstrings.
 
 Walks ``src/repro`` (and the benchmark/tool scripts), parses each file
-with :mod:`ast`, and fails with a file list when a module lacks a
-docstring.  "Public" means every module in the package -- this codebase
-treats module docstrings as the primary architecture documentation (see
-docs/ARCHITECTURE.md), so an undocumented module is a build error, not
-a style nit.
+with :mod:`ast`, and fails with a list when a module -- or any public
+function or method inside one -- lacks a docstring.  "Public" follows
+Python convention: anything whose name does not start with ``_``, minus
+a few families whose contract lives elsewhere:
+
+- ``test_*`` functions (the assertion *is* the documentation) and
+  pytest fixture/hook machinery in test-style files;
+- dunders (``__init__``, ``__iter__``, ...): documented by the class;
+- ``@overload`` stubs and one-line ``@property`` trampolines are still
+  checked -- a reader landing on them deserves a sentence too.
+
+This codebase treats docstrings as the primary architecture
+documentation (see docs/ARCHITECTURE.md), so an undocumented public
+surface is a build error, not a style nit.
 
 Run directly or via ``make docs-check``::
 
@@ -23,10 +32,45 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Directories whose .py files must carry module docstrings.
 CHECKED_TREES = ("src/repro", "benchmarks", "tools", "examples")
 
+#: Function-name prefixes exempt from the function-docstring rule.
+EXEMPT_PREFIXES = ("_", "test_")
 
-def modules_missing_docstrings(root: Path) -> list[Path]:
-    """Paths under the checked trees whose module docstring is absent."""
-    missing = []
+
+def _is_public_def(node: ast.AST) -> bool:
+    """True for a named def/async def that the docstring rule covers."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    name = node.name
+    if name.startswith(EXEMPT_PREFIXES):
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return True
+
+
+def undocumented_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Public functions/methods in *tree* without a docstring.
+
+    Walks the whole module, so methods of nested classes are covered;
+    functions defined *inside* other functions are implementation
+    detail and stay exempt.
+    """
+    flagged: list[ast.FunctionDef] = []
+    enclosing: list[ast.AST] = [tree]
+    while enclosing:
+        scope = enclosing.pop()
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, ast.ClassDef):
+                enclosing.append(node)
+            elif _is_public_def(node):
+                if not ast.get_docstring(node):
+                    flagged.append(node)
+    return flagged
+
+
+def missing_docstrings(root: Path) -> list[str]:
+    """``path`` / ``path:line name()`` diagnostics for every gap."""
+    missing: list[str] = []
     for tree in CHECKED_TREES:
         for path in sorted((root / tree).rglob("*.py")):
             source = path.read_text(encoding="utf-8")
@@ -34,22 +78,27 @@ def modules_missing_docstrings(root: Path) -> list[Path]:
                 node = ast.parse(source, filename=str(path))
             except SyntaxError as exc:  # unparseable is worse than undocumented
                 raise SystemExit(f"docs-check: cannot parse {path}: {exc}")
+            rel = path.relative_to(root)
             if not ast.get_docstring(node):
-                missing.append(path.relative_to(root))
+                missing.append(f"{rel} (module docstring)")
+            for fn in sorted(undocumented_functions(node), key=lambda f: f.lineno):
+                missing.append(f"{rel}:{fn.lineno} {fn.name}()")
     return missing
 
 
 def main() -> int:
-    missing = modules_missing_docstrings(REPO_ROOT)
+    """Run the lint; print gaps and return an exit code."""
+    missing = missing_docstrings(REPO_ROOT)
     if missing:
-        print("docs-check: modules without a module docstring:")
-        for path in missing:
-            print(f"  {path}")
+        print("docs-check: public surface without a docstring:")
+        for entry in missing:
+            print(f"  {entry}")
+        print(f"docs-check: {len(missing)} missing")
         return 1
     total = sum(
         len(list((REPO_ROOT / tree).rglob("*.py"))) for tree in CHECKED_TREES
     )
-    print(f"docs-check: OK ({total} modules documented)")
+    print(f"docs-check: OK ({total} modules, all public functions documented)")
     return 0
 
 

@@ -1,0 +1,135 @@
+"""Markdown link lint: relative links and anchors must resolve.
+
+Walks ``README.md`` and ``docs/*.md``, extracts every inline markdown
+link, and fails when a **relative** link points at a file that does not
+exist or an ``#anchor`` that no heading in the target document
+generates.  External (``http://``/``https://``/``mailto:``) links are
+skipped -- this gate is about keeping the repo's *internal*
+cross-references (README -> docs/API.md -> OBSERVABILITY.md -> ...)
+from rotting, not about probing the network from CI.
+
+Anchors are derived from headings with GitHub's slug rules: lowercase,
+spaces to hyphens, punctuation dropped, duplicate slugs suffixed
+``-1``, ``-2``, ...
+
+Run directly or via ``make link-check`` (part of the lint CI job)::
+
+    python tools/link_check.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents whose outgoing relative links are checked.
+CHECKED_DOCS = ("README.md", "docs/*.md")
+
+#: Inline markdown links: ``[text](target)``, ignoring images' leading
+#: ``!`` (image targets are checked the same way).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def document_anchors(path: Path) -> set[str]:
+    """Every anchor the document's headings generate (slug rules)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def extract_links(path: Path) -> list[str]:
+    """All inline link targets outside fenced code blocks."""
+    targets: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(LINK.findall(line))
+    return targets
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def broken_links(root: Path) -> list[str]:
+    """Human-readable diagnostics for every unresolvable link."""
+    documents: list[Path] = []
+    for pattern in CHECKED_DOCS:
+        documents.extend(sorted(root.glob(pattern)))
+    problems: list[str] = []
+    for doc in documents:
+        for target in extract_links(doc):
+            if _is_external(target):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (doc.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{doc.relative_to(root)}: broken link "
+                        f"{target!r} (no such file)"
+                    )
+                    continue
+            else:
+                resolved = doc
+            if anchor:
+                if resolved.suffix != ".md" or not resolved.is_file():
+                    continue  # anchors into non-markdown: not checkable
+                if anchor not in document_anchors(resolved):
+                    problems.append(
+                        f"{doc.relative_to(root)}: broken anchor "
+                        f"{target!r} (no heading generates "
+                        f"#{anchor} in {resolved.name})"
+                    )
+    return problems
+
+
+def main() -> int:
+    """Run the lint; print broken links and return an exit code."""
+    problems = broken_links(REPO_ROOT)
+    if problems:
+        print("link-check: broken relative links:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    n_docs = sum(len(list(REPO_ROOT.glob(p))) for p in CHECKED_DOCS)
+    print(f"link-check: OK ({n_docs} documents)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

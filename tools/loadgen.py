@@ -60,6 +60,7 @@ TOOLS_DIR = Path(__file__).resolve().parent
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    """Parse the load-harness CLI flags."""
     parser = argparse.ArgumentParser(
         prog="loadgen",
         description="Open-loop Poisson load harness for `repro serve`.",
@@ -550,6 +551,7 @@ def run_compare(args: argparse.Namespace, counts: list[int]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run the load harness per CLI flags; return an exit code."""
     args = parse_args(argv)
     if args.compare_workers is not None:
         args.smoke = True
